@@ -1,0 +1,37 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper on a reduced
+grid (set ``REPRO_FULL_SCALE=1`` for the paper-sized grid), prints the
+regenerated rows/series, and asserts the qualitative shape of the paper's
+result.  ``pytest-benchmark`` measures the wall-clock cost of one full
+regeneration (``rounds=1``) rather than micro-benchmarking.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, os.path.abspath(_SRC))
+
+import pytest  # noqa: E402
+
+from repro.experiments.scale import ExperimentScale  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """Grid used by the benchmark harness (reduced unless REPRO_FULL_SCALE)."""
+    return ExperimentScale.from_environment(
+        ExperimentScale(
+            scenarios=("S1", "S2"),
+            initial_distances=(50.0, 70.0),
+            repetitions=1,
+            random_st_dur_repetitions=2,
+        )
+    )
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run ``func`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

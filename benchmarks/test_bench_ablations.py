@@ -1,0 +1,116 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+These go beyond the paper's tables: they quantify how much each ingredient
+of the Context-Aware attack contributes (driver reaction time, sensor
+noise robustness, and the simulation throughput that makes the paper-scale
+campaigns feasible).
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import ContextAwareStrategy
+from repro.experiments.table5 import ContextAwareFixedValueStrategy
+from repro.injection import SimulationConfig, run_simulation
+from repro.sim.sensors import SensorNoise
+
+
+GRID = [("S1", 50.0, 1), ("S1", 70.0, 2), ("S2", 50.0, 3)]
+
+
+def _hazard_rate(strategy_factory, attack_type, **config_overrides):
+    hazards = 0
+    for scenario, distance, seed in GRID:
+        config = SimulationConfig(
+            scenario=scenario, initial_distance=distance, seed=seed,
+            attack_type=attack_type, max_steps=3500, **config_overrides,
+        )
+        result = run_simulation(config, strategy_factory())
+        hazards += bool(result.hazards)
+    return hazards / len(GRID)
+
+
+def test_ablation_driver_reaction_time(benchmark):
+    """Observation 4 ablation: a faster driver prevents more fixed-value
+    Acceleration attacks; a slower driver prevents none."""
+
+    def sweep():
+        rates = {}
+        for reaction_time in (1.0, 2.5, 4.0):
+            rates[reaction_time] = _hazard_rate(
+                ContextAwareFixedValueStrategy,
+                AttackType.ACCELERATION,
+                driver_reaction_time=reaction_time,
+            )
+        return rates
+
+    rates = run_once(benchmark, sweep)
+    print(f"\nhazard rate vs driver reaction time: {rates}")
+    assert rates[1.0] <= rates[4.0]
+    assert rates[4.0] >= 0.5
+
+
+def test_ablation_sensor_noise_robustness(benchmark):
+    """Threats-to-validity ablation: the Context-Aware attack still works
+    when the eavesdropped sensor data is noisier than nominal."""
+
+    def sweep():
+        rates = {}
+        for label, scale in (("noiseless", 0.0), ("nominal", 1.0), ("noisy", 5.0)):
+            noise = SensorNoise(
+                gps_speed_std=0.05 * scale,
+                radar_distance_std=0.15 * scale,
+                radar_speed_std=0.05 * scale,
+                lane_position_std=0.03 * scale,
+                heading_std=0.002 * scale,
+            )
+            rates[label] = _hazard_rate(
+                ContextAwareStrategy, AttackType.STEERING_RIGHT, noise=noise
+            )
+        return rates
+
+    rates = run_once(benchmark, sweep)
+    print(f"\nContext-Aware Steering-Right hazard rate vs sensor noise: {rates}")
+    assert rates["nominal"] >= 0.5
+    assert rates["noisy"] >= 0.3
+
+
+def test_ablation_simulation_throughput(benchmark):
+    """Throughput of a single attack-free 50 s simulation (5000 control
+    steps through sensors, messaging, ADAS, CAN and dynamics)."""
+
+    def one_run():
+        result = run_simulation(SimulationConfig(scenario="S1", initial_distance=70.0, seed=0))
+        assert result.duration >= 45.0
+        return result
+
+    result = benchmark(one_run)
+    assert result.hazards == {}
+
+
+def test_ablation_time_to_hazard_by_attack_type(benchmark):
+    """TTH per attack type: steering attacks leave the least mitigation
+    budget (Observation 5), deceleration/acceleration the most."""
+
+    def sweep():
+        tths = {}
+        for attack_type in (AttackType.STEERING_RIGHT, AttackType.ACCELERATION,
+                            AttackType.DECELERATION):
+            values = []
+            for scenario, distance, seed in GRID:
+                config = SimulationConfig(
+                    scenario=scenario, initial_distance=distance, seed=seed,
+                    attack_type=attack_type, max_steps=4000,
+                )
+                result = run_simulation(config, ContextAwareStrategy())
+                if result.time_to_hazard is not None:
+                    values.append(result.time_to_hazard)
+            tths[attack_type.value] = statistics.mean(values) if values else float("nan")
+        return tths
+
+    tths = run_once(benchmark, sweep)
+    print(f"\nmean TTH by attack type: {tths}")
+    assert tths["Steering-Right"] < 2.5
+    assert tths["Deceleration"] > tths["Steering-Right"]

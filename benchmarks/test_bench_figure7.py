@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Figure 7 (attack-free ego trajectory).
+
+Paper reference: during an attack-free 50 s simulation the ALC does not
+keep the ego vehicle centred; lane invasions occur at ~0.46 events/s
+(Observation 1), yet no hazards or accidents happen.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figure7 import run_figure7
+
+
+def test_figure7_attack_free_trajectory(benchmark):
+    result = run_once(benchmark, run_figure7, "S1", 70.0, [0, 1, 2])
+
+    print("\n" + result.format())
+
+    # A full-length trajectory was recorded.
+    assert len(result.trajectory) >= 400
+    assert result.runs[0].duration >= 45.0
+
+    # Observation 1: lane invasions happen without any attack...
+    assert result.lane_invasions_per_second > 0.0
+    # ... the vehicle visibly deviates from the lane centre ...
+    assert result.max_abs_lateral_offset > 0.5
+    # ... but never produces a hazard or an accident.
+    assert all(run.hazards == {} for run in result.runs)
+    assert all(run.accidents == {} for run in result.runs)
+    # And the ACC has settled behind the slower lead by the end of the run.
+    assert result.trajectory[-1].speed < 20.0

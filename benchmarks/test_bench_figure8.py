@@ -1,0 +1,49 @@
+"""Benchmark: regenerate Figure 8 (attack start time × duration space).
+
+Paper reference: for Acceleration attacks there is a critical start-time
+window outside of which no attack causes a hazard regardless of duration;
+inside the window a minimum duration is needed; the Context-Aware points
+all land inside the window and all result in hazards.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments.figure8 import run_figure8
+
+
+def _run():
+    # The ego closes on the 50 m lead almost immediately, so the critical
+    # window sits early in the run; the sweep therefore starts at 1 s.
+    return run_figure8(
+        scenario="S1",
+        initial_distance=50.0,
+        start_times=np.arange(1.0, 32.0, 5.0),
+        durations=np.arange(0.5, 2.6, 0.5),
+        context_aware_seeds=[1, 2, 3, 4],
+    )
+
+
+def test_figure8_parameter_space(benchmark):
+    result = run_once(benchmark, _run)
+
+    print("\n" + result.format())
+
+    random_points = result.random_points()
+    hazardous = [point for point in random_points if point.hazard]
+    non_hazardous = [point for point in random_points if not point.hazard]
+
+    # Both outcomes exist: the random sweep wastes many injections.
+    assert hazardous and non_hazardous
+
+    # A critical start-time window exists: late attacks never cause hazards.
+    window = result.critical_window()
+    assert window is not None
+    latest_start = max(point.start_time for point in random_points)
+    assert window[1] < latest_start
+
+    # Context-Aware activations all fall inside the window and all succeed.
+    ca_points = result.context_aware_points()
+    assert ca_points
+    assert result.context_aware_hazard_rate() == 1.0
+    assert all(window[0] - 1.0 <= point.start_time <= window[1] + 1.0 for point in ca_points)

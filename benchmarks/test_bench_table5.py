@@ -1,0 +1,58 @@
+"""Benchmark: regenerate Table V (strategic value corruption and the driver).
+
+Paper reference (Context-Aware attacks, per attack type):
+
+* Without strategic value corruption the injected maxima are perceptible:
+  the alert driver prevents a large share of Acceleration (83.3%),
+  Deceleration (58.8%) and Deceleration-Steering (70.8%) hazards.
+* Steering attacks are never prevented (TTH ≈ 1.1–1.6 s < 2.5 s reaction).
+* With strategic value corruption the total number of ADAS alerts drops to
+  almost zero and the driver prevents (almost) nothing, while the overall
+  hazard rate stays high (83.4%).
+"""
+
+from conftest import run_once
+
+from repro.experiments.table5 import run_table5
+
+
+def test_table5_strategic_value_corruption(benchmark, bench_scale):
+    result = run_once(benchmark, run_table5, bench_scale)
+
+    print("\n" + result.format())
+
+    fixed = result.without_corruption
+    strategic = result.with_corruption
+
+    steering_types = ("Steering-Left", "Steering-Right", "Acceleration-Steering")
+    longitudinal_types = ("Acceleration", "Deceleration", "Deceleration-Steering")
+
+    # Observation 4: with fixed (maximum) values, the driver prevents a
+    # substantial number of longitudinal-attack hazards.
+    prevented_fixed = sum(fixed[name].prevented_hazards for name in longitudinal_types)
+    assert prevented_fixed > 0
+
+    # Observation 5: steering attacks are effective and essentially never
+    # prevented by the driver, in either mode.
+    for summaries in (fixed, strategic):
+        steering_hazards = sum(summaries[name].hazards for name in steering_types)
+        steering_prevented = sum(summaries[name].prevented_hazards for name in steering_types)
+        steering_runs = sum(summaries[name].runs for name in steering_types)
+        assert steering_hazards >= 0.5 * steering_runs
+        assert steering_prevented <= 0.2 * max(steering_hazards, 1)
+
+    # Observation 6: strategic corruption evades detection — alerts stay
+    # rare (the paper: 4 alerts in 1,440 runs) and the driver prevents no
+    # more hazards than with fixed values.
+    alerts_fixed = sum(summary.alerts for summary in fixed.values())
+    alerts_strategic = sum(summary.alerts for summary in strategic.values())
+    runs_strategic = sum(summary.runs for summary in strategic.values())
+    prevented_strategic = sum(summary.prevented_hazards for summary in strategic.values())
+    prevented_fixed_all = sum(summary.prevented_hazards for summary in fixed.values())
+    assert alerts_strategic <= max(alerts_fixed, 0.15 * runs_strategic)
+    assert prevented_strategic <= prevented_fixed_all
+
+    # Overall hazard coverage with corruption stays high.
+    total_runs = sum(summary.runs for summary in strategic.values())
+    total_hazards = sum(summary.hazards for summary in strategic.values())
+    assert total_hazards >= 0.7 * total_runs

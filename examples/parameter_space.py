@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Attack parameter space (Figure 8): start time × duration for the
+Acceleration attack.
+
+Sweeps the attack start time and duration for fixed-value Acceleration
+attacks, marks which combinations cause hazards, overlays the points the
+Context-Aware strategy chose on its own, and prints the critical
+start-time window.
+
+Run with::
+
+    python examples/parameter_space.py
+"""
+
+import numpy as np
+
+from repro.experiments import run_figure8
+
+
+def ascii_grid(result) -> str:
+    """Render the (start time, duration) plane as an ASCII grid."""
+    starts = sorted({p.start_time for p in result.random_points()})
+    durations = sorted({p.duration for p in result.random_points()}, reverse=True)
+    index = {(p.start_time, p.duration): p for p in result.random_points()}
+    lines = ["duration \\ start-time " + " ".join(f"{s:4.0f}" for s in starts)]
+    for duration in durations:
+        cells = []
+        for start in starts:
+            point = index.get((start, duration))
+            cells.append("  ● " if point and point.hazard else "  ○ ")
+        lines.append(f"{duration:20.1f}s " + "".join(cells))
+    lines.append("● = hazard, ○ = no hazard")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print("Sweeping Acceleration-attack start times and durations (S1, 50 m gap)...")
+    result = run_figure8(
+        scenario="S1",
+        initial_distance=50.0,
+        start_times=np.arange(5.0, 36.0, 3.0),
+        durations=np.arange(0.5, 2.6, 0.5),
+        context_aware_seeds=[1, 2, 3, 4],
+    )
+    print()
+    print(ascii_grid(result))
+    print()
+    print(result.format())
+    print()
+    ca_points = result.context_aware_points()
+    if ca_points:
+        times = ", ".join(f"{p.start_time:.1f}s" for p in ca_points)
+        print(f"Context-Aware activations (all inside the critical window): {times}")
+
+
+if __name__ == "__main__":
+    main()

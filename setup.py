@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The ``wheel`` package is not available in the offline evaluation
+environment, so PEP 517 editable installs (which build a wheel) fail.
+This shim lets ``pip install -e . --no-build-isolation --no-use-pep517``
+fall back to the classic ``setup.py develop`` path.  All project metadata
+lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

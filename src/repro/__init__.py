@@ -1,0 +1,20 @@
+"""Reproduction of "Strategic Safety-Critical Attacks Against an Advanced
+Driver Assistance System" (DSN 2022).
+
+The package is organised as a set of substrates (driving simulator, ADAS
+stack, messaging layer, CAN bus, driver model) plus the paper's primary
+contribution, the Context-Aware attack engine, in :mod:`repro.core`.
+
+Quick start::
+
+    from repro.injection import SimulationConfig, run_simulation
+    from repro.core.strategies import ContextAwareStrategy
+
+    config = SimulationConfig(scenario="S1", initial_distance=70.0, seed=0)
+    result = run_simulation(config, strategy=ContextAwareStrategy())
+    print(result.hazards, result.accidents, result.time_to_hazard)
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,44 @@
+"""ADAS substrate (OpenPilot substitute).
+
+Implements the Automated Lane Centering (ALC) and Adaptive Cruise Control
+(ACC) functions of a Level-2 driver assistance system, together with the
+safety mechanisms the paper evaluates against:
+
+* output limits derived from ISO 22179-style safety principles
+  (Section II-A of the paper): ±2 m/s² acceleration, −3.5 m/s²
+  deceleration, bounded per-frame steering change;
+* an alert manager raising Forward Collision Warning (FCW) and
+  ``steerSaturated`` alerts;
+* a driver-monitoring model;
+* a Panda-style CAN safety model (used as the constraint set for the
+  attack's strategic value corruption, exactly as in the paper, since
+  Panda checks are not enforced when OpenPilot is bridged to a
+  simulator).
+"""
+
+from repro.adas.limits import SafetyLimits, OPENPILOT_LIMITS, ISO_SAFETY_LIMITS, PANDA_LIMITS
+from repro.adas.longitudinal import LongitudinalPlanner, LongitudinalPlan
+from repro.adas.lateral import LateralPlanner, LateralPlan
+from repro.adas.alerts import AlertManager, Alert
+from repro.adas.driver_monitoring import DriverMonitoring
+from repro.adas.panda import PandaSafetyModel, PandaViolation
+from repro.adas.openpilot import OpenPilot, OpenPilotConfig, OutputHook
+
+__all__ = [
+    "SafetyLimits",
+    "OPENPILOT_LIMITS",
+    "ISO_SAFETY_LIMITS",
+    "PANDA_LIMITS",
+    "LongitudinalPlanner",
+    "LongitudinalPlan",
+    "LateralPlanner",
+    "LateralPlan",
+    "AlertManager",
+    "Alert",
+    "DriverMonitoring",
+    "PandaSafetyModel",
+    "PandaViolation",
+    "OpenPilot",
+    "OpenPilotConfig",
+    "OutputHook",
+]

@@ -1,0 +1,119 @@
+"""ADAS alert manager.
+
+Raises the two alerts the paper's evaluation tracks:
+
+* **Forward Collision Warning (FCW)** — raised when the brake command
+  actually being sent to the car exceeds OpenPilot's hard-braking
+  threshold while a lead vehicle is close.  Because the paper's attack
+  keeps the brake output below this threshold, FCW never activates during
+  Context-Aware attacks (Observation 2).
+* **steerSaturated** — raised when the lateral controller's demanded
+  steering angle persistently diverges from the measured angle, i.e. the
+  car is not following the lateral plan.
+
+Every alert is published on the ``alertEvent`` service so the (simulated)
+driver can perceive it.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.adas.lateral import LateralPlan
+from repro.adas.longitudinal import LongitudinalPlan
+from repro.messaging.messages import AlertEvent
+
+
+@dataclass(frozen=True)
+class Alert:
+    """A raised alert with its activation time."""
+
+    name: str
+    severity: str
+    time: float
+    text: str = ""
+
+    def to_event(self) -> AlertEvent:
+        return AlertEvent(name=self.name, severity=self.severity, text=self.text)
+
+
+@dataclass(frozen=True)
+class AlertThresholds:
+    """Thresholds controlling alert activation."""
+
+    fcw_brake_threshold: float = 4.0       # m/s^2 braking demand that triggers FCW
+    fcw_ttc_threshold: float = 3.0         # s, lead must be this close in time
+    fcw_min_speed: float = 2.0             # m/s, suppress at crawling speed
+    steer_saturated_rearm_time: float = 3.0  # s between repeated steerSaturated alerts
+    fcw_rearm_time: float = 5.0
+
+
+class AlertManager:
+    """Evaluates alert conditions once per control cycle."""
+
+    def __init__(self, thresholds: AlertThresholds = AlertThresholds()):
+        self.thresholds = thresholds
+        self.raised: List[Alert] = []
+        self._last_fcw_time = float("-inf")
+        self._last_saturated_time = float("-inf")
+
+    @property
+    def alert_count(self) -> int:
+        return len(self.raised)
+
+    def alerts_named(self, name: str) -> List[Alert]:
+        return [alert for alert in self.raised if alert.name == name]
+
+    def update(
+        self,
+        time: float,
+        v_ego: float,
+        output_brake: float,
+        long_plan: LongitudinalPlan,
+        lat_plan: LateralPlan,
+    ) -> List[Alert]:
+        """Evaluate alert conditions; returns newly raised alerts.
+
+        Args:
+            time: Current simulation time, s.
+            v_ego: Current ego speed, m/s.
+            output_brake: Braking deceleration magnitude (m/s^2, >= 0) of
+                the command being sent to the car *after* any output hooks
+                (fault injection happens before this check, as in the
+                paper's injection point).
+            long_plan: Current longitudinal plan.
+            lat_plan: Current lateral plan.
+        """
+        new_alerts: List[Alert] = []
+
+        fcw_armed = time - self._last_fcw_time >= self.thresholds.fcw_rearm_time
+        if (
+            fcw_armed
+            and v_ego > self.thresholds.fcw_min_speed
+            and long_plan.has_lead
+            and long_plan.time_to_collision < self.thresholds.fcw_ttc_threshold
+            and output_brake >= self.thresholds.fcw_brake_threshold
+        ):
+            alert = Alert(
+                name="fcw",
+                severity="critical",
+                time=time,
+                text="BRAKE! Risk of collision",
+            )
+            new_alerts.append(alert)
+            self._last_fcw_time = time
+
+        saturated_armed = (
+            time - self._last_saturated_time >= self.thresholds.steer_saturated_rearm_time
+        )
+        if saturated_armed and lat_plan.saturated:
+            alert = Alert(
+                name="steerSaturated",
+                severity="warning",
+                time=time,
+                text="Turn exceeds steering limit",
+            )
+            new_alerts.append(alert)
+            self._last_saturated_time = time
+
+        self.raised.extend(new_alerts)
+        return new_alerts

@@ -1,0 +1,59 @@
+"""Driver monitoring model.
+
+OpenPilot is a fail-safe passive system: it requires the driver to stay
+alert and "jolts" (warns) a distracted driver.  The experiments in the
+paper assume an alert driver, so the default model reports an attentive
+driver with full awareness; a distraction profile can be injected to study
+how a distracted driver changes the outcome (used by the extension bench
+on driver reaction time).
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.messaging.messages import DriverMonitoringState
+from repro.sim.units import clamp
+
+
+@dataclass(frozen=True)
+class DriverMonitoringParams:
+    """Tuning of the awareness decay/recovery dynamics."""
+
+    decay_rate: float = 1.0 / 6.0     # awareness lost per second while distracted
+    recovery_rate: float = 1.0 / 2.0  # awareness regained per second while attentive
+    warn_threshold: float = 0.5       # awareness below which a warning is issued
+
+
+class DriverMonitoring:
+    """Tracks driver awareness and issues distraction warnings."""
+
+    def __init__(
+        self,
+        params: DriverMonitoringParams = DriverMonitoringParams(),
+        distraction_profile: Optional[Callable[[float], bool]] = None,
+    ):
+        """Args:
+            params: Awareness dynamics parameters.
+            distraction_profile: Optional ``f(time) -> bool`` returning True
+                when the driver is distracted at ``time``.  ``None`` models
+                the paper's always-alert driver.
+        """
+        self.params = params
+        self.distraction_profile = distraction_profile
+        self.awareness = 1.0
+        self.warning_active = False
+
+    def update(self, time: float, dt: float) -> DriverMonitoringState:
+        """Advance the awareness model by ``dt`` seconds."""
+        distracted = bool(self.distraction_profile(time)) if self.distraction_profile else False
+        if distracted:
+            self.awareness -= self.params.decay_rate * dt
+        else:
+            self.awareness += self.params.recovery_rate * dt
+        self.awareness = clamp(self.awareness, 0.0, 1.0)
+        self.warning_active = self.awareness < self.params.warn_threshold
+        return DriverMonitoringState(
+            face_detected=True,
+            is_distracted=distracted,
+            awareness=self.awareness,
+        )

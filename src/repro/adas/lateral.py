@@ -1,0 +1,107 @@
+"""Automated Lane Centering: lateral planner and steering controller.
+
+The planner converts the perception model's lane geometry into a desired
+path curvature (lane-centre tracking with curvature feed-forward); the
+controller turns that into a steering wheel angle command, subject to the
+per-frame steering rate limit.  When the demanded angle exceeds what the
+rate limit allows for a sustained period the plan is flagged as
+*saturated*, which is the condition behind OpenPilot's ``steerSaturated``
+alert (the only alert the paper observed during attacks).
+"""
+
+import math
+from dataclasses import dataclass
+
+from repro.adas.limits import OPENPILOT_LIMITS, SafetyLimits
+from repro.messaging.messages import CarState, ModelV2
+from repro.sim.units import clamp, rad_to_deg
+from repro.sim.vehicle import VehicleParams
+
+
+@dataclass(frozen=True)
+class LateralPlan:
+    """Output of the lateral planner/controller for one control cycle."""
+
+    desired_curvature: float        # 1/m, + = left
+    desired_steering_deg: float     # steering wheel angle demanded by the controller
+    output_steering_deg: float      # rate-limited command actually emitted
+    saturated: bool = False         # demand persistently exceeds actuation authority
+
+
+@dataclass(frozen=True)
+class LateralParams:
+    """Tuning of the ALC control law.
+
+    The gains are deliberately modest and purely proportional: the paper
+    observes (Observation 1) that OpenPilot's ALC bridged to a simulator
+    does not hold the lane centre perfectly and produces frequent lane
+    invasion events even without attacks; a soft controller with
+    curvature feed-forward error reproduces that behaviour.
+    """
+
+    lane_gain: float = 0.006            # curvature per metre of lateral error
+    heading_gain: float = 0.12          # curvature per radian of heading error
+    curvature_feedforward: float = 0.9  # fraction of the model's path curvature fed forward
+    saturation_angle_deg: float = 25.0  # demand-vs-measured mismatch that counts as saturated
+    saturation_frames: int = 120        # consecutive frames (1.2 s) before flagging saturation
+    output_limits: SafetyLimits = OPENPILOT_LIMITS
+
+
+class LateralPlanner:
+    """ALC planner + steering controller."""
+
+    def __init__(
+        self,
+        params: LateralParams = LateralParams(),
+        vehicle: VehicleParams = VehicleParams(),
+    ):
+        self.params = params
+        self.vehicle = vehicle
+        self._saturated_count = 0
+
+    def update(self, car_state: CarState, model: ModelV2) -> LateralPlan:
+        """Compute the steering command for the current cycle."""
+        params = self.params
+
+        # Lateral error: the model reports the vehicle's offset from the lane
+        # centre (positive left), so steer towards -offset.
+        lateral_error = -model.lateral_offset
+        heading_error = -model.heading_error
+
+        desired_curvature = (
+            params.lane_gain * lateral_error
+            + params.heading_gain * heading_error
+            + params.curvature_feedforward * model.curvature
+        )
+
+        wheel_angle_rad = math.atan(desired_curvature * self.vehicle.wheelbase)
+        desired_steering_deg = rad_to_deg(wheel_angle_rad) * self.vehicle.steering_ratio
+        desired_steering_deg = clamp(
+            desired_steering_deg,
+            -self.vehicle.max_steering_wheel_deg,
+            self.vehicle.max_steering_wheel_deg,
+        )
+
+        # The per-frame steering rate limit is applied once, by the ADAS
+        # output stage, relative to the previously *commanded* angle
+        # (applying it here against the lagging measured angle would
+        # compound with the EPS lag and throttle the achievable slew rate).
+        delta = desired_steering_deg - car_state.steering_angle_deg
+        output_steering_deg = desired_steering_deg
+
+        # The controller is "saturated" when the angle it wants differs from
+        # the measured angle by more than it can command for a sustained
+        # period — i.e. the car is not following the lateral plan (this is
+        # what happens when an attacker ramps the steering command).
+        if abs(delta) > params.saturation_angle_deg:
+            self._saturated_count += 1
+        else:
+            self._saturated_count = 0
+        saturated = self._saturated_count >= params.saturation_frames
+
+        return LateralPlan(
+            desired_curvature=desired_curvature,
+            desired_steering_deg=desired_steering_deg,
+            output_steering_deg=output_steering_deg,
+            saturated=saturated,
+        )

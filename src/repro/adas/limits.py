@@ -1,0 +1,98 @@
+"""Safety limits of the ADAS output stage.
+
+The paper distinguishes two sets of limits (Table III):
+
+* the **OpenPilot output limits** — the maximum values the control
+  software will emit for each output command (``limitaccel = 2.4 m/s²``,
+  ``limitbrake = −4 m/s²``, ``limitsteer = 0.5°`` change per 10 ms frame).
+  The *fixed-value* baseline attacks inject exactly these maxima.
+* the **ISO-style design limits** used both by OpenPilot's planner and by
+  the human driver's sense of "anomalous" behaviour (Section II-A and the
+  driver-reaction simulator): 2 m/s² acceleration, −3.5 m/s² deceleration,
+  0.25° per-frame steering change, and at most 10 % above the set cruise
+  speed.  The *strategic* value corruption keeps the injected commands
+  inside these tighter limits so neither the ADAS nor the driver notices.
+
+Panda's CAN safety checks are modelled as a third limit set (equal to the
+OpenPilot output limits here); the attack treats them as constraints even
+though, as in the paper's simulator integration, Panda is not in the loop.
+"""
+
+from dataclasses import dataclass
+
+from repro.sim.units import clamp
+
+
+@dataclass(frozen=True)
+class SafetyLimits:
+    """A set of output-command limits.
+
+    Attributes:
+        accel_max: Maximum commanded acceleration, m/s² (positive).
+        brake_min: Most negative commanded acceleration (braking), m/s².
+        steer_delta_max_deg: Maximum change of the commanded steering
+            wheel angle per 10 ms control frame, degrees.
+        cruise_overspeed_factor: Maximum ratio of vehicle speed to the set
+            cruise speed before the behaviour counts as anomalous.
+    """
+
+    accel_max: float
+    brake_min: float
+    steer_delta_max_deg: float
+    cruise_overspeed_factor: float = 1.1
+
+    def __post_init__(self):
+        if self.accel_max <= 0:
+            raise ValueError("accel_max must be positive")
+        if self.brake_min >= 0:
+            raise ValueError("brake_min must be negative")
+        if self.steer_delta_max_deg <= 0:
+            raise ValueError("steer_delta_max_deg must be positive")
+
+    def clamp_accel(self, accel: float) -> float:
+        """Clamp a net acceleration command into ``[brake_min, accel_max]``."""
+        return clamp(accel, self.brake_min, self.accel_max)
+
+    def clamp_steer_delta(self, delta_deg: float) -> float:
+        """Clamp a per-frame steering change into the allowed band."""
+        return clamp(delta_deg, -self.steer_delta_max_deg, self.steer_delta_max_deg)
+
+    def violates(self, accel: float, brake: float, steer_delta_deg: float) -> bool:
+        """True if any of the given command components exceeds this limit set.
+
+        ``accel`` and ``brake`` follow the library convention: both are
+        magnitudes (``accel >= 0`` from gas, ``brake >= 0`` braking
+        demand).
+        """
+        return (
+            accel > self.accel_max + 1e-9
+            or -brake < self.brake_min - 1e-9
+            or abs(steer_delta_deg) > self.steer_delta_max_deg + 1e-9
+        )
+
+
+# OpenPilot output-stage limits (the "Fixed" attack values in Table III).
+OPENPILOT_LIMITS = SafetyLimits(
+    accel_max=2.4,
+    brake_min=-4.0,
+    steer_delta_max_deg=0.5,
+    cruise_overspeed_factor=1.1,
+)
+
+# ISO 22179-style design limits (the "Strategic" attack values in
+# Table III and the driver-anomaly thresholds in Section IV-B).
+ISO_SAFETY_LIMITS = SafetyLimits(
+    accel_max=2.0,
+    brake_min=-3.5,
+    steer_delta_max_deg=0.25,
+    cruise_overspeed_factor=1.1,
+)
+
+# Panda CAN-interface safety model limits.  Modelled as identical to the
+# OpenPilot output limits; kept separate so experiments can tighten them.
+PANDA_LIMITS = SafetyLimits(
+    accel_max=2.4,
+    brake_min=-4.0,
+    steer_delta_max_deg=0.5,
+    cruise_overspeed_factor=1.15,
+)

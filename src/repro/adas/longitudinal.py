@@ -1,0 +1,89 @@
+"""Adaptive Cruise Control: longitudinal planner and controller.
+
+The planner produces a target acceleration that tracks the set cruise
+speed while keeping a time-headway-based following distance to the lead
+vehicle reported by the radar.  It also computes the Forward Collision
+Warning *precondition* (the deceleration that would be required to avoid
+the lead); the alert manager turns that into an FCW alert based on the
+final output brake command, matching the paper's observation that FCW is
+tied to the brake output crossing OpenPilot's safety threshold.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, SafetyLimits
+from repro.messaging.messages import CarState, RadarState
+from repro.sim.units import clamp
+
+
+@dataclass(frozen=True)
+class LongitudinalPlan:
+    """Output of the longitudinal planner for one control cycle."""
+
+    desired_accel: float            # m/s^2, after planner limits
+    v_target: float                 # m/s
+    has_lead: bool = False
+    lead_distance: float = float("inf")
+    lead_speed: float = 0.0
+    time_to_collision: float = float("inf")
+    required_decel: float = 0.0     # m/s^2 (positive magnitude) to avoid the lead
+
+
+@dataclass(frozen=True)
+class LongitudinalParams:
+    """Tuning of the ACC control law."""
+
+    follow_time_headway: float = 2.5     # s, desired headway while following
+    standstill_distance: float = 4.0     # m, desired gap at rest
+    cruise_gain: float = 0.4             # 1/s, speed-tracking proportional gain
+    gap_gain: float = 0.08               # 1/s^2
+    closing_gain: float = 0.30           # 1/s
+    planner_limits: SafetyLimits = ISO_SAFETY_LIMITS
+
+
+class LongitudinalPlanner:
+    """ACC planner producing a desired acceleration each cycle."""
+
+    def __init__(self, params: LongitudinalParams = LongitudinalParams()):
+        self.params = params
+
+    def update(self, car_state: CarState, radar: Optional[RadarState]) -> LongitudinalPlan:
+        """Compute the longitudinal plan for the current cycle."""
+        params = self.params
+        v_ego = car_state.v_ego
+        v_cruise = car_state.cruise_speed
+
+        cruise_accel = params.cruise_gain * (v_cruise - v_ego)
+
+        lead = radar.lead_one if radar is not None else None
+        if lead is None or not lead.status:
+            desired = clamp(
+                cruise_accel, params.planner_limits.brake_min, params.planner_limits.accel_max
+            )
+            return LongitudinalPlan(desired_accel=desired, v_target=v_cruise, has_lead=False)
+
+        gap = max(0.0, lead.d_rel)
+        v_lead = max(0.0, v_ego + lead.v_rel)
+        desired_gap = params.standstill_distance + params.follow_time_headway * v_ego
+        follow_accel = params.gap_gain * (gap - desired_gap) + params.closing_gain * (v_lead - v_ego)
+
+        desired = min(cruise_accel, follow_accel)
+        desired = clamp(desired, params.planner_limits.brake_min, params.planner_limits.accel_max)
+
+        closing_speed = v_ego - v_lead
+        ttc = gap / closing_speed if closing_speed > 0.1 else float("inf")
+        required_decel = 0.0
+        if closing_speed > 0.0:
+            effective_gap = max(gap - params.standstill_distance / 2.0, 0.5)
+            required_decel = closing_speed ** 2 / (2.0 * effective_gap)
+
+        return LongitudinalPlan(
+            desired_accel=desired,
+            v_target=min(v_cruise, v_lead) if gap < desired_gap else v_cruise,
+            has_lead=True,
+            lead_distance=gap,
+            lead_speed=v_lead,
+            time_to_collision=ttc,
+            required_decel=required_decel,
+        )

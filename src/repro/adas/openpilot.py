@@ -1,0 +1,229 @@
+"""Top-level ADAS loop (OpenPilot substitute).
+
+Each control cycle the :class:`OpenPilot` object
+
+1. reads the latest perception (``modelV2``) and radar (``radarState``)
+   messages from the Cereal-substitute bus,
+2. runs the longitudinal (ACC) and lateral (ALC) planners,
+3. clamps the resulting actuator commands to its output safety limits,
+4. runs any registered *output hooks* — this is the injection point used
+   by the fault-injection engine, matching the paper's attack model of
+   corrupting the ADAS output variables just before they are sent to the
+   actuators,
+5. evaluates alerts (FCW on the final brake output, ``steerSaturated`` on
+   the lateral controller state) and publishes them,
+6. encodes the commands into CAN frames (``STEERING_CONTROL`` 0xE4 and
+   ``ACC_CONTROL``) and sends them on the CAN bus.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.adas.alerts import Alert, AlertManager, AlertThresholds
+from repro.adas.driver_monitoring import DriverMonitoring
+from repro.adas.lateral import LateralParams, LateralPlan, LateralPlanner
+from repro.adas.limits import OPENPILOT_LIMITS, SafetyLimits
+from repro.adas.longitudinal import LongitudinalParams, LongitudinalPlan, LongitudinalPlanner
+from repro.can.bus import CANBus
+from repro.can.honda import HONDA_DBC
+from repro.messaging.bus import MessageBus
+from repro.messaging.messages import Actuators, CarControl, CarState, ControlsState
+from repro.messaging.pubsub import PubMaster, SubMaster
+from repro.sim.units import clamp
+from repro.sim.vehicle import ActuatorCommand
+
+# An output hook receives (time, command, car_state) and returns the —
+# possibly corrupted — command to send to the car.
+OutputHook = Callable[[float, ActuatorCommand, CarState], ActuatorCommand]
+
+
+@dataclass(frozen=True)
+class OpenPilotConfig:
+    """Configuration of the ADAS stack."""
+
+    output_limits: SafetyLimits = OPENPILOT_LIMITS
+    longitudinal: LongitudinalParams = LongitudinalParams()
+    lateral: LateralParams = LateralParams()
+    alert_thresholds: AlertThresholds = AlertThresholds()
+
+
+@dataclass
+class ControlCycleResult:
+    """Everything produced by one ADAS control cycle."""
+
+    command: ActuatorCommand
+    pre_hook_command: ActuatorCommand
+    long_plan: LongitudinalPlan
+    lat_plan: LateralPlan
+    new_alerts: List[Alert] = field(default_factory=list)
+    engaged: bool = True
+
+
+class OpenPilot:
+    """The ADAS control stack (ALC + ACC + safety mechanisms)."""
+
+    def __init__(self, config: OpenPilotConfig, message_bus: MessageBus, can_bus: CANBus):
+        self.config = config
+        self.message_bus = message_bus
+        self.can_bus = can_bus
+
+        self.sub_master = SubMaster(message_bus, ["modelV2", "radarState", "gpsLocationExternal"])
+        self.pub_master = PubMaster(
+            message_bus,
+            ["carControl", "controlsState", "alertEvent", "driverMonitoringState", "carState"],
+        )
+
+        self.long_planner = LongitudinalPlanner(config.longitudinal)
+        self.lat_planner = LateralPlanner(config.lateral)
+        self.alert_manager = AlertManager(config.alert_thresholds)
+        self.driver_monitoring = DriverMonitoring()
+
+        self._output_hooks: List[OutputHook] = []
+        self._engaged = True
+        self._can_counter = 0
+        self._previous_command = ActuatorCommand()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def engaged(self) -> bool:
+        """True while the ADAS is actively controlling the car."""
+        return self._engaged
+
+    def disengage(self) -> None:
+        """Disengage (e.g. the driver has taken over)."""
+        self._engaged = False
+
+    def add_output_hook(self, hook: OutputHook) -> None:
+        """Register a hook applied to the actuator command each cycle.
+
+        Hooks run after the output safety limits and before alert
+        evaluation and CAN encoding — the injection point of the paper.
+        """
+        self._output_hooks.append(hook)
+
+    def remove_output_hook(self, hook: OutputHook) -> None:
+        if hook in self._output_hooks:
+            self._output_hooks.remove(hook)
+
+    # -- control cycle -----------------------------------------------------
+
+    def step(self, time: float, car_state: CarState, dt: float = 0.01) -> ControlCycleResult:
+        """Run one 10 ms control cycle and send commands on the CAN bus."""
+        self.sub_master.update()
+        model = self.sub_master["modelV2"]
+        radar = self.sub_master["radarState"]
+
+        dm_state = self.driver_monitoring.update(time, dt)
+        self.pub_master.send("driverMonitoringState", dm_state)
+        self.pub_master.send("carState", car_state)
+
+        long_plan = self.long_planner.update(car_state, radar)
+        if model is not None:
+            lat_plan = self.lat_planner.update(car_state, model)
+        else:
+            lat_plan = LateralPlan(
+                desired_curvature=0.0,
+                desired_steering_deg=car_state.steering_angle_deg,
+                output_steering_deg=car_state.steering_angle_deg,
+                saturated=False,
+            )
+
+        # Split planner acceleration into gas / brake channels and apply the
+        # output-stage safety limits.
+        limits = self.config.output_limits
+        desired_accel = clamp(long_plan.desired_accel, limits.brake_min, limits.accel_max)
+        accel_cmd = max(0.0, desired_accel)
+        brake_cmd = max(0.0, -desired_accel)
+
+        steer_delta = lat_plan.output_steering_deg - self._previous_command.steering_angle_deg
+        steer_cmd = self._previous_command.steering_angle_deg + limits.clamp_steer_delta(steer_delta)
+
+        pre_hook = ActuatorCommand(
+            accel=accel_cmd, brake=brake_cmd, steering_angle_deg=steer_cmd
+        )
+
+        command = ActuatorCommand(
+            accel=pre_hook.accel,
+            brake=pre_hook.brake,
+            steering_angle_deg=pre_hook.steering_angle_deg,
+        )
+        if self._engaged:
+            for hook in self._output_hooks:
+                command = hook(time, command, car_state)
+
+        new_alerts = self.alert_manager.update(
+            time=time,
+            v_ego=car_state.v_ego,
+            output_brake=command.brake,
+            long_plan=long_plan,
+            lat_plan=lat_plan,
+        )
+        for alert in new_alerts:
+            self.pub_master.send("alertEvent", alert.to_event())
+
+        actuators = Actuators(
+            accel=command.accel,
+            brake=-command.brake,
+            steering_angle_deg=command.steering_angle_deg,
+            steer_torque=clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
+        )
+        self.pub_master.send("carControl", CarControl(enabled=self._engaged, actuators=actuators))
+        self.pub_master.send(
+            "controlsState",
+            ControlsState(
+                enabled=True,
+                active=self._engaged,
+                v_cruise=car_state.cruise_speed,
+                v_target=long_plan.v_target,
+                a_target=long_plan.desired_accel,
+                curvature=lat_plan.desired_curvature,
+                steer_saturated=lat_plan.saturated,
+                fcw=any(alert.name == "fcw" for alert in new_alerts),
+                alert_text=new_alerts[-1].text if new_alerts else "",
+                alert_type=new_alerts[-1].name if new_alerts else "",
+                alert_status="critical" if any(a.severity == "critical" for a in new_alerts) else "normal",
+            ),
+        )
+
+        if self._engaged:
+            self._send_can(time, command)
+            self._previous_command = command
+
+        return ControlCycleResult(
+            command=command,
+            pre_hook_command=pre_hook,
+            long_plan=long_plan,
+            lat_plan=lat_plan,
+            new_alerts=new_alerts,
+            engaged=self._engaged,
+        )
+
+    def _send_can(self, time: float, command: ActuatorCommand) -> None:
+        """Encode and send the actuator command frames on the CAN bus."""
+        self._can_counter = (self._can_counter + 1) & 0x3
+        self.can_bus.send(
+            HONDA_DBC.encode(
+                "STEERING_CONTROL",
+                {
+                    "STEER_ANGLE_CMD": command.steering_angle_deg,
+                    "STEER_TORQUE": clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
+                    "STEER_REQUEST": 1.0,
+                },
+                counter=self._can_counter,
+                timestamp=time,
+            )
+        )
+        self.can_bus.send(
+            HONDA_DBC.encode(
+                "ACC_CONTROL",
+                {
+                    "ACCEL_COMMAND": command.accel,
+                    "BRAKE_COMMAND": command.brake,
+                    "BRAKE_REQUEST": 1.0 if command.brake > 0 else 0.0,
+                    "ACC_ON": 1.0,
+                },
+                counter=self._can_counter,
+                timestamp=time,
+            )
+        )

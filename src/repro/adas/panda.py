@@ -1,0 +1,87 @@
+"""Panda safety model.
+
+Panda is Comma.ai's universal OBD-II adapter; its firmware enforces safety
+checks on every CAN message OpenPilot sends to the car (torque/steering
+rate limits, acceleration bounds).  When OpenPilot is bridged to a
+simulator, Panda is not in the loop (Section IV of the paper), but the
+attacker still treats its limits as constraints so the same attack would
+survive on a real car.  This module implements the checks so experiments
+and tests can ask "would Panda have blocked this frame sequence?".
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.adas.limits import PANDA_LIMITS, SafetyLimits
+from repro.can.checksum import verify_checksum
+from repro.can.frame import CANFrame
+from repro.can.honda import ADDR, HONDA_DBC
+
+
+@dataclass(frozen=True)
+class PandaViolation:
+    """A single safety-check violation detected by the Panda model."""
+
+    time: float
+    address: int
+    rule: str
+    value: float
+
+
+class PandaSafetyModel:
+    """Stateful re-implementation of the Panda output safety checks."""
+
+    def __init__(self, limits: SafetyLimits = PANDA_LIMITS):
+        self.limits = limits
+        self.violations: List[PandaViolation] = []
+        self._last_steer_cmd: Optional[float] = None
+
+    @property
+    def violation_count(self) -> int:
+        return len(self.violations)
+
+    def reset(self) -> None:
+        self.violations.clear()
+        self._last_steer_cmd = None
+
+    def check_frame(self, frame: CANFrame, time: float = 0.0) -> List[PandaViolation]:
+        """Check one outgoing frame; returns (and records) any violations."""
+        found: List[PandaViolation] = []
+        if frame.address not in (ADDR["STEERING_CONTROL"], ADDR["ACC_CONTROL"]):
+            return found
+
+        if not verify_checksum(frame.address, frame.data):
+            found.append(PandaViolation(time, frame.address, "bad_checksum", 0.0))
+            self.violations.extend(found)
+            return found
+
+        decoded = HONDA_DBC.decode(frame)
+        if frame.address == ADDR["ACC_CONTROL"]:
+            accel = decoded["ACCEL_COMMAND"]
+            brake = decoded["BRAKE_COMMAND"]
+            if accel > self.limits.accel_max + 1e-6:
+                found.append(PandaViolation(time, frame.address, "accel_too_high", accel))
+            if -brake < self.limits.brake_min - 1e-6:
+                found.append(PandaViolation(time, frame.address, "brake_too_high", brake))
+        else:
+            steer_cmd = decoded["STEER_ANGLE_CMD"]
+            if self._last_steer_cmd is not None:
+                delta = steer_cmd - self._last_steer_cmd
+                if abs(delta) > self.limits.steer_delta_max_deg + 1e-6:
+                    found.append(
+                        PandaViolation(time, frame.address, "steer_rate_too_high", delta)
+                    )
+            self._last_steer_cmd = steer_cmd
+
+        self.violations.extend(found)
+        return found
+
+    def would_block(self, frame: CANFrame, time: float = 0.0) -> bool:
+        """True if the frame violates the safety model (without recording)."""
+        saved_violations = list(self.violations)
+        saved_steer = self._last_steer_cmd
+        try:
+            return bool(self.check_frame(frame, time))
+        finally:
+            self.violations = saved_violations
+            self._last_steer_cmd = saved_steer

@@ -1,0 +1,38 @@
+"""Hazard analysis, per-run metrics and result aggregation.
+
+* :mod:`repro.analysis.hazards` — detectors for the paper's hazardous
+  states H1 (unsafe following distance), H2 (unnecessary stop) and H3
+  (out of lane).
+* :mod:`repro.analysis.metrics` — the per-run :class:`RunResult` record
+  (hazards, accidents, alerts, lane invasions, time-to-hazard, attack
+  bookkeeping).
+* :mod:`repro.analysis.results` — aggregation of many runs into the rows
+  of Table IV and Table V, plus text rendering.
+* :mod:`repro.analysis.observations` — programmatic checks of the paper's
+  six observations against a set of aggregated results.
+"""
+
+from repro.analysis.hazards import HazardType, HazardEvent, HazardMonitor, HazardParams
+from repro.analysis.metrics import RunResult
+from repro.analysis.results import (
+    StrategySummary,
+    AttackTypeSummary,
+    summarize_strategy,
+    summarize_by_attack_type,
+    format_table_iv,
+    format_table_v,
+)
+
+__all__ = [
+    "HazardType",
+    "HazardEvent",
+    "HazardMonitor",
+    "HazardParams",
+    "RunResult",
+    "StrategySummary",
+    "AttackTypeSummary",
+    "summarize_strategy",
+    "summarize_by_attack_type",
+    "format_table_iv",
+    "format_table_v",
+]

@@ -1,0 +1,138 @@
+"""Hazard detection (H1–H3 from Section III-A of the paper).
+
+* **H1** — the ego vehicle violates the safe following-distance
+  constraint with the lead vehicle (may result in accident A1).
+* **H2** — the ego vehicle slows to an unnecessary crawl/stop although
+  there is no lead vehicle nearby (may result in rear-end collision A2).
+* **H3** — the ego vehicle drives out of its lane (may result in
+  collision with road-side objects or neighbouring traffic, A3).
+
+Hazards are evaluated on ground truth (the simulator state), independent
+of what the ADAS or the attacker believe.
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.sim.world import World
+
+
+class HazardType(Enum):
+    """Hazardous states from the paper."""
+
+    UNSAFE_FOLLOWING_DISTANCE = "H1"
+    UNNECESSARY_STOP = "H2"
+    OUT_OF_LANE = "H3"
+
+
+@dataclass(frozen=True)
+class HazardEvent:
+    """First occurrence of a hazardous state."""
+
+    hazard: HazardType
+    time: float
+    description: str
+
+
+@dataclass(frozen=True)
+class HazardParams:
+    """Thresholds defining the hazardous states.
+
+    Attributes:
+        h1_headway: H1 triggers when the bumper-to-bumper gap drops below
+            ``h1_headway`` seconds of travel at the current ego speed.
+        h1_min_gap: ... or below this absolute distance (m).
+        h2_speed_fraction: Reserved for alternative H2 definitions (unused
+            by the default configuration).
+        h2_speed_floor: Speed (m/s) below which the vehicle counts as
+            having "decelerated to a complete stop" (the paper's H2) when
+            no lead vehicle is within ``h2_clear_distance``.
+        h2_clear_distance: A lead closer than this (m) legitimises slowing
+            down, so H2 is not raised.
+        h2_warmup: H2 is not evaluated before this time (s), so the
+            initial speed transient cannot trigger it.
+        out_of_lane_margin: Extra margin (m) beyond the lane line for the
+            vehicle centre before H3 triggers.
+    """
+
+    h1_headway: float = 1.0
+    h1_min_gap: float = 5.0
+    h2_speed_floor: float = 1.0
+    h2_clear_distance: float = 40.0
+    h2_warmup: float = 3.0
+    out_of_lane_margin: float = 0.4
+    h2_speed_fraction: float = 0.0
+
+
+class HazardMonitor:
+    """Detects the first occurrence of each hazardous state."""
+
+    def __init__(self, params: HazardParams = HazardParams()):
+        self.params = params
+        self.events: Dict[HazardType, HazardEvent] = {}
+
+    @property
+    def any_hazard(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def first_event(self) -> Optional[HazardEvent]:
+        if not self.events:
+            return None
+        return min(self.events.values(), key=lambda event: event.time)
+
+    def check(self, world: World) -> List[HazardEvent]:
+        """Evaluate hazard conditions on the current world state."""
+        new_events: List[HazardEvent] = []
+        time = world.time
+        ego = world.ego
+        params = self.params
+
+        # H1: unsafe following distance.
+        if HazardType.UNSAFE_FOLLOWING_DISTANCE not in self.events and world.lead is not None:
+            gap = world.lead.rear_s - ego.front_s
+            threshold = max(params.h1_min_gap, params.h1_headway * ego.state.speed)
+            same_lane = abs(world.lead.state.d - ego.state.d) < 2.0
+            if same_lane and gap < threshold:
+                new_events.append(
+                    HazardEvent(
+                        HazardType.UNSAFE_FOLLOWING_DISTANCE,
+                        time,
+                        f"gap {gap:.1f} m below safe distance {threshold:.1f} m",
+                    )
+                )
+
+        # H2: unnecessary slow-down / stop with no lead nearby.
+        if HazardType.UNNECESSARY_STOP not in self.events and time >= params.h2_warmup:
+            lead_far = True
+            if world.lead is not None:
+                lead_far = (world.lead.rear_s - ego.front_s) > params.h2_clear_distance
+            if lead_far and ego.state.speed < params.h2_speed_floor:
+                new_events.append(
+                    HazardEvent(
+                        HazardType.UNNECESSARY_STOP,
+                        time,
+                        f"speed {ego.state.speed:.1f} m/s with no lead within "
+                        f"{params.h2_clear_distance:.0f} m",
+                    )
+                )
+
+        # H3: out of lane.
+        if HazardType.OUT_OF_LANE not in self.events:
+            road = world.road
+            left_limit = road.left_lane_line + params.out_of_lane_margin
+            right_limit = road.right_lane_line - params.out_of_lane_margin
+            if ego.state.d > left_limit or ego.state.d < right_limit:
+                side = "left" if ego.state.d > left_limit else "right"
+                new_events.append(
+                    HazardEvent(
+                        HazardType.OUT_OF_LANE,
+                        time,
+                        f"vehicle centre crossed the {side} lane line (d={ego.state.d:.2f} m)",
+                    )
+                )
+
+        for event in new_events:
+            self.events[event.hazard] = event
+        return new_events

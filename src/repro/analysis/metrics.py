@@ -1,0 +1,93 @@
+"""Per-run result record and derived metrics.
+
+A :class:`RunResult` captures everything the paper's tables need from a
+single simulation: hazards (with times), accidents, alerts, lane
+invasions, the attack bookkeeping (activation time, duration), and the
+derived Time-To-Hazard (TTH — the time between attack activation and the
+first hazard, i.e. the budget available for detection and mitigation).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.hazards import HazardEvent, HazardType
+from repro.sim.collision import CollisionEvent
+from repro.sim.world import TrajectorySample
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run."""
+
+    scenario: str
+    initial_distance: float
+    attack_type: Optional[str]
+    strategy: str
+    seed: int
+    driver_enabled: bool
+    duration: float
+
+    # Attack bookkeeping.
+    attack_activated: bool = False
+    attack_activation_time: Optional[float] = None
+    attack_duration: Optional[float] = None
+    attack_reason: str = ""
+    attack_stopped_by_driver: bool = False
+
+    # Outcomes.
+    hazards: Dict[str, float] = field(default_factory=dict)        # hazard id -> first time
+    accidents: Dict[str, float] = field(default_factory=dict)      # accident id -> first time
+    alerts: List[Tuple[str, float]] = field(default_factory=list)  # (alert name, time)
+    lane_invasions: int = 0
+    driver_perceived: bool = False
+    driver_perception_reason: str = ""
+    driver_engaged: bool = False
+    driver_engagement_time: Optional[float] = None
+
+    # Optional raw trajectory (Figure 7).
+    trajectory: List[TrajectorySample] = field(default_factory=list)
+
+    # -- derived metrics ----------------------------------------------------
+
+    @property
+    def hazard_occurred(self) -> bool:
+        return bool(self.hazards)
+
+    @property
+    def accident_occurred(self) -> bool:
+        return bool(self.accidents)
+
+    @property
+    def alert_raised(self) -> bool:
+        return bool(self.alerts)
+
+    @property
+    def hazard_without_alert(self) -> bool:
+        """Hazard occurred and no alert was ever raised in this run."""
+        return self.hazard_occurred and not self.alert_raised
+
+    @property
+    def first_hazard_time(self) -> Optional[float]:
+        if not self.hazards:
+            return None
+        return min(self.hazards.values())
+
+    @property
+    def time_to_hazard(self) -> Optional[float]:
+        """TTH: first hazard time minus attack activation time (s)."""
+        if self.attack_activation_time is None or self.first_hazard_time is None:
+            return None
+        tth = self.first_hazard_time - self.attack_activation_time
+        return tth if tth >= 0.0 else None
+
+    @property
+    def lane_invasions_per_second(self) -> float:
+        if self.duration <= 0:
+            return 0.0
+        return self.lane_invasions / self.duration
+
+    def record_hazard(self, event: HazardEvent) -> None:
+        self.hazards.setdefault(event.hazard.value, event.time)
+
+    def record_accident(self, event: CollisionEvent) -> None:
+        self.accidents.setdefault(event.accident.value, event.time)

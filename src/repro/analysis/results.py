@@ -1,0 +1,238 @@
+"""Aggregation of run results into the paper's tables.
+
+* :func:`summarize_strategy` — one row of Table IV (per attack strategy).
+* :func:`summarize_by_attack_type` — one row of Table V (per attack type,
+  optionally paired with a no-driver baseline to compute prevented /
+  new hazards).
+* :func:`format_table_iv` / :func:`format_table_v` — text rendering that
+  mirrors the paper's table layout.
+"""
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.metrics import RunResult
+
+
+def _mean_std(values: Sequence[float]) -> Tuple[float, float]:
+    values = [value for value in values if value is not None and not math.isnan(value)]
+    if not values:
+        return (float("nan"), float("nan"))
+    mean = sum(values) / len(values)
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return mean, math.sqrt(variance)
+
+
+@dataclass(frozen=True)
+class StrategySummary:
+    """One row of Table IV."""
+
+    strategy: str
+    runs: int
+    alerts: int
+    alert_rate: float
+    hazards: int
+    hazard_rate: float
+    accidents: int
+    accident_rate: float
+    hazards_without_alerts: int
+    hazards_without_alerts_rate: float
+    lane_invasions_per_second: float
+    tth_mean: float
+    tth_std: float
+
+    def as_row(self) -> List[str]:
+        tth = "-" if math.isnan(self.tth_mean) else f"{self.tth_mean:.2f}±{self.tth_std:.2f}"
+        return [
+            self.strategy,
+            f"{self.alerts} ({100 * self.alert_rate:.1f}%)",
+            f"{self.hazards} ({100 * self.hazard_rate:.1f}%)",
+            f"{self.accidents} ({100 * self.accident_rate:.1f}%)",
+            f"{self.hazards_without_alerts} ({100 * self.hazards_without_alerts_rate:.1f}%)",
+            f"{self.lane_invasions_per_second:.2f}",
+            tth,
+        ]
+
+
+@dataclass(frozen=True)
+class AttackTypeSummary:
+    """One (half-)row of Table V for a single attack type."""
+
+    attack_type: str
+    runs: int
+    alerts: int
+    alert_rate: float
+    hazards: int
+    hazard_rate: float
+    accidents: int
+    accident_rate: float
+    tth_mean: float
+    tth_std: float
+    prevented_hazards: int = 0
+    new_hazards: int = 0
+    prevented_accidents: int = 0
+    driver_preventions: int = 0
+
+    def as_row(self) -> List[str]:
+        tth = "-" if math.isnan(self.tth_mean) else f"{self.tth_mean:.2f}±{self.tth_std:.2f}"
+        return [
+            self.attack_type,
+            f"{self.alerts} ({100 * self.alert_rate:.1f}%)",
+            f"{self.hazards} ({100 * self.hazard_rate:.1f}%)",
+            f"{self.accidents} ({100 * self.accident_rate:.1f}%)",
+            tth,
+            str(self.prevented_hazards),
+            str(self.new_hazards),
+            str(self.prevented_accidents),
+        ]
+
+
+def summarize_strategy(strategy: str, results: Sequence[RunResult]) -> StrategySummary:
+    """Aggregate many runs of one strategy into a Table IV row."""
+    runs = len(results)
+    if runs == 0:
+        raise ValueError(f"no results for strategy {strategy!r}")
+    alerts = sum(1 for result in results if result.alert_raised)
+    hazards = sum(1 for result in results if result.hazard_occurred)
+    accidents = sum(1 for result in results if result.accident_occurred)
+    hazards_no_alert = sum(1 for result in results if result.hazard_without_alert)
+    invasion_rate = sum(result.lane_invasions_per_second for result in results) / runs
+    tth_mean, tth_std = _mean_std(
+        [result.time_to_hazard for result in results if result.time_to_hazard is not None]
+    )
+    return StrategySummary(
+        strategy=strategy,
+        runs=runs,
+        alerts=alerts,
+        alert_rate=alerts / runs,
+        hazards=hazards,
+        hazard_rate=hazards / runs,
+        accidents=accidents,
+        accident_rate=accidents / runs,
+        hazards_without_alerts=hazards_no_alert,
+        hazards_without_alerts_rate=hazards_no_alert / runs,
+        lane_invasions_per_second=invasion_rate,
+        tth_mean=tth_mean,
+        tth_std=tth_std,
+    )
+
+
+def _key(result: RunResult) -> Tuple[str, float, Optional[str], int]:
+    return (result.scenario, result.initial_distance, result.attack_type, result.seed)
+
+
+def summarize_by_attack_type(
+    results: Sequence[RunResult],
+    baseline_without_driver: Optional[Sequence[RunResult]] = None,
+) -> Dict[str, AttackTypeSummary]:
+    """Aggregate runs per attack type (Table V).
+
+    If ``baseline_without_driver`` is given, each run is paired (by
+    scenario / distance / attack type / seed) with the corresponding run
+    without driver intervention, and the prevented / new hazards and
+    prevented accidents are computed from the pairs, mirroring the paper's
+    "Driver Prevention" accounting.
+    """
+    baseline_index: Dict[Tuple, RunResult] = {}
+    if baseline_without_driver:
+        baseline_index = {_key(result): result for result in baseline_without_driver}
+
+    by_type: Dict[str, List[RunResult]] = {}
+    for result in results:
+        by_type.setdefault(result.attack_type or "None", []).append(result)
+
+    summaries: Dict[str, AttackTypeSummary] = {}
+    for attack_type, type_results in sorted(by_type.items()):
+        runs = len(type_results)
+        alerts = sum(1 for result in type_results if result.alert_raised)
+        hazards = sum(1 for result in type_results if result.hazard_occurred)
+        accidents = sum(1 for result in type_results if result.accident_occurred)
+        tth_mean, tth_std = _mean_std(
+            [r.time_to_hazard for r in type_results if r.time_to_hazard is not None]
+        )
+
+        prevented_hazards = new_hazards = prevented_accidents = driver_preventions = 0
+        if baseline_index:
+            for result in type_results:
+                baseline = baseline_index.get(_key(result))
+                if baseline is None:
+                    continue
+                base_hazards = set(baseline.hazards)
+                with_hazards = set(result.hazards)
+                if base_hazards and not with_hazards:
+                    prevented_hazards += 1
+                if with_hazards - base_hazards:
+                    new_hazards += 1
+                if baseline.accident_occurred and not result.accident_occurred:
+                    prevented_accidents += 1
+                if result.driver_engaged and base_hazards and not with_hazards:
+                    driver_preventions += 1
+
+        summaries[attack_type] = AttackTypeSummary(
+            attack_type=attack_type,
+            runs=runs,
+            alerts=alerts,
+            alert_rate=alerts / runs,
+            hazards=hazards,
+            hazard_rate=hazards / runs,
+            accidents=accidents,
+            accident_rate=accidents / runs,
+            tth_mean=tth_mean,
+            tth_std=tth_std,
+            prevented_hazards=prevented_hazards,
+            new_hazards=new_hazards,
+            prevented_accidents=prevented_accidents,
+            driver_preventions=driver_preventions,
+        )
+    return summaries
+
+
+def _render_table(headers: List[str], rows: Iterable[List[str]]) -> str:
+    rows = [headers] + [list(row) for row in rows]
+    widths = [max(len(row[col]) for row in rows) for col in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rows):
+        lines.append(" | ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_table_iv(summaries: Sequence[StrategySummary]) -> str:
+    """Render Table IV (attack strategy comparison) as text."""
+    headers = [
+        "Attack Strategy",
+        "Alerts",
+        "Hazards",
+        "Accidents",
+        "Hazards&no Alerts",
+        "LaneInvasion (No./s)",
+        "TTH (s)",
+    ]
+    return _render_table(headers, [summary.as_row() for summary in summaries])
+
+
+def format_table_v(
+    without_corruption: Dict[str, AttackTypeSummary],
+    with_corruption: Dict[str, AttackTypeSummary],
+) -> str:
+    """Render Table V (Context-Aware with/without strategic value corruption)."""
+    headers = [
+        "Attack Type",
+        "Alerts",
+        "Hazards",
+        "Accidents",
+        "TTH (s)",
+        "Prevented Hazards",
+        "New Hazards",
+        "Prevented Accidents",
+    ]
+    sections = []
+    for title, summaries in (
+        ("No Strategic Value Corruption", without_corruption),
+        ("With Strategic Value Corruption", with_corruption),
+    ):
+        rows = [summary.as_row() for summary in summaries.values()]
+        sections.append(f"== {title} ==\n" + _render_table(headers, rows))
+    return "\n\n".join(sections)

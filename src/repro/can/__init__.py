@@ -1,0 +1,35 @@
+"""CAN bus substrate.
+
+The last stage of the paper's attack rewrites the CAN frame that carries a
+target actuator command (e.g. the 0xE4 steering control frame on Honda
+platforms), updating the checksum so the tampered frame still passes
+integrity checks.  This package provides the pieces needed to exercise
+that code path end-to-end:
+
+* :mod:`repro.can.frame` — raw CAN frames (arbitration id, payload, bus).
+* :mod:`repro.can.dbc` — DBC-style signal definitions and packing/unpacking.
+* :mod:`repro.can.checksum` — Honda-style 4-bit checksum and rolling counter.
+* :mod:`repro.can.honda` — the concrete message database used by the ADAS.
+* :mod:`repro.can.bus` — a simulated CAN bus with taps for intrusion tools
+  and attackers.
+"""
+
+from repro.can.frame import CANFrame
+from repro.can.dbc import Signal, MessageDef, DBC
+from repro.can.checksum import honda_checksum, honda_counter
+from repro.can.honda import HONDA_DBC, STEERING_CONTROL, ACC_CONTROL, ADDR
+from repro.can.bus import CANBus
+
+__all__ = [
+    "CANFrame",
+    "Signal",
+    "MessageDef",
+    "DBC",
+    "honda_checksum",
+    "honda_counter",
+    "HONDA_DBC",
+    "STEERING_CONTROL",
+    "ACC_CONTROL",
+    "ADDR",
+    "CANBus",
+]

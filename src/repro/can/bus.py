@@ -1,0 +1,88 @@
+"""Simulated CAN bus.
+
+The bus stores the most recent frame per arbitration id (like the real
+bus's "last value wins" semantics at the 100 Hz control rate) and offers
+two interception points used elsewhere in the library:
+
+* **taps** — read-only callbacks receiving every sent frame, used by the
+  message log and by intrusion-detection experiments;
+* **transformers** — callbacks that may *replace* a frame before it is
+  stored, which is exactly the man-in-the-middle capability the paper's
+  attack model assumes (a compromised component between the ADAS output
+  and the actuators, e.g. malware on the OBD-II dongle).
+"""
+
+from typing import Callable, Dict, List, Optional
+
+from repro.can.frame import CANFrame
+
+Tap = Callable[[CANFrame], None]
+Transformer = Callable[[CANFrame], Optional[CANFrame]]
+
+
+class CANBus:
+    """A single logical CAN bus with last-value-per-address semantics."""
+
+    def __init__(self, bus_id: int = 0):
+        self.bus_id = bus_id
+        self._frames: Dict[int, CANFrame] = {}
+        self._taps: List[Tap] = []
+        self._transformers: List[Transformer] = []
+        self._sent_count = 0
+        self._tampered_count = 0
+
+    def add_tap(self, tap: Tap) -> None:
+        """Register a read-only observer of every frame sent on the bus."""
+        self._taps.append(tap)
+
+    def add_transformer(self, transformer: Transformer) -> None:
+        """Register a man-in-the-middle transformer.
+
+        A transformer receives each sent frame and may return a replacement
+        frame (same address) or ``None`` to pass the original through.
+        """
+        self._transformers.append(transformer)
+
+    def remove_transformer(self, transformer: Transformer) -> None:
+        """Remove a previously registered transformer; missing ones are ignored."""
+        if transformer in self._transformers:
+            self._transformers.remove(transformer)
+
+    def send(self, frame: CANFrame) -> CANFrame:
+        """Send ``frame`` on the bus, applying transformers, and return the
+        frame that was actually stored (post-tampering)."""
+        self._sent_count += 1
+        out = frame
+        for transformer in self._transformers:
+            replacement = transformer(out)
+            if replacement is not None:
+                if replacement.address != out.address:
+                    raise ValueError(
+                        "a transformer must not change the frame address "
+                        f"({out.address:#x} -> {replacement.address:#x})"
+                    )
+                out = replacement
+        if out is not frame:
+            self._tampered_count += 1
+        self._frames[out.address] = out
+        for tap in self._taps:
+            tap(out)
+        return out
+
+    def latest(self, address: int) -> Optional[CANFrame]:
+        """Most recent frame stored for ``address``, or ``None``."""
+        return self._frames.get(address)
+
+    @property
+    def sent_count(self) -> int:
+        """Total number of frames sent on this bus."""
+        return self._sent_count
+
+    @property
+    def tampered_count(self) -> int:
+        """Number of frames that were replaced by a transformer."""
+        return self._tampered_count
+
+    def clear(self) -> None:
+        """Drop all stored frames (keeps taps and transformers)."""
+        self._frames.clear()

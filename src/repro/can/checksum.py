@@ -1,0 +1,61 @@
+"""Checksums and rolling counters used on Honda CAN messages.
+
+Honda frames carry a 4-bit rolling counter and a 4-bit checksum in the
+last byte of the payload.  The paper notes that after corrupting a control
+command the attacker "updates the checksum ... so the integrity of the
+corrupted CAN message is maintained"; :func:`honda_checksum` is that
+computation.
+"""
+
+from typing import Union
+
+
+def honda_checksum(address: int, data: Union[bytes, bytearray]) -> int:
+    """Compute the Honda 4-bit checksum for a frame.
+
+    The checksum is computed over the arbitration id nibbles and every
+    payload nibble except the checksum nibble itself (the low nibble of
+    the final byte), then negated modulo 16.
+
+    Args:
+        address: CAN arbitration id.
+        data: Full payload including the checksum byte (its low nibble is
+            ignored).
+
+    Returns:
+        The 4-bit checksum value (0..15).
+    """
+    if not data:
+        raise ValueError("cannot checksum an empty payload")
+    checksum = 0
+    remainder = address
+    while remainder > 0:
+        checksum += remainder & 0xF
+        remainder >>= 4
+    for i, byte in enumerate(data):
+        if i == len(data) - 1:
+            byte >>= 4  # drop the checksum nibble itself
+            checksum += byte
+        else:
+            checksum += (byte >> 4) + (byte & 0xF)
+    return (8 - checksum) & 0xF
+
+
+def honda_counter(previous: int) -> int:
+    """Return the next value of the 2-bit rolling counter after ``previous``."""
+    return (previous + 1) & 0x3
+
+
+def apply_checksum(address: int, data: bytearray) -> bytearray:
+    """Write the correct checksum into the low nibble of the final byte."""
+    if not data:
+        raise ValueError("cannot checksum an empty payload")
+    data[-1] = (data[-1] & 0xF0) | honda_checksum(address, data)
+    return data
+
+
+def verify_checksum(address: int, data: Union[bytes, bytearray]) -> bool:
+    """True if the payload's embedded checksum matches the computed one."""
+    if not data:
+        return False
+    return (data[-1] & 0xF) == honda_checksum(address, data)

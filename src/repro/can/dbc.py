@@ -1,0 +1,195 @@
+"""DBC-style CAN signal definitions and packing.
+
+A Database Container (DBC) file describes how physical signals are laid
+out inside CAN payload bytes.  The attacker in the paper uses the
+open-source opendbc definitions to locate the steering command inside the
+0xE4 frame; here we implement the same abstraction: a :class:`Signal`
+describes a bit field plus scaling, a :class:`MessageDef` groups signals
+for one arbitration id, and a :class:`DBC` holds the per-platform message
+database with ``encode``/``decode`` entry points.
+
+Bit layout convention: signals are packed big-endian (Motorola byte
+order), addressed by the offset of their most significant bit counting
+from the MSB of byte 0.  This is sufficient for the Honda-style messages
+modelled in :mod:`repro.can.honda` and keeps the codec easy to verify.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.can.checksum import apply_checksum, verify_checksum
+from repro.can.frame import CANFrame
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One physical signal inside a CAN message.
+
+    Attributes:
+        name: Signal name, e.g. ``"STEER_ANGLE_CMD"``.
+        msb_offset: Offset of the signal's most significant bit, counted
+            from the MSB of payload byte 0.
+        size: Width in bits (1..64).
+        factor: Physical value = raw * factor + offset.
+        offset: See ``factor``.
+        is_signed: Whether the raw value is two's-complement signed.
+        minimum / maximum: Optional physical-range clamp applied on encode.
+    """
+
+    name: str
+    msb_offset: int
+    size: int
+    factor: float = 1.0
+    offset: float = 0.0
+    is_signed: bool = False
+    minimum: Optional[float] = None
+    maximum: Optional[float] = None
+
+    def __post_init__(self):
+        if not 1 <= self.size <= 64:
+            raise ValueError(f"signal {self.name!r}: size must be 1..64, got {self.size}")
+        if self.msb_offset < 0:
+            raise ValueError(f"signal {self.name!r}: negative bit offset")
+        if self.factor == 0:
+            raise ValueError(f"signal {self.name!r}: factor must be non-zero")
+
+    def to_raw(self, physical: float) -> int:
+        """Convert a physical value to the raw integer field value."""
+        value = physical
+        if self.minimum is not None:
+            value = max(self.minimum, value)
+        if self.maximum is not None:
+            value = min(self.maximum, value)
+        raw = int(round((value - self.offset) / self.factor))
+        if self.is_signed:
+            limit = 1 << (self.size - 1)
+            raw = max(-limit, min(limit - 1, raw))
+            if raw < 0:
+                raw += 1 << self.size
+        else:
+            raw = max(0, min((1 << self.size) - 1, raw))
+        return raw
+
+    def to_physical(self, raw: int) -> float:
+        """Convert a raw integer field value to the physical value."""
+        value = raw
+        if self.is_signed and raw >= 1 << (self.size - 1):
+            value = raw - (1 << self.size)
+        return value * self.factor + self.offset
+
+
+@dataclass(frozen=True)
+class MessageDef:
+    """Definition of one CAN message (arbitration id + its signals)."""
+
+    name: str
+    address: int
+    length: int
+    signals: Mapping[str, Signal] = field(default_factory=dict)
+    checksummed: bool = True
+
+    def __post_init__(self):
+        if not 1 <= self.length <= 8:
+            raise ValueError(f"message {self.name!r}: length must be 1..8 bytes")
+        total_bits = self.length * 8
+        for sig in self.signals.values():
+            if sig.msb_offset + sig.size > total_bits:
+                raise ValueError(
+                    f"signal {sig.name!r} does not fit in {self.length}-byte message {self.name!r}"
+                )
+
+
+def _pack_field(data: bytearray, msb_offset: int, size: int, raw: int) -> None:
+    total_bits = len(data) * 8
+    shift = total_bits - msb_offset - size
+    value = int.from_bytes(data, "big")
+    mask = ((1 << size) - 1) << shift
+    value = (value & ~mask) | ((raw << shift) & mask)
+    data[:] = value.to_bytes(len(data), "big")
+
+
+def _unpack_field(data: bytes, msb_offset: int, size: int) -> int:
+    total_bits = len(data) * 8
+    shift = total_bits - msb_offset - size
+    value = int.from_bytes(data, "big")
+    return (value >> shift) & ((1 << size) - 1)
+
+
+class DBC:
+    """A message database: encode/decode physical signal dicts to frames."""
+
+    def __init__(self, name: str, messages: Iterable[MessageDef]):
+        self.name = name
+        self._by_address: Dict[int, MessageDef] = {}
+        self._by_name: Dict[str, MessageDef] = {}
+        for msg in messages:
+            if msg.address in self._by_address:
+                raise ValueError(f"duplicate address {msg.address:#x} in DBC {name!r}")
+            self._by_address[msg.address] = msg
+            self._by_name[msg.name] = msg
+
+    def message_by_address(self, address: int) -> MessageDef:
+        try:
+            return self._by_address[address]
+        except KeyError:
+            raise KeyError(f"DBC {self.name!r} has no message at {address:#x}") from None
+
+    def message_by_name(self, name: str) -> MessageDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"DBC {self.name!r} has no message named {name!r}") from None
+
+    def addresses(self) -> Iterable[int]:
+        return self._by_address.keys()
+
+    def encode(
+        self,
+        name: str,
+        values: Mapping[str, float],
+        counter: int = 0,
+        bus: int = 0,
+        timestamp: float = 0.0,
+    ) -> CANFrame:
+        """Encode physical ``values`` into a checksummed :class:`CANFrame`.
+
+        Signals not present in ``values`` are encoded as zero.  The message's
+        ``COUNTER`` signal, if defined, is set from ``counter``; the
+        ``CHECKSUM`` signal, if defined, is filled in last.
+        """
+        msg = self.message_by_name(name)
+        data = bytearray(msg.length)
+        for sig_name, sig in msg.signals.items():
+            if sig_name in ("CHECKSUM",):
+                continue
+            if sig_name == "COUNTER":
+                _pack_field(data, sig.msb_offset, sig.size, counter & ((1 << sig.size) - 1))
+                continue
+            if sig_name in values:
+                _pack_field(data, sig.msb_offset, sig.size, sig.to_raw(values[sig_name]))
+        unknown = set(values) - set(msg.signals)
+        if unknown:
+            raise KeyError(f"unknown signals for message {name!r}: {sorted(unknown)}")
+        if msg.checksummed:
+            apply_checksum(msg.address, data)
+        return CANFrame(msg.address, bytes(data), bus=bus, timestamp=timestamp)
+
+    def decode(self, frame: CANFrame, check: bool = True) -> Dict[str, float]:
+        """Decode a frame into a dict of physical signal values.
+
+        Args:
+            frame: The frame to decode; its address must exist in the DBC.
+            check: If True (default) and the message is checksummed, raise
+                ``ValueError`` when the embedded checksum is wrong.
+        """
+        msg = self.message_by_address(frame.address)
+        if len(frame.data) != msg.length:
+            raise ValueError(
+                f"message {msg.name!r} expects {msg.length} bytes, frame has {len(frame.data)}"
+            )
+        if check and msg.checksummed and not verify_checksum(frame.address, frame.data):
+            raise ValueError(f"checksum mismatch on message {msg.name!r} ({frame.address:#x})")
+        return {
+            sig_name: sig.to_physical(_unpack_field(frame.data, sig.msb_offset, sig.size))
+            for sig_name, sig in msg.signals.items()
+        }

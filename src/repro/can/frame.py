@@ -1,0 +1,40 @@
+"""Raw CAN frame representation."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CANFrame:
+    """A single CAN data frame.
+
+    Attributes:
+        address: 11-bit (standard) or 29-bit (extended) arbitration id.
+        data: Payload bytes (0..8 bytes for classic CAN).
+        bus: Logical bus index (0 = powertrain, 1 = radar, 2 = camera),
+            matching OpenPilot's convention.
+        timestamp: Logical send time in seconds.
+    """
+
+    address: int
+    data: bytes
+    bus: int = 0
+    timestamp: float = 0.0
+
+    def __post_init__(self):
+        if not 0 <= self.address <= 0x1FFFFFFF:
+            raise ValueError(f"invalid CAN address: {self.address:#x}")
+        if len(self.data) > 8:
+            raise ValueError(f"classic CAN payload is at most 8 bytes, got {len(self.data)}")
+
+    @property
+    def is_extended(self) -> bool:
+        """True if the arbitration id requires the 29-bit extended format."""
+        return self.address > 0x7FF
+
+    def with_data(self, data: bytes) -> "CANFrame":
+        """Return a copy of this frame carrying ``data`` instead."""
+        return CANFrame(self.address, data, self.bus, self.timestamp)
+
+    def hex(self) -> str:
+        """Payload as a hex string, e.g. ``'d00055c0'``."""
+        return self.data.hex()

@@ -1,0 +1,69 @@
+"""The paper's primary contribution: the Context-Aware safety-critical attack.
+
+The attack pipeline (Section III of the paper) is decomposed into:
+
+* :mod:`repro.core.eavesdropper` — subscribes to ``gpsLocationExternal``,
+  ``modelV2`` and ``radarState`` on the messaging layer.
+* :mod:`repro.core.state_inference` — turns raw eavesdropped data into the
+  human-interpretable state variables of the safety specification
+  (headway time, relative speed, distance to lane edges).
+* :mod:`repro.core.context_table` / :mod:`repro.core.context_matcher` —
+  the STPA-derived safety context table (Table I) and its matcher.
+* :mod:`repro.core.kalman` — the scalar Kalman filter used to predict the
+  ego speed for strategic value corruption (Eq. 2–3).
+* :mod:`repro.core.corruption` — strategic value corruption (Eq. 1).
+* :mod:`repro.core.attack_types` — the six attack types of Table II.
+* :mod:`repro.core.strategies` — Context-Aware and the three random
+  baselines of Table III.
+* :mod:`repro.core.attack_engine` — orchestrates everything and exposes
+  the ADAS output hook used by the fault-injection engine.
+* :mod:`repro.core.can_tamper` — CAN-level deployment of the same attack
+  (decode → corrupt → re-checksum), as in Fig. 4 of the paper.
+"""
+
+from repro.core.attack_types import AttackType, AttackSpec, ControlAction, ATTACK_TYPES
+from repro.core.context_table import ContextRule, ContextTable, default_context_table
+from repro.core.context_matcher import ContextMatcher, ContextMatch
+from repro.core.eavesdropper import Eavesdropper, EavesdroppedData
+from repro.core.state_inference import StateInference, InferredContext
+from repro.core.kalman import ScalarKalmanFilter
+from repro.core.corruption import ValueCorruptor, CorruptionMode
+from repro.core.strategies import (
+    AttackStrategy,
+    ContextAwareStrategy,
+    RandomStartDurationStrategy,
+    RandomStartStrategy,
+    RandomDurationStrategy,
+    NoAttackStrategy,
+)
+from repro.core.attack_engine import AttackEngine, AttackRecord
+from repro.core.can_tamper import tamper_signal, CanAttackInterceptor
+
+__all__ = [
+    "AttackType",
+    "AttackSpec",
+    "ControlAction",
+    "ATTACK_TYPES",
+    "ContextRule",
+    "ContextTable",
+    "default_context_table",
+    "ContextMatcher",
+    "ContextMatch",
+    "Eavesdropper",
+    "EavesdroppedData",
+    "StateInference",
+    "InferredContext",
+    "ScalarKalmanFilter",
+    "ValueCorruptor",
+    "CorruptionMode",
+    "AttackStrategy",
+    "ContextAwareStrategy",
+    "RandomStartDurationStrategy",
+    "RandomStartStrategy",
+    "RandomDurationStrategy",
+    "NoAttackStrategy",
+    "AttackEngine",
+    "AttackRecord",
+    "tamper_signal",
+    "CanAttackInterceptor",
+]

@@ -1,0 +1,159 @@
+"""The attack engine: ties eavesdropping, context inference, matching,
+activation timing and value corruption together (Fig. 1 of the paper).
+
+The engine is deployed as an *output hook* on the ADAS control stack — the
+paper's injection point, where malware corrupts the output variables of
+the control software just before they are sent to the actuators.  A
+CAN-level deployment of the same engine is provided by
+:class:`repro.core.can_tamper.CanAttackInterceptor`.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.attack_types import AttackSpec, AttackType, spec_for
+from repro.core.context_matcher import ContextMatcher
+from repro.core.context_table import ContextTable, default_context_table
+from repro.core.corruption import CorruptionLimits, ValueCorruptor
+from repro.core.eavesdropper import Eavesdropper
+from repro.core.state_inference import InferredContext, StateInference
+from repro.core.strategies import AttackStrategy
+from repro.messaging.bus import MessageBus
+from repro.messaging.messages import CarState
+from repro.sim.units import DT
+from repro.sim.vehicle import ActuatorCommand
+
+
+@dataclass
+class AttackRecord:
+    """Everything the analysis layer needs to know about one attack run."""
+
+    attack_type: AttackType
+    strategy_name: str
+    activated: bool = False
+    activation_time: Optional[float] = None
+    deactivation_time: Optional[float] = None
+    activation_reason: str = ""
+    steer_direction: int = 0
+    stopped_by_driver: bool = False
+    injected_steps: int = 0
+
+    @property
+    def duration(self) -> Optional[float]:
+        """Actual attack duration in seconds (None if never activated)."""
+        if self.activation_time is None:
+            return None
+        if self.deactivation_time is None:
+            return None
+        return self.deactivation_time - self.activation_time
+
+
+class AttackEngine:
+    """Per-run attack orchestrator."""
+
+    def __init__(
+        self,
+        message_bus: MessageBus,
+        attack_type: AttackType,
+        strategy: AttackStrategy,
+        seed: int = 0,
+        context_table: Optional[ContextTable] = None,
+        corruption_limits: CorruptionLimits = CorruptionLimits(),
+        dt: float = DT,
+    ):
+        self.spec: AttackSpec = spec_for(attack_type)
+        self.strategy = strategy
+        self.rng = np.random.default_rng(seed)
+        self.strategy.prepare(self.rng)
+
+        self.eavesdropper = Eavesdropper(message_bus)
+        self.inference = StateInference()
+        self.matcher = ContextMatcher(context_table or default_context_table())
+        self.corruptor = ValueCorruptor(strategy.corruption_mode, corruption_limits, dt)
+
+        self.record = AttackRecord(attack_type=attack_type, strategy_name=strategy.name)
+        self.last_context: Optional[InferredContext] = None
+
+        self._active = False
+        self._finished = False
+        self._hazard_occurred = False
+        self._driver_engaged = False
+        self._previous_steering = 0.0
+        self._steer_direction = 0
+
+    # -- notifications from the simulation loop -----------------------------
+
+    @property
+    def active(self) -> bool:
+        """True while the attack is currently injecting faulty commands."""
+        return self._active
+
+    def notify_hazard(self) -> None:
+        """Tell the engine a hazard has occurred (used to stop the attack)."""
+        self._hazard_occurred = True
+
+    def notify_driver_engaged(self) -> None:
+        """The driver has taken over; the attack stops immediately."""
+        self._driver_engaged = True
+        if self._active:
+            self.record.stopped_by_driver = True
+
+    # -- the ADAS output hook ------------------------------------------------
+
+    def output_hook(
+        self, time: float, command: ActuatorCommand, car_state: CarState
+    ) -> ActuatorCommand:
+        """Inspect the system state and, when appropriate, corrupt the command."""
+        snapshot = self.eavesdropper.snapshot(time)
+        context = self.inference.infer(snapshot)
+        self.last_context = context
+        if context.valid:
+            self.corruptor.observe_speed(context.v_ego)
+        matches = self.matcher.match(context) if context.valid else []
+
+        if self._driver_engaged:
+            self._deactivate(time)
+            return command
+
+        if not self._active and not self._finished:
+            decision = self.strategy.should_activate(time, self.spec, matches)
+            if decision.activate:
+                self._active = True
+                self._steer_direction = decision.steer_direction
+                self.record.activated = True
+                self.record.activation_time = time
+                self.record.activation_reason = decision.reason
+                self.record.steer_direction = decision.steer_direction
+                self._previous_steering = command.steering_angle_deg
+
+        if self._active:
+            if self.strategy.should_deactivate(
+                time, self.record.activation_time, self._hazard_occurred
+            ):
+                self._deactivate(time)
+                return command
+            corrupted = self.corruptor.corrupt(
+                command,
+                self.spec,
+                self._steer_direction,
+                self._previous_steering,
+                cruise_speed=car_state.cruise_speed,
+            )
+            self._previous_steering = corrupted.steering_angle_deg
+            self.record.injected_steps += 1
+            return corrupted
+
+        self._previous_steering = command.steering_angle_deg
+        return command
+
+    def _deactivate(self, time: float) -> None:
+        if self._active:
+            self._active = False
+            self.record.deactivation_time = time
+        self._finished = True
+
+    def close(self) -> None:
+        """Release messaging subscriptions."""
+        self.eavesdropper.close()

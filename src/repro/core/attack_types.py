@@ -1,0 +1,111 @@
+"""Attack types and the control actions they corrupt (Table II).
+
+The paper injects faults into the ADAS output variables (gas/acceleration,
+brake, steering angle) individually and in combination, yielding six
+attack types.  Each attack type maps to the high-level *unsafe control
+actions* of the safety context table (u1..u4), which is how the
+Context-Aware strategy decides when the attack is worth activating.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class ControlAction(Enum):
+    """High-level control actions from the safety context table (Table I)."""
+
+    ACCELERATION = "u1"
+    DECELERATION = "u2"
+    STEER_LEFT = "u3"
+    STEER_RIGHT = "u4"
+
+
+class AttackType(Enum):
+    """The six fault-injection attack types of Table II."""
+
+    ACCELERATION = "Acceleration"
+    DECELERATION = "Deceleration"
+    STEERING_LEFT = "Steering-Left"
+    STEERING_RIGHT = "Steering-Right"
+    ACCELERATION_STEERING = "Acceleration-Steering"
+    DECELERATION_STEERING = "Deceleration-Steering"
+
+
+@dataclass(frozen=True)
+class AttackSpec:
+    """What an attack type corrupts.
+
+    Attributes:
+        attack_type: The attack type.
+        corrupt_accel: Inject the maximum acceleration into the gas channel.
+        corrupt_brake: Inject the maximum braking into the brake channel.
+        steer_direction: 0 for no steering corruption, +1 to ramp the
+            steering command left, -1 to ramp it right.  Combined
+            steering attacks pick the direction at activation time (the
+            paper injects "±limitsteer").
+        actions: The unsafe control actions (Table I) this attack realises;
+            the Context-Aware strategy activates the attack when a context
+            rule for any of these actions is matched.
+    """
+
+    attack_type: AttackType
+    corrupt_accel: bool = False
+    corrupt_brake: bool = False
+    steer_direction: int = 0
+    actions: Tuple[ControlAction, ...] = ()
+
+    @property
+    def corrupts_steering(self) -> bool:
+        return self.steer_direction != 0 or (
+            ControlAction.STEER_LEFT in self.actions or ControlAction.STEER_RIGHT in self.actions
+        )
+
+
+ATTACK_TYPES: Dict[AttackType, AttackSpec] = {
+    AttackType.ACCELERATION: AttackSpec(
+        AttackType.ACCELERATION,
+        corrupt_accel=True,
+        actions=(ControlAction.ACCELERATION,),
+    ),
+    AttackType.DECELERATION: AttackSpec(
+        AttackType.DECELERATION,
+        corrupt_brake=True,
+        actions=(ControlAction.DECELERATION,),
+    ),
+    AttackType.STEERING_LEFT: AttackSpec(
+        AttackType.STEERING_LEFT,
+        steer_direction=+1,
+        actions=(ControlAction.STEER_LEFT,),
+    ),
+    AttackType.STEERING_RIGHT: AttackSpec(
+        AttackType.STEERING_RIGHT,
+        steer_direction=-1,
+        actions=(ControlAction.STEER_RIGHT,),
+    ),
+    AttackType.ACCELERATION_STEERING: AttackSpec(
+        AttackType.ACCELERATION_STEERING,
+        corrupt_accel=True,
+        steer_direction=0,  # direction chosen from the matched context / at random
+        actions=(
+            ControlAction.ACCELERATION,
+            ControlAction.STEER_LEFT,
+            ControlAction.STEER_RIGHT,
+        ),
+    ),
+    AttackType.DECELERATION_STEERING: AttackSpec(
+        AttackType.DECELERATION_STEERING,
+        corrupt_brake=True,
+        steer_direction=0,
+        actions=(
+            ControlAction.DECELERATION,
+            ControlAction.STEER_LEFT,
+            ControlAction.STEER_RIGHT,
+        ),
+    ),
+}
+
+
+def spec_for(attack_type: AttackType) -> AttackSpec:
+    """Return the :class:`AttackSpec` for ``attack_type``."""
+    return ATTACK_TYPES[attack_type]

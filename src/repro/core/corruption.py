@@ -1,0 +1,139 @@
+"""Strategic value corruption (Section III-C, step 4; Eq. 1–3).
+
+Given the attack type and the current (attacker-estimated) vehicle state,
+this module computes the corrupted actuator command values.  Two modes are
+supported:
+
+* ``FIXED`` — inject the maximum value OpenPilot's output stage allows
+  (Table III "Fixed": 2.4 m/s², −4 m/s², 0.5°/frame).  Effective, but the
+  values exceed the ISO-style limits a driver (or Panda) would treat as
+  anomalous.
+* ``STRATEGIC`` — solve the paper's constrained optimisation (Eq. 1):
+  stay within the tighter strategic limits (2 m/s², −3.5 m/s²,
+  0.25°/frame), and additionally keep the Kalman-predicted next-step speed
+  below ``1.1 × v_cruise`` so the over-speed anomaly never triggers.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS, SafetyLimits
+from repro.core.attack_types import AttackSpec
+from repro.core.kalman import ScalarKalmanFilter
+from repro.sim.units import DT, clamp
+from repro.sim.vehicle import ActuatorCommand
+
+
+class CorruptionMode(Enum):
+    """How attack values are chosen."""
+
+    FIXED = "fixed"
+    STRATEGIC = "strategic"
+
+
+@dataclass(frozen=True)
+class CorruptionLimits:
+    """The limit sets used by the two corruption modes."""
+
+    fixed: SafetyLimits = OPENPILOT_LIMITS
+    strategic: SafetyLimits = ISO_SAFETY_LIMITS
+
+
+class ValueCorruptor:
+    """Computes corrupted actuator commands for an active attack."""
+
+    def __init__(
+        self,
+        mode: CorruptionMode,
+        limits: CorruptionLimits = CorruptionLimits(),
+        dt: float = DT,
+    ):
+        self.mode = mode
+        self.limits = limits
+        self.dt = dt
+        self.speed_filter = ScalarKalmanFilter()
+
+    @property
+    def active_limits(self) -> SafetyLimits:
+        """The limit set the current mode injects at."""
+        return self.limits.strategic if self.mode is CorruptionMode.STRATEGIC else self.limits.fixed
+
+    def observe_speed(self, measured_speed: float) -> None:
+        """Feed the attacker's speed measurement into the Kalman filter."""
+        self.speed_filter.update(measured_speed)
+
+    def corrupt(
+        self,
+        command: ActuatorCommand,
+        spec: AttackSpec,
+        steer_direction: int,
+        previous_steering_deg: float,
+        cruise_speed: float,
+    ) -> ActuatorCommand:
+        """Return the corrupted command for one control cycle.
+
+        Args:
+            command: The legitimate command produced by the ADAS.
+            spec: The attack type specification.
+            steer_direction: +1 to ramp the steering left, -1 right, 0 for
+                no steering corruption (resolved by the attack engine for
+                combined attacks).
+            previous_steering_deg: The steering command emitted on the
+                previous cycle (attack ramps are relative to it).
+            cruise_speed: The set cruise speed (m/s) for the over-speed
+                constraint of Eq. 1.
+        """
+        limits = self.active_limits
+        accel = command.accel
+        brake = command.brake
+        steering = command.steering_angle_deg
+
+        if spec.corrupt_accel:
+            accel = limits.accel_max
+            brake = 0.0
+            if self.mode is CorruptionMode.STRATEGIC and self.speed_filter.initialized:
+                accel = self._bounded_accel(accel, cruise_speed)
+        if spec.corrupt_brake:
+            brake = -limits.brake_min
+            accel = 0.0
+
+        if steer_direction != 0:
+            steering = self._corrupt_steering(steer_direction, previous_steering_deg, limits)
+
+        return ActuatorCommand(accel=accel, brake=brake, steering_angle_deg=steering)
+
+    @staticmethod
+    def _corrupt_steering(direction: int, previous_deg: float, limits) -> float:
+        """Steering corruption: replace the lane-keeping command.
+
+        Table III specifies ``limitsteer`` (0.5° fixed / 0.25° strategic) as
+        the injected steering value.  The attack drives the steering command
+        to ``±limitsteer`` — i.e. it drops the ALC's lane-keeping correction
+        and holds a small constant bias in the chosen direction — moving
+        there at no more than ``limitsteer`` per frame so the per-frame
+        change stays inside the rate limit checked by OpenPilot/Panda
+        (the ``Δsteering < limitsteer`` constraint of Eq. 1).
+        """
+        target = direction * limits.steer_delta_max_deg
+        step = clamp(target - previous_deg, -limits.steer_delta_max_deg, limits.steer_delta_max_deg)
+        return previous_deg + step
+
+    # Safety margin (m/s) kept below the over-speed threshold, and the gain
+    # (1/s) with which the injected acceleration is ramped down as the
+    # predicted speed approaches the cap.  Without the margin the realised
+    # speed would overshoot the cap by the actuator lag and the driver's
+    # over-speed anomaly check would trigger.
+    SPEED_CAP_MARGIN = 0.5
+    SPEED_APPROACH_GAIN = 1.5
+
+    def _bounded_accel(self, accel: float, cruise_speed: float) -> float:
+        """Largest acceleration keeping the predicted speed under the cap."""
+        speed_cap = (
+            self.active_limits.cruise_overspeed_factor * cruise_speed - self.SPEED_CAP_MARGIN
+        )
+        predicted = self.speed_filter.predicted_speed(accel, self.dt)
+        if predicted <= speed_cap - 1.0:
+            return accel
+        headroom_accel = self.SPEED_APPROACH_GAIN * (speed_cap - predicted)
+        return clamp(headroom_accel, 0.0, accel)

@@ -1,0 +1,65 @@
+"""Scalar Kalman filter for ego-speed prediction (Eq. 2–3 of the paper).
+
+The strategic value corruption needs to predict the vehicle speed one
+control step ahead so that the corrupted acceleration never pushes the
+speed above ``1.1 × v_cruise`` (which the driver — and many stock ADAS
+monitors — would notice).  The paper uses a one-dimensional Kalman filter:
+predict with the constant-acceleration model, then correct with the
+measured speed at the next step.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ScalarKalmanFilter:
+    """One-dimensional Kalman filter with a constant-acceleration model.
+
+    Attributes:
+        process_noise: Variance added by the prediction step (models the
+            mismatch between commanded and realised acceleration).
+        measurement_noise: Variance of the speed measurement.
+        estimate: Current state estimate (speed, m/s).
+        variance: Current estimate variance.
+    """
+
+    process_noise: float = 0.05
+    measurement_noise: float = 0.01
+    estimate: float = 0.0
+    variance: float = 1.0
+    initialized: bool = False
+    gain: float = 0.0
+
+    def reset(self, value: float, variance: float = 1.0) -> None:
+        """Re-initialise the filter at ``value``."""
+        self.estimate = value
+        self.variance = variance
+        self.initialized = True
+
+    def predict(self, accel: float, dt: float) -> float:
+        """Predict the next-step estimate under ``accel`` (Eq. 2)."""
+        if not self.initialized:
+            raise RuntimeError("Kalman filter used before initialisation")
+        self.estimate = self.estimate + accel * dt
+        self.variance = self.variance + self.process_noise
+        return self.estimate
+
+    def update(self, measurement: float) -> float:
+        """Correct the estimate with a measurement (Eq. 3).
+
+        The Kalman gain is ``K = P / (P + R)``; the paper writes the same
+        correction as ``v̂ₜ₊₁ = v̂ₜ₊₁|ₜ + Kₜ (vₜ₊₁ − v̂ₜ₊₁|ₜ)``.
+        """
+        if not self.initialized:
+            self.reset(measurement)
+            return self.estimate
+        self.gain = self.variance / (self.variance + self.measurement_noise)
+        self.estimate = self.estimate + self.gain * (measurement - self.estimate)
+        self.variance = (1.0 - self.gain) * self.variance
+        return self.estimate
+
+    def predicted_speed(self, accel: float, dt: float) -> float:
+        """Return the speed predicted ``dt`` ahead without mutating state."""
+        if not self.initialized:
+            raise RuntimeError("Kalman filter used before initialisation")
+        return self.estimate + accel * dt

@@ -1,0 +1,20 @@
+"""Driver-reaction simulator.
+
+Models the alert human driver of the paper's experiments (Section IV-B):
+the driver perceives ADAS alerts and behavioural anomalies immediately,
+physically reacts after the average 2.5 s driver reaction time, applies a
+hard brake following the exponential brake curve of Eq. 4, and corrects
+the steering.  The attack engine stops attacking as soon as the driver
+engages.
+"""
+
+from repro.driver.anomaly import AnomalyDetector, AnomalyObservation
+from repro.driver.reaction import DriverReactionSimulator, DriverParams, DriverDecision
+
+__all__ = [
+    "AnomalyDetector",
+    "AnomalyObservation",
+    "DriverReactionSimulator",
+    "DriverParams",
+    "DriverDecision",
+]

@@ -1,0 +1,74 @@
+"""Detection of vehicle-behaviour anomalies perceivable by the driver.
+
+Following the paper's driver-reaction simulator, an anomaly is any of:
+
+* hard braking (braking demand above the ISO-style deceleration limit),
+* an unexpected increase in acceleration beyond the acceleration limit,
+* a steering change faster than the per-frame steering limit,
+* the vehicle speed exceeding the set cruise speed by more than 10 %.
+
+Anomalies are evaluated per 10 ms step; as in the paper, a single
+anomalous step is enough to attract the driver's attention.
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, SafetyLimits
+from repro.sim.vehicle import ActuatorCommand
+
+
+@dataclass(frozen=True)
+class AnomalyObservation:
+    """A perceived anomaly."""
+
+    time: float
+    kind: str        # "hard_brake" | "acceleration" | "steering" | "overspeed"
+    value: float
+
+
+class AnomalyDetector:
+    """Stateless per-step anomaly check against a limit set.
+
+    The steering-rate threshold is intentionally set just above OpenPilot's
+    own output limit (0.5°/frame): the driver cannot distinguish a
+    legitimate ALC correction from a maliciously ramped steering command
+    whose per-frame change stays within the normal actuation envelope —
+    which is exactly why the paper finds steering attacks cannot be halted
+    by the driver (Observation 5).  A driver *does* notice the vehicle
+    clearly leaving its lane, which is covered by the lane-departure check.
+    """
+
+    def __init__(
+        self,
+        limits: SafetyLimits = ISO_SAFETY_LIMITS,
+        steer_delta_threshold_deg: float = 0.6,
+        lane_departure_threshold: float = 1.4,
+    ):
+        self.limits = limits
+        self.steer_delta_threshold_deg = steer_delta_threshold_deg
+        self.lane_departure_threshold = lane_departure_threshold
+
+    def detect(
+        self,
+        time: float,
+        command: ActuatorCommand,
+        previous_command: Optional[ActuatorCommand],
+        v_ego: float,
+        cruise_speed: float,
+        lateral_offset: float = 0.0,
+    ) -> Optional[AnomalyObservation]:
+        """Return the first anomaly found at this step, if any."""
+        if command.brake > -self.limits.brake_min + 1e-9:
+            return AnomalyObservation(time, "hard_brake", command.brake)
+        if command.accel > self.limits.accel_max + 1e-9:
+            return AnomalyObservation(time, "acceleration", command.accel)
+        if previous_command is not None:
+            steer_delta = command.steering_angle_deg - previous_command.steering_angle_deg
+            if abs(steer_delta) > self.steer_delta_threshold_deg + 1e-9:
+                return AnomalyObservation(time, "steering", steer_delta)
+        if cruise_speed > 0 and v_ego > self.limits.cruise_overspeed_factor * cruise_speed:
+            return AnomalyObservation(time, "overspeed", v_ego)
+        if abs(lateral_offset) > self.lane_departure_threshold:
+            return AnomalyObservation(time, "lane_departure", lateral_offset)
+        return None

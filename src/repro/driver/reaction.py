@@ -1,0 +1,276 @@
+"""Driver-reaction simulator (Section IV-B of the paper).
+
+Behaviour, as a four-phase state machine:
+
+1. **Monitoring** — the driver perceives an event at the first control
+   step where the ADAS raises an alert or the vehicle behaviour is
+   anomalous (see :mod:`repro.driver.anomaly`).
+2. **Reaction delay** — the driver starts physically acting
+   ``reaction_time`` seconds later (2.5 s on average, per the AV
+   literature the paper cites).
+3. **Mitigation** — the driver overrides the ADAS.  For an unintended
+   acceleration, unintended steering or an ADAS alert the driver applies
+   a hard brake following the paper's Eq. 4,
+   ``brake(t) = e^(10 t − 12) / (1 + e^(10 t − 12))``, and steers back
+   towards the lane centre with the same build-up profile.  For
+   unintended braking the driver releases the brake and accelerates back
+   towards the set speed.
+4. **Manual driving** — after ``mitigation_time`` seconds the immediate
+   danger has been handled; the driver keeps manual control and drives
+   normally (lane keeping plus safe car following) for the rest of the
+   simulation.
+
+Engaging the driver overrides (disengages) the ADAS, and the attack engine
+stops attacking as soon as the driver engages (the simulation loop
+notifies it).
+"""
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import List, Optional
+
+from repro.driver.anomaly import AnomalyDetector, AnomalyObservation
+from repro.messaging.bus import MessageBus, Subscription
+from repro.sim.units import clamp
+from repro.sim.vehicle import ActuatorCommand
+
+
+def brake_response_curve(elapsed: float) -> float:
+    """The paper's Eq. 4: normalised brake level ``t`` seconds after the
+    driver starts braking (sigmoid reaching ~0.95 at 1.5 s)."""
+    exponent = 10.0 * elapsed - 12.0
+    # Guard against overflow for long mitigation times.
+    if exponent > 60.0:
+        return 1.0
+    value = math.exp(exponent)
+    return value / (1.0 + value)
+
+
+class DriverPhase(Enum):
+    """Phases of the driver state machine."""
+
+    MONITORING = "monitoring"
+    REACTING = "reacting"        # perceived, waiting out the reaction delay
+    MITIGATING = "mitigating"
+    MANUAL = "manual"
+
+
+@dataclass(frozen=True)
+class DriverParams:
+    """Tuning of the simulated driver."""
+
+    reaction_time: float = 2.5          # s between perception and physical action
+    mitigation_time: float = 2.5        # s of emergency manoeuvre before normal manual driving
+    max_brake_decel: float = 8.0        # m/s^2, hard-brake deceleration
+    steer_correction_gain: float = 40.0     # deg of steering per metre of lateral error
+    heading_correction_gain: float = 220.0  # deg of steering per rad of heading error
+    max_steering_deg: float = 180.0
+    manual_speed_gain: float = 0.4      # manual-driving speed tracking gain, 1/s
+    manual_headway: float = 2.0         # s, manual-driving following headway
+    manual_max_accel: float = 1.5       # m/s^2
+    manual_max_brake: float = 4.0       # m/s^2
+    enabled: bool = True                # False models a fully inattentive driver
+
+
+@dataclass
+class DriverDecision:
+    """The driver's output for one control step."""
+
+    engaged: bool = False
+    command: Optional[ActuatorCommand] = None   # override command when engaged
+    perceived: bool = False
+    phase: DriverPhase = DriverPhase.MONITORING
+
+
+class DriverReactionSimulator:
+    """The alert human driver in the loop."""
+
+    def __init__(
+        self,
+        message_bus: MessageBus,
+        params: DriverParams = DriverParams(),
+        detector: Optional[AnomalyDetector] = None,
+    ):
+        self.params = params
+        self.detector = detector or AnomalyDetector()
+        self._alert_sub: Subscription = message_bus.subscribe("alertEvent")
+        self.perception_time: Optional[float] = None
+        self.engagement_time: Optional[float] = None
+        self.perceived_reason: Optional[str] = None
+        self.anomalies: List[AnomalyObservation] = []
+        self._previous_command: Optional[ActuatorCommand] = None
+
+    # -- state properties ---------------------------------------------------
+
+    @property
+    def perceived(self) -> bool:
+        """True once the driver has noticed an alert or anomaly."""
+        return self.perception_time is not None
+
+    @property
+    def engaged(self) -> bool:
+        """True once the driver has physically taken over."""
+        return self.engagement_time is not None
+
+    def phase(self, time: float) -> DriverPhase:
+        """Current phase of the driver state machine at ``time``."""
+        if not self.perceived:
+            return DriverPhase.MONITORING
+        if time - self.perception_time < self.params.reaction_time:
+            return DriverPhase.REACTING
+        if self.engagement_time is None or time - self.engagement_time < self.params.mitigation_time:
+            return DriverPhase.MITIGATING
+        return DriverPhase.MANUAL
+
+    # -- main update --------------------------------------------------------
+
+    def update(
+        self,
+        time: float,
+        observed_command: ActuatorCommand,
+        v_ego: float,
+        cruise_speed: float,
+        lateral_offset: float,
+        heading_error: float,
+        current_steering_deg: float,
+        lead_gap: Optional[float] = None,
+        lead_speed: Optional[float] = None,
+    ) -> DriverDecision:
+        """Advance the driver model by one control step.
+
+        Args:
+            time: Simulation time, s.
+            observed_command: The actuator command currently being executed
+                (what the driver feels the car doing).
+            v_ego: Current ego speed, m/s.
+            cruise_speed: Set cruise speed, m/s.
+            lateral_offset: Vehicle offset from lane centre, m (+left).
+            heading_error: Heading relative to the lane, rad.
+            current_steering_deg: Measured steering wheel angle, degrees.
+            lead_gap / lead_speed: What the driver sees of the lead vehicle
+                (used for car-following once driving manually).
+        """
+        if not self.params.enabled:
+            self._previous_command = observed_command
+            return DriverDecision(phase=DriverPhase.MONITORING)
+
+        self._perceive(time, observed_command, v_ego, cruise_speed, lateral_offset)
+
+        if not self.perceived:
+            return DriverDecision(phase=DriverPhase.MONITORING)
+
+        if time - self.perception_time < self.params.reaction_time:
+            return DriverDecision(perceived=True, phase=DriverPhase.REACTING)
+
+        if self.engagement_time is None:
+            self.engagement_time = time
+
+        steering = self._steering_correction(time, lateral_offset, heading_error, current_steering_deg)
+
+        if time - self.engagement_time < self.params.mitigation_time:
+            command = self._mitigation_command(time, v_ego, cruise_speed, steering)
+            return DriverDecision(
+                engaged=True, command=command, perceived=True, phase=DriverPhase.MITIGATING
+            )
+
+        command = self._manual_driving_command(v_ego, cruise_speed, steering, lead_gap, lead_speed)
+        return DriverDecision(
+            engaged=True, command=command, perceived=True, phase=DriverPhase.MANUAL
+        )
+
+    # -- internals ----------------------------------------------------------
+
+    def _perceive(
+        self,
+        time: float,
+        observed_command: ActuatorCommand,
+        v_ego: float,
+        cruise_speed: float,
+        lateral_offset: float,
+    ) -> None:
+        """Check alerts and anomalies; latch the first perception."""
+        if not self.perceived:
+            for event in self._alert_sub.drain():
+                self.perception_time = time
+                self.perceived_reason = f"alert:{event.data.name}"
+                break
+        else:
+            self._alert_sub.drain()
+
+        if not self.perceived:
+            anomaly = self.detector.detect(
+                time,
+                observed_command,
+                self._previous_command,
+                v_ego,
+                cruise_speed,
+                lateral_offset=lateral_offset,
+            )
+            if anomaly is not None:
+                self.anomalies.append(anomaly)
+                self.perception_time = time
+                self.perceived_reason = f"anomaly:{anomaly.kind}"
+        self._previous_command = observed_command
+
+    def _steering_correction(
+        self,
+        time: float,
+        lateral_offset: float,
+        heading_error: float,
+        current_steering_deg: float,
+    ) -> float:
+        """Steering the driver applies: blend from current towards lane centre."""
+        effort = brake_response_curve(time - self.engagement_time)
+        target = clamp(
+            -self.params.steer_correction_gain * lateral_offset
+            - self.params.heading_correction_gain * heading_error,
+            -self.params.max_steering_deg,
+            self.params.max_steering_deg,
+        )
+        return (1.0 - effort) * current_steering_deg + effort * target
+
+    def _mitigation_command(
+        self, time: float, v_ego: float, cruise_speed: float, steering: float
+    ) -> ActuatorCommand:
+        """Emergency manoeuvre right after taking over."""
+        effort = brake_response_curve(time - self.engagement_time)
+        if self.perceived_reason == "anomaly:hard_brake":
+            # Unintended braking: release the brake and accelerate back
+            # towards the set speed.
+            accel = effort * clamp(
+                self.params.manual_speed_gain * (cruise_speed - v_ego),
+                0.0,
+                self.params.manual_max_accel,
+            )
+            return ActuatorCommand(accel=accel, brake=0.0, steering_angle_deg=steering)
+        # Unintended acceleration, unintended steering, or an ADAS alert:
+        # hard brake per Eq. 4 plus steering correction.
+        brake = effort * self.params.max_brake_decel
+        return ActuatorCommand(accel=0.0, brake=brake, steering_angle_deg=steering)
+
+    def _manual_driving_command(
+        self,
+        v_ego: float,
+        cruise_speed: float,
+        steering: float,
+        lead_gap: Optional[float],
+        lead_speed: Optional[float],
+    ) -> ActuatorCommand:
+        """Normal manual driving after the emergency has been handled."""
+        params = self.params
+        target_speed = cruise_speed
+        if lead_gap is not None and lead_speed is not None:
+            desired_gap = 4.0 + params.manual_headway * v_ego
+            if lead_gap < desired_gap:
+                target_speed = min(target_speed, lead_speed)
+            if lead_gap < desired_gap / 2.0:
+                target_speed = min(target_speed, lead_speed * 0.5)
+        accel = clamp(
+            params.manual_speed_gain * (target_speed - v_ego),
+            -params.manual_max_brake,
+            params.manual_max_accel,
+        )
+        return ActuatorCommand(
+            accel=max(0.0, accel), brake=max(0.0, -accel), steering_angle_deg=steering
+        )

@@ -1,0 +1,83 @@
+"""Figure 7: ego-vehicle trajectory during an attack-free simulation.
+
+The paper uses this figure to support Observation 1: OpenPilot's ALC does
+not keep the vehicle centred and lane invasions occur even without
+attacks.  The experiment runs one (or a few) attack-free simulations with
+trajectory recording enabled and produces the lateral-position trace, the
+Cartesian path, the lane boundaries, and the lane-invasion statistics.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.analysis.metrics import RunResult
+from repro.injection.engine import SimulationConfig, run_simulation
+from repro.sim.road import Road, RoadSpec
+from repro.sim.world import TrajectorySample
+
+
+@dataclass
+class Figure7Result:
+    """Trajectory data for the attack-free run(s)."""
+
+    runs: List[RunResult] = field(default_factory=list)
+    road_spec: RoadSpec = field(default_factory=RoadSpec)
+
+    @property
+    def trajectory(self) -> List[TrajectorySample]:
+        """Trajectory of the first run (the figure shows a single run)."""
+        return self.runs[0].trajectory if self.runs else []
+
+    @property
+    def lane_invasions_per_second(self) -> float:
+        if not self.runs:
+            return 0.0
+        return sum(run.lane_invasions_per_second for run in self.runs) / len(self.runs)
+
+    @property
+    def max_abs_lateral_offset(self) -> float:
+        return max((abs(sample.d) for sample in self.trajectory), default=0.0)
+
+    def cartesian_path(self, resolution: float = 2.0) -> List[tuple]:
+        """The (x, y) path of the first run, for plotting."""
+        road = Road(self.road_spec)
+        return [
+            road.to_cartesian(sample.s, sample.d, ds=resolution) for sample in self.trajectory
+        ]
+
+    def series(self) -> List[tuple]:
+        """(time, lateral offset) series — the essence of Figure 7."""
+        return [(sample.time, sample.d) for sample in self.trajectory]
+
+    def format(self) -> str:
+        lines = [
+            "Figure 7 — attack-free trajectory",
+            f"runs: {len(self.runs)}",
+            f"lane invasions per second: {self.lane_invasions_per_second:.2f}",
+            f"max |lateral offset|: {self.max_abs_lateral_offset:.2f} m "
+            f"(lane half-width {self.road_spec.lane_width / 2:.2f} m)",
+            f"hazards: {sum(bool(run.hazards) for run in self.runs)}",
+            f"accidents: {sum(bool(run.accidents) for run in self.runs)}",
+        ]
+        return "\n".join(lines)
+
+
+def run_figure7(
+    scenario: str = "S1",
+    initial_distance: float = 70.0,
+    seeds: Optional[List[int]] = None,
+) -> Figure7Result:
+    """Run the attack-free trajectory experiment."""
+    seeds = seeds if seeds is not None else [0]
+    result = Figure7Result()
+    for seed in seeds:
+        config = SimulationConfig(
+            scenario=scenario,
+            initial_distance=initial_distance,
+            seed=seed,
+            attack_type=None,
+            driver_enabled=True,
+            record_trajectory=True,
+        )
+        result.runs.append(run_simulation(config))
+    return result

@@ -1,0 +1,52 @@
+"""Experiment scaling: paper-sized grids vs laptop-sized grids.
+
+The paper runs 1,440 simulations per strategy (14,400 for the
+Random-ST+DUR baseline).  Each simulation in this reproduction takes
+tens of milliseconds to a few hundred milliseconds, so the full grid is
+feasible but slow for routine benchmarking.  :class:`ExperimentScale`
+captures the grid dimensions; the default is a scaled-down grid that
+preserves every axis (all scenarios, all attack types, several initial
+distances and repetitions) while finishing quickly.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Grid dimensions for the experiment harness."""
+
+    scenarios: Tuple[str, ...] = ("S1", "S2", "S3", "S4")
+    initial_distances: Tuple[float, ...] = (50.0, 70.0)
+    repetitions: int = 2
+    random_st_dur_repetitions: int = 4   # the paper uses 10x for this baseline
+    master_seed: int = 2022
+
+    @staticmethod
+    def full() -> "ExperimentScale":
+        """The paper's grid (1,440 runs per strategy, 14,400 for Random-ST+DUR)."""
+        return ExperimentScale(
+            scenarios=("S1", "S2", "S3", "S4"),
+            initial_distances=(50.0, 70.0, 100.0),
+            repetitions=20,
+            random_st_dur_repetitions=200,
+        )
+
+    @staticmethod
+    def smoke() -> "ExperimentScale":
+        """A minimal grid used by the test suite."""
+        return ExperimentScale(
+            scenarios=("S1",),
+            initial_distances=(70.0,),
+            repetitions=1,
+            random_st_dur_repetitions=1,
+        )
+
+    @staticmethod
+    def from_environment(default: "ExperimentScale" = None) -> "ExperimentScale":
+        """Pick the scale from the ``REPRO_FULL_SCALE`` environment variable."""
+        if os.environ.get("REPRO_FULL_SCALE", "").lower() in ("1", "true", "yes"):
+            return ExperimentScale.full()
+        return default or ExperimentScale()

@@ -1,0 +1,92 @@
+"""Table IV: attack strategy comparison with an alert driver.
+
+Reproduces the paper's comparison of the four attack strategies (plus the
+attack-free baseline): per strategy, the fraction of runs with ADAS
+alerts, with hazards, with accidents, with hazards-but-no-alerts, the
+lane-invasion rate, and the mean/std Time-To-Hazard.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.results import StrategySummary, format_table_iv, summarize_strategy
+from repro.core.strategies import (
+    AttackStrategy,
+    ContextAwareStrategy,
+    NoAttackStrategy,
+    RandomDurationStrategy,
+    RandomStartDurationStrategy,
+    RandomStartStrategy,
+)
+from repro.experiments.scale import ExperimentScale
+from repro.injection.campaign import ALL_ATTACK_TYPES, Campaign, CampaignConfig
+
+#: The strategies compared in Table IV, in the paper's row order.
+TABLE4_STRATEGIES = (
+    NoAttackStrategy,
+    RandomStartDurationStrategy,
+    RandomStartStrategy,
+    RandomDurationStrategy,
+    ContextAwareStrategy,
+)
+
+
+@dataclass
+class Table4Result:
+    """Aggregated Table IV rows plus the raw run results per strategy."""
+
+    summaries: List[StrategySummary] = field(default_factory=list)
+    runs: Dict[str, List[RunResult]] = field(default_factory=dict)
+
+    def summary_for(self, strategy_name: str) -> StrategySummary:
+        for summary in self.summaries:
+            if summary.strategy == strategy_name:
+                return summary
+        raise KeyError(f"no summary for strategy {strategy_name!r}")
+
+    def format(self) -> str:
+        return format_table_iv(self.summaries)
+
+
+def _campaign_for(
+    strategy_cls, scale: ExperimentScale, attack_types: Sequence
+) -> CampaignConfig:
+    repetitions = scale.repetitions
+    if strategy_cls is RandomStartDurationStrategy:
+        repetitions = scale.random_st_dur_repetitions
+    if strategy_cls is NoAttackStrategy:
+        attack_types = ()
+    return CampaignConfig(
+        strategy_name=strategy_cls.name,
+        scenarios=scale.scenarios,
+        initial_distances=scale.initial_distances,
+        attack_types=tuple(attack_types),
+        repetitions=repetitions,
+        driver_enabled=True,
+        master_seed=scale.master_seed,
+    )
+
+
+def run_table4(
+    scale: Optional[ExperimentScale] = None,
+    strategies: Sequence = TABLE4_STRATEGIES,
+    attack_types: Sequence = ALL_ATTACK_TYPES,
+) -> Table4Result:
+    """Run the Table IV experiment grid and aggregate it.
+
+    Args:
+        scale: Grid dimensions (defaults to the laptop-sized grid; use
+            :meth:`ExperimentScale.full` for the paper-sized grid).
+        strategies: Strategy classes to compare.
+        attack_types: Attack types included in the grid.
+    """
+    scale = scale or ExperimentScale.from_environment()
+    result = Table4Result()
+    for strategy_cls in strategies:
+        config = _campaign_for(strategy_cls, scale, attack_types)
+        campaign = Campaign(config, strategy_factory=strategy_cls)
+        runs = campaign.run()
+        result.runs[strategy_cls.name] = runs
+        result.summaries.append(summarize_strategy(strategy_cls.name, runs))
+    return result

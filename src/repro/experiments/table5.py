@@ -1,0 +1,79 @@
+"""Table V: Context-Aware attacks with and without strategic value corruption.
+
+For every attack type the experiment runs the Context-Aware strategy in
+two modes — fixed (maximum) injection values and strategic value
+corruption — each both with and without the simulated driver, so that the
+driver's prevented hazards, newly introduced hazards and prevented
+accidents can be computed from paired runs, as the paper's Table V does.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.results import AttackTypeSummary, format_table_v, summarize_by_attack_type
+from repro.core.corruption import CorruptionMode
+from repro.core.strategies import ContextAwareStrategy
+from repro.experiments.scale import ExperimentScale
+from repro.injection.campaign import ALL_ATTACK_TYPES, Campaign, CampaignConfig
+
+
+class ContextAwareFixedValueStrategy(ContextAwareStrategy):
+    """Context-Aware activation/duration but fixed (maximum) injected values.
+
+    This is the "No Strategic Value Corruption" column group of Table V:
+    the start time and duration are still chosen from the safety context,
+    but the injected values are OpenPilot's output maxima instead of the
+    strategically bounded values.
+    """
+
+    name = "Context-Aware (fixed values)"
+    corruption_mode = CorruptionMode.FIXED
+
+
+@dataclass
+class Table5Result:
+    """Per-attack-type summaries for both corruption modes."""
+
+    without_corruption: Dict[str, AttackTypeSummary] = field(default_factory=dict)
+    with_corruption: Dict[str, AttackTypeSummary] = field(default_factory=dict)
+    runs: Dict[str, List[RunResult]] = field(default_factory=dict)
+
+    def format(self) -> str:
+        return format_table_v(self.without_corruption, self.with_corruption)
+
+
+def _run_mode(
+    strategy_cls, scale: ExperimentScale, driver_enabled: bool
+) -> List[RunResult]:
+    config = CampaignConfig(
+        strategy_name=strategy_cls.name,
+        scenarios=scale.scenarios,
+        initial_distances=scale.initial_distances,
+        attack_types=ALL_ATTACK_TYPES,
+        repetitions=scale.repetitions,
+        driver_enabled=driver_enabled,
+        master_seed=scale.master_seed,
+    )
+    return Campaign(config, strategy_factory=strategy_cls).run()
+
+
+def run_table5(scale: Optional[ExperimentScale] = None) -> Table5Result:
+    """Run the Table V experiment and aggregate it."""
+    scale = scale or ExperimentScale.from_environment()
+    result = Table5Result()
+
+    for key, strategy_cls in (
+        ("fixed", ContextAwareFixedValueStrategy),
+        ("strategic", ContextAwareStrategy),
+    ):
+        with_driver = _run_mode(strategy_cls, scale, driver_enabled=True)
+        without_driver = _run_mode(strategy_cls, scale, driver_enabled=False)
+        result.runs[f"{key}/driver"] = with_driver
+        result.runs[f"{key}/no-driver"] = without_driver
+        summaries = summarize_by_attack_type(with_driver, without_driver)
+        if key == "fixed":
+            result.without_corruption = summaries
+        else:
+            result.with_corruption = summaries
+    return result

@@ -1,0 +1,20 @@
+"""Fault-injection engine and experiment campaigns.
+
+* :mod:`repro.injection.engine` — wires one complete simulation together
+  (world, ADAS, attack engine, driver, hazard monitors) and runs it.
+* :mod:`repro.injection.campaign` — sweeps over scenarios, initial
+  distances, attack types, strategies and repetitions, with deterministic
+  per-run seeding, to regenerate the paper's experiment grids.
+"""
+
+from repro.injection.engine import SimulationConfig, Simulation, run_simulation
+from repro.injection.campaign import CampaignConfig, Campaign, run_campaign
+
+__all__ = [
+    "SimulationConfig",
+    "Simulation",
+    "run_simulation",
+    "CampaignConfig",
+    "Campaign",
+    "run_campaign",
+]

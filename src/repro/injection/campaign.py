@@ -1,0 +1,140 @@
+"""Experiment campaigns: sweeps over the paper's experiment grid.
+
+The paper's grid is: 4 driving scenarios × 3 initial distances × 6 attack
+types × 20 repetitions = 1,440 simulations per strategy (14,400 for the
+Random-ST+DUR baseline, which uses more repetitions to cover the random
+parameter space).  :class:`Campaign` runs an arbitrary subset of that grid
+with deterministic per-run seeding and returns the :class:`RunResult`
+records for aggregation.
+"""
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.metrics import RunResult
+from repro.core.attack_types import AttackType
+from repro.core.strategies import AttackStrategy, strategy_by_name
+from repro.injection.engine import SimulationConfig, run_simulation
+from repro.sim.scenarios import INITIAL_DISTANCES
+
+StrategyFactory = Callable[[], AttackStrategy]
+
+ALL_ATTACK_TYPES: Tuple[AttackType, ...] = tuple(AttackType)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Configuration of one campaign (one strategy over a grid).
+
+    Attributes:
+        strategy_name: Table III strategy name (used for seeding and in
+            the results); the actual strategy object comes from
+            ``strategy_factory`` or :func:`strategy_by_name`.
+        scenarios: Scenario names to include.
+        initial_distances: Initial gaps (m) to include.
+        attack_types: Attack types to include (``()`` for attack-free runs).
+        repetitions: Repetitions per grid cell.
+        driver_enabled: Whether the simulated driver is in the loop.
+        master_seed: Seed from which all per-run seeds are derived.
+        max_steps: Steps per simulation.
+    """
+
+    strategy_name: str = "Context-Aware"
+    scenarios: Sequence[str] = ("S1", "S2", "S3", "S4")
+    initial_distances: Sequence[float] = INITIAL_DISTANCES
+    attack_types: Sequence[AttackType] = ALL_ATTACK_TYPES
+    repetitions: int = 20
+    driver_enabled: bool = True
+    master_seed: int = 2022
+    max_steps: int = 5000
+
+    @property
+    def total_runs(self) -> int:
+        cells = len(self.scenarios) * len(self.initial_distances) * max(1, len(self.attack_types))
+        return cells * self.repetitions
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One cell of the campaign grid."""
+
+    scenario: str
+    initial_distance: float
+    attack_type: Optional[AttackType]
+    repetition: int
+    seed: int
+
+
+class Campaign:
+    """Enumerates and runs a campaign grid."""
+
+    def __init__(
+        self,
+        config: CampaignConfig,
+        strategy_factory: Optional[StrategyFactory] = None,
+    ):
+        self.config = config
+        self.strategy_factory = strategy_factory or (
+            lambda: strategy_by_name(config.strategy_name)
+        )
+
+    def cells(self) -> Iterator[CampaignCell]:
+        """Yield every grid cell with its deterministic seed."""
+        config = self.config
+        attack_types: Sequence[Optional[AttackType]] = (
+            list(config.attack_types) if config.attack_types else [None]
+        )
+        # Seeds derived deterministically from the master seed and the cell
+        # index, so any cell can be re-run in isolation.
+        index = 0
+        for scenario in config.scenarios:
+            for distance in config.initial_distances:
+                for attack_type in attack_types:
+                    for repetition in range(config.repetitions):
+                        seed_sequence = np.random.SeedSequence([config.master_seed, index])
+                        seed = int(seed_sequence.generate_state(1)[0] % (2**31))
+                        index += 1
+                        yield CampaignCell(
+                            scenario=scenario,
+                            initial_distance=distance,
+                            attack_type=attack_type,
+                            repetition=repetition,
+                            seed=seed,
+                        )
+
+    def run_cell(self, cell: CampaignCell) -> RunResult:
+        """Run one cell of the grid."""
+        config = SimulationConfig(
+            scenario=cell.scenario,
+            initial_distance=cell.initial_distance,
+            seed=cell.seed,
+            attack_type=cell.attack_type,
+            driver_enabled=self.config.driver_enabled,
+            max_steps=self.config.max_steps,
+        )
+        strategy = self.strategy_factory() if cell.attack_type is not None else None
+        return run_simulation(config, strategy)
+
+    def run(self, progress: Optional[Callable[[int, int], None]] = None) -> List[RunResult]:
+        """Run the whole campaign sequentially.
+
+        Args:
+            progress: Optional callback ``(completed, total)`` invoked after
+                every run.
+        """
+        results: List[RunResult] = []
+        total = self.config.total_runs
+        for index, cell in enumerate(self.cells(), start=1):
+            results.append(self.run_cell(cell))
+            if progress is not None:
+                progress(index, total)
+        return results
+
+
+def run_campaign(
+    config: CampaignConfig, strategy_factory: Optional[StrategyFactory] = None
+) -> List[RunResult]:
+    """Convenience wrapper: build and run a campaign."""
+    return Campaign(config, strategy_factory).run()

@@ -1,0 +1,205 @@
+"""One complete fault-injection simulation.
+
+The :class:`Simulation` reproduces the platform of Fig. 5 in the paper:
+OpenPilot (ADAS substitute) bridged to the driving simulator, a driver
+reaction simulator, and the attack/fault-injection engine hooked into the
+ADAS output stage.  :func:`run_simulation` is the single-call entry point
+used by examples, tests and the campaign runner.
+"""
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adas.openpilot import OpenPilot, OpenPilotConfig
+from repro.analysis.hazards import HazardMonitor, HazardParams
+from repro.analysis.metrics import RunResult
+from repro.can.bus import CANBus
+from repro.core.attack_engine import AttackEngine
+from repro.core.attack_types import AttackType
+from repro.core.strategies import AttackStrategy, NoAttackStrategy
+from repro.driver.reaction import DriverParams, DriverReactionSimulator
+from repro.messaging.bus import MessageBus
+from repro.messaging.log import MessageLog
+from repro.sim.scenarios import Scenario, build_scenario
+from repro.sim.sensors import SensorNoise
+from repro.sim.units import DT, STEPS_PER_SIMULATION
+from repro.sim.world import World, WorldConfig
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Configuration of one simulation run.
+
+    Attributes:
+        scenario: Scenario name (``"S1"``..``"S4"``) or a fully built
+            :class:`~repro.sim.scenarios.Scenario`.
+        initial_distance: Initial gap to the lead vehicle, m.
+        seed: Seed for every stochastic component of this run.
+        attack_type: Attack type to inject, or ``None`` for an attack-free
+            run.
+        driver_enabled: Whether the simulated alert driver is in the loop.
+        max_steps: Number of 10 ms control steps (paper: 5000 = 50 s).
+        stop_after_collision: Seconds of simulation kept after the first
+            collision before terminating early.
+        noise: Sensor noise model.
+        record_trajectory: Record the ego trajectory (needed for Fig. 7).
+        driver_reaction_time: Average driver reaction time, s.
+        hazard_params: Hazard detection thresholds.
+    """
+
+    scenario: Union[str, Scenario] = "S1"
+    initial_distance: float = 70.0
+    seed: int = 0
+    attack_type: Optional[AttackType] = None
+    driver_enabled: bool = True
+    max_steps: int = STEPS_PER_SIMULATION
+    stop_after_collision: float = 0.5
+    noise: SensorNoise = field(default_factory=SensorNoise)
+    record_trajectory: bool = False
+    driver_reaction_time: float = 2.5
+    hazard_params: HazardParams = field(default_factory=HazardParams)
+
+    def build_scenario(self) -> Scenario:
+        if isinstance(self.scenario, Scenario):
+            return self.scenario.with_initial_distance(self.initial_distance)
+        return build_scenario(self.scenario, self.initial_distance)
+
+
+class Simulation:
+    """A single end-to-end simulation run."""
+
+    def __init__(self, config: SimulationConfig, strategy: Optional[AttackStrategy] = None):
+        self.config = config
+        self.strategy = strategy or NoAttackStrategy()
+
+        scenario = config.build_scenario()
+        self.message_bus = MessageBus()
+        self.can_bus = CANBus()
+        self.alert_log = MessageLog(services=["alertEvent"]).attach(self.message_bus)
+
+        self.world = World(
+            WorldConfig(
+                scenario=scenario,
+                noise=config.noise,
+                seed=config.seed,
+                record_trajectory=config.record_trajectory,
+            ),
+            self.message_bus,
+            self.can_bus,
+        )
+        self.openpilot = OpenPilot(OpenPilotConfig(), self.message_bus, self.can_bus)
+
+        self.attack_engine: Optional[AttackEngine] = None
+        if config.attack_type is not None and not isinstance(self.strategy, NoAttackStrategy):
+            self.attack_engine = AttackEngine(
+                self.message_bus,
+                attack_type=config.attack_type,
+                strategy=self.strategy,
+                seed=config.seed + 7919,
+            )
+            self.openpilot.add_output_hook(self.attack_engine.output_hook)
+
+        self.driver = DriverReactionSimulator(
+            self.message_bus,
+            params=DriverParams(
+                reaction_time=config.driver_reaction_time, enabled=config.driver_enabled
+            ),
+        )
+        self.hazard_monitor = HazardMonitor(config.hazard_params)
+
+    def run(self) -> RunResult:
+        """Run the simulation to completion and return the result record."""
+        config = self.config
+        scenario = self.world.config.scenario
+        result = RunResult(
+            scenario=scenario.name,
+            initial_distance=config.initial_distance,
+            attack_type=config.attack_type.value if config.attack_type else None,
+            strategy=self.strategy.name,
+            seed=config.seed,
+            driver_enabled=config.driver_enabled,
+            duration=0.0,
+        )
+
+        driver_engaged = False
+        collision_time: Optional[float] = None
+
+        for _ in range(config.max_steps):
+            time = self.world.time
+            self.world.publish_sensors()
+            self.world.publish_car_can()
+            car_state = self.world.read_car_state()
+
+            if not driver_engaged:
+                self.openpilot.step(time, car_state)
+            executed_command = self.world.decode_actuator_command()
+
+            lead_gap = lead_speed = None
+            if self.world.lead is not None:
+                lead_gap = self.world.lead.rear_s - self.world.ego.front_s
+                lead_speed = self.world.lead.state.speed
+            decision = self.driver.update(
+                time=time,
+                observed_command=executed_command,
+                v_ego=car_state.v_ego,
+                cruise_speed=scenario.cruise_speed,
+                lateral_offset=self.world.ego.state.d,
+                heading_error=self.world.ego.state.heading_error,
+                current_steering_deg=self.world.ego.state.steering_wheel_deg,
+                lead_gap=lead_gap,
+                lead_speed=lead_speed,
+            )
+            if decision.engaged:
+                if not driver_engaged:
+                    driver_engaged = True
+                    result.driver_engaged = True
+                    result.driver_engagement_time = time
+                    self.openpilot.disengage()
+                    if self.attack_engine is not None:
+                        self.attack_engine.notify_driver_engaged()
+                executed_command = decision.command
+
+            step_result = self.world.step(executed_command if driver_engaged else None)
+
+            new_hazards = self.hazard_monitor.check(self.world)
+            for event in new_hazards:
+                result.record_hazard(event)
+                if self.attack_engine is not None:
+                    self.attack_engine.notify_hazard()
+
+            if step_result.collision is not None:
+                result.record_accident(step_result.collision)
+                if collision_time is None:
+                    collision_time = step_result.collision.time
+            if collision_time is not None and self.world.time - collision_time >= config.stop_after_collision:
+                break
+
+        result.duration = self.world.time
+        result.lane_invasions = len(self.world.lane_monitor.report.invasion_events)
+        result.alerts = [
+            (event.data.name, event.mono_time) for event in self.alert_log.by_service("alertEvent")
+        ]
+        result.driver_perceived = self.driver.perceived
+        result.driver_perception_reason = self.driver.perceived_reason or ""
+
+        if self.attack_engine is not None:
+            record = self.attack_engine.record
+            result.attack_activated = record.activated
+            result.attack_activation_time = record.activation_time
+            result.attack_duration = record.duration
+            result.attack_reason = record.activation_reason
+            result.attack_stopped_by_driver = record.stopped_by_driver
+            self.attack_engine.close()
+
+        if config.record_trajectory:
+            result.trajectory = list(self.world.trajectory)
+        return result
+
+
+def run_simulation(
+    config: SimulationConfig, strategy: Optional[AttackStrategy] = None
+) -> RunResult:
+    """Build and run one simulation (convenience wrapper)."""
+    return Simulation(config, strategy).run()

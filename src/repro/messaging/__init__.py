@@ -1,0 +1,46 @@
+"""Publish/subscribe messaging substrate (Cereal substitute).
+
+OpenPilot's internal components communicate through Cereal, a typed
+publish/subscribe messaging layer.  The paper's attack eavesdrops on three
+services — ``gpsLocationExternal``, ``modelV2`` and ``radarState`` — to
+infer the safety context.  This package provides an in-process equivalent:
+a topic-based :class:`MessageBus`, the service registry with the events the
+attack needs, typed message payloads, ``PubMaster``/``SubMaster`` helpers
+mirroring Cereal's API, and a message log for offline analysis.
+"""
+
+from repro.messaging.bus import MessageBus, Subscription
+from repro.messaging.events import Event
+from repro.messaging.messages import (
+    GpsLocationExternal,
+    ModelV2,
+    RadarState,
+    CarState,
+    CarControl,
+    ControlsState,
+    AlertEvent,
+    DriverMonitoringState,
+)
+from repro.messaging.services import SERVICE_LIST, ServiceSpec, service_for
+from repro.messaging.pubsub import PubMaster, SubMaster
+from repro.messaging.log import MessageLog
+
+__all__ = [
+    "MessageBus",
+    "Subscription",
+    "Event",
+    "GpsLocationExternal",
+    "ModelV2",
+    "RadarState",
+    "CarState",
+    "CarControl",
+    "ControlsState",
+    "AlertEvent",
+    "DriverMonitoringState",
+    "SERVICE_LIST",
+    "ServiceSpec",
+    "service_for",
+    "PubMaster",
+    "SubMaster",
+    "MessageLog",
+]

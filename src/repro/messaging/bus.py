@@ -1,0 +1,119 @@
+"""In-process publish/subscribe message bus.
+
+The bus is the Cereal substitute: components publish typed events on named
+services and any number of subscribers — including a malicious
+eavesdropper — receive them.  Delivery is synchronous and in publication
+order, which matches the single-process integration OpenPilot uses when
+bridged to a simulator.
+
+Subscriptions hold a bounded queue (``conflate=True`` keeps only the most
+recent message, like Cereal's conflate option) so that slow consumers
+cannot grow memory without bound.
+"""
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.messaging.events import Event
+from repro.messaging.services import validate_payload
+
+
+class Subscription:
+    """A subscriber's view of one service.
+
+    Use :meth:`latest` for conflated access (most recent message) or
+    :meth:`drain` to consume every queued message in order.
+    """
+
+    def __init__(self, service: str, conflate: bool = False, maxlen: int = 1024):
+        self.service = service
+        self.conflate = conflate
+        self._queue: Deque[Event] = deque(maxlen=1 if conflate else maxlen)
+        self._latest: Optional[Event] = None
+        self.updated = False
+
+    def _deliver(self, event: Event) -> None:
+        self._queue.append(event)
+        self._latest = event
+        self.updated = True
+
+    @property
+    def latest(self) -> Optional[Event]:
+        """The most recently delivered event, or ``None`` if none yet."""
+        return self._latest
+
+    def drain(self) -> List[Event]:
+        """Return and clear all queued events, oldest first."""
+        events = list(self._queue)
+        self._queue.clear()
+        self.updated = False
+        return events
+
+    def clear_updated(self) -> None:
+        """Reset the ``updated`` flag (done by :class:`SubMaster.update`)."""
+        self.updated = False
+
+
+class MessageBus:
+    """Topic-based synchronous publish/subscribe bus.
+
+    The bus maintains per-service sequence numbers and an optional list of
+    tap callbacks, which receive every event regardless of service — used
+    by the message log and by tests.
+    """
+
+    def __init__(self):
+        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self._seq: Dict[str, int] = {}
+        self._taps: List[Callable[[Event], None]] = []
+        self._mono_time = 0.0
+
+    def set_time(self, mono_time: float) -> None:
+        """Advance the bus clock; publications are stamped with this time."""
+        if mono_time < self._mono_time:
+            raise ValueError(
+                f"bus clock must be monotonic: {mono_time} < {self._mono_time}"
+            )
+        self._mono_time = mono_time
+
+    @property
+    def mono_time(self) -> float:
+        return self._mono_time
+
+    def subscribe(self, service: str, conflate: bool = False) -> Subscription:
+        """Create and register a new :class:`Subscription` for ``service``."""
+        sub = Subscription(service, conflate=conflate)
+        self._subscriptions.setdefault(service, []).append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        """Remove a subscription; unknown subscriptions are ignored."""
+        subs = self._subscriptions.get(sub.service, [])
+        if sub in subs:
+            subs.remove(sub)
+
+    def add_tap(self, callback: Callable[[Event], None]) -> None:
+        """Register a callback invoked for every published event."""
+        self._taps.append(callback)
+
+    def publish(self, service: str, payload: object, valid: bool = True) -> Event:
+        """Publish ``payload`` on ``service`` and deliver it to subscribers."""
+        validate_payload(service, payload)
+        seq = self._seq.get(service, 0)
+        self._seq[service] = seq + 1
+        event = Event(
+            service=service,
+            seq=seq,
+            mono_time=self._mono_time,
+            data=payload,
+            valid=valid,
+        )
+        for sub in self._subscriptions.get(service, ()):
+            sub._deliver(event)
+        for tap in self._taps:
+            tap(event)
+        return event
+
+    def publication_count(self, service: str) -> int:
+        """Number of events published on ``service`` so far."""
+        return self._seq.get(service, 0)

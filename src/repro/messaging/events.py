@@ -1,0 +1,35 @@
+"""Event envelope for messages travelling on the bus.
+
+Every published payload is wrapped in an :class:`Event` carrying the
+service name, a monotonically increasing sequence number per service, and
+the logical publication time.  This mirrors Cereal's message header
+(``logMonoTime`` plus the capnp union member name).
+"""
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single message instance on the bus.
+
+    Attributes:
+        service: Name of the service (topic), e.g. ``"radarState"``.
+        seq: Per-service sequence number, starting at 0.
+        mono_time: Logical publication time in seconds.
+        data: The typed payload (one of the dataclasses in
+            :mod:`repro.messaging.messages`).
+        valid: Whether the publisher considered the data valid.  Sensors
+            publish ``valid=False`` during their warm-up period.
+    """
+
+    service: str
+    seq: int
+    mono_time: float
+    data: Any
+    valid: bool = True
+
+    def age(self, now: float) -> float:
+        """Return the age of this event relative to ``now`` in seconds."""
+        return now - self.mono_time

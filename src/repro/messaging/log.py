@@ -1,0 +1,61 @@
+"""Message log: records every event published on a bus.
+
+Comma.ai collects user driving data (camera, CAN, GPS, logs); the
+equivalent here is a structured in-memory log that records every event
+crossing the bus.  The analysis layer uses it to count alerts, reconstruct
+trajectories for Figure 7, and measure time-to-hazard.
+"""
+
+from collections import defaultdict
+from typing import Dict, Iterator, List, Optional
+
+from repro.messaging.bus import MessageBus
+from repro.messaging.events import Event
+
+
+class MessageLog:
+    """Tap-based recorder of all bus traffic.
+
+    Attach with :meth:`attach`; afterwards every published event is stored
+    and can be queried by service name or iterated in publication order.
+    """
+
+    def __init__(self, services: Optional[List[str]] = None):
+        self._filter = set(services) if services is not None else None
+        self._events: List[Event] = []
+        self._by_service: Dict[str, List[Event]] = defaultdict(list)
+
+    def attach(self, bus: MessageBus) -> "MessageLog":
+        """Register this log as a tap on ``bus`` and return ``self``."""
+        bus.add_tap(self._record)
+        return self
+
+    def _record(self, event: Event) -> None:
+        if self._filter is not None and event.service not in self._filter:
+            return
+        self._events.append(event)
+        self._by_service[event.service].append(event)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def by_service(self, service: str) -> List[Event]:
+        """All recorded events for ``service``, oldest first."""
+        return list(self._by_service.get(service, ()))
+
+    def count(self, service: str) -> int:
+        """Number of recorded events for ``service``."""
+        return len(self._by_service.get(service, ()))
+
+    def last(self, service: str) -> Optional[Event]:
+        """Most recent recorded event for ``service``, or ``None``."""
+        events = self._by_service.get(service)
+        return events[-1] if events else None
+
+    def clear(self) -> None:
+        """Discard all recorded events."""
+        self._events.clear()
+        self._by_service.clear()

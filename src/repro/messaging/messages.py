@@ -1,0 +1,152 @@
+"""Typed message payloads for the Cereal-substitute services.
+
+The field names deliberately follow OpenPilot's capnp schema
+(``log.capnp``) where practical, so that code written against the paper's
+description of the eavesdropping step ("subscribe to gpsLocationExternal,
+modelV2 and radarState") reads the same here.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class GpsLocationExternal:
+    """GPS fix published by the location daemon.
+
+    The attack reads ``speed`` from this service to learn the ego
+    vehicle's current speed (paper, Section III-C, Eavesdropping).
+    """
+
+    speed: float = 0.0          # m/s, ground speed
+    bearing_deg: float = 0.0    # heading, degrees
+    latitude: float = 0.0
+    longitude: float = 0.0
+    altitude: float = 0.0
+    accuracy: float = 1.0       # metres, 1-sigma horizontal accuracy
+    flags: int = 1              # 1 = fix valid
+
+
+@dataclass(frozen=True)
+class LaneLine:
+    """A single lane line estimate from the perception model."""
+
+    offset: float               # lateral offset of the line from vehicle centre, m (+left)
+    probability: float = 1.0    # detection confidence in [0, 1]
+
+
+@dataclass(frozen=True)
+class ModelV2:
+    """Perception model output (lane lines and lead estimate).
+
+    The attack reads the lane line positions from this service to compute
+    the distance to the left/right lane edges (``dleft``/``dright`` in the
+    safety context table).
+    """
+
+    lane_lines: Tuple[LaneLine, ...] = ()
+    lane_width: float = 3.7                     # m
+    lateral_offset: float = 0.0                 # vehicle centre offset from lane centre, m (+left)
+    heading_error: float = 0.0                  # rad, vehicle heading relative to lane
+    curvature: float = 0.0                      # 1/m, estimated path/road curvature (+ = left)
+    lead_probability: float = 0.0               # model's confidence there is a lead
+    lead_distance: float = 0.0                  # m, model estimate (vision)
+    frame_id: int = 0
+
+
+@dataclass(frozen=True)
+class RadarLead:
+    """A single radar track of a lead vehicle."""
+
+    d_rel: float                # relative longitudinal distance, m
+    v_rel: float                # relative speed (lead - ego), m/s
+    v_lead: float               # absolute lead speed, m/s
+    a_lead: float = 0.0         # lead acceleration, m/s^2
+    y_rel: float = 0.0          # lateral offset of the lead, m
+    status: bool = True         # track is valid
+
+
+@dataclass(frozen=True)
+class RadarState:
+    """Radar daemon output: the two closest lead tracks (as in OpenPilot)."""
+
+    lead_one: Optional[RadarLead] = None
+    lead_two: Optional[RadarLead] = None
+    can_error: bool = False
+
+
+@dataclass(frozen=True)
+class CarState:
+    """Vehicle state decoded from the car's CAN bus."""
+
+    v_ego: float = 0.0               # m/s
+    a_ego: float = 0.0               # m/s^2
+    steering_angle_deg: float = 0.0  # steering wheel angle, degrees
+    steering_rate_deg: float = 0.0   # deg/s
+    steering_torque: float = 0.0     # Nm applied by the driver
+    gas: float = 0.0                 # normalised [0, 1]
+    brake: float = 0.0               # normalised [0, 1]
+    brake_pressed: bool = False
+    gas_pressed: bool = False
+    cruise_enabled: bool = True
+    cruise_speed: float = 0.0        # m/s, set speed
+    standstill: bool = False
+    left_blinker: bool = False
+    right_blinker: bool = False
+
+
+@dataclass(frozen=True)
+class Actuators:
+    """Actuator commands produced by the controllers."""
+
+    accel: float = 0.0               # m/s^2, positive = gas
+    brake: float = 0.0               # m/s^2, negative = braking demand
+    steering_angle_deg: float = 0.0  # commanded steering wheel angle, degrees
+    steer_torque: float = 0.0        # normalised [-1, 1]
+
+
+@dataclass(frozen=True)
+class CarControl:
+    """Control command sent towards the car (pre-CAN encoding)."""
+
+    enabled: bool = True
+    actuators: Actuators = field(default_factory=Actuators)
+    cruise_cancel: bool = False
+    hud_visual_alert: str = "none"
+    hud_audible_alert: str = "none"
+
+
+@dataclass(frozen=True)
+class ControlsState:
+    """State of the controls daemon (alerts, engagement, planner targets)."""
+
+    enabled: bool = True
+    active: bool = True
+    alert_text: str = ""
+    alert_type: str = ""
+    alert_status: str = "normal"     # normal | userPrompt | critical
+    v_cruise: float = 0.0            # m/s
+    v_target: float = 0.0            # m/s planner target
+    a_target: float = 0.0            # m/s^2 planner target
+    curvature: float = 0.0           # commanded path curvature, 1/m
+    steer_saturated: bool = False
+    fcw: bool = False
+
+
+@dataclass(frozen=True)
+class AlertEvent:
+    """A single alert raised by the ADAS alert manager."""
+
+    name: str                        # e.g. "fcw", "steerSaturated"
+    severity: str                    # "warning" | "critical"
+    text: str = ""
+    audible: bool = True
+
+
+@dataclass(frozen=True)
+class DriverMonitoringState:
+    """Driver monitoring daemon output."""
+
+    face_detected: bool = True
+    is_distracted: bool = False
+    awareness: float = 1.0           # [0, 1], decays when distracted

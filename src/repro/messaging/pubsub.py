@@ -1,0 +1,82 @@
+"""``PubMaster`` / ``SubMaster`` convenience wrappers.
+
+These mirror Cereal's messaging helpers of the same names: a ``PubMaster``
+publishes on a fixed set of services, and a ``SubMaster`` conflates the
+latest message of each subscribed service and exposes them as a mapping.
+The attack's eavesdropper is a plain ``SubMaster`` over
+``gpsLocationExternal``, ``modelV2`` and ``radarState``.
+"""
+
+from typing import Dict, Iterable, Optional
+
+from repro.messaging.bus import MessageBus, Subscription
+from repro.messaging.events import Event
+from repro.messaging.services import service_for
+
+
+class PubMaster:
+    """Publisher bound to a fixed set of services."""
+
+    def __init__(self, bus: MessageBus, services: Iterable[str]):
+        self._bus = bus
+        self._services = set(services)
+        for name in self._services:
+            service_for(name)  # validate early
+
+    def send(self, service: str, payload: object, valid: bool = True) -> Event:
+        """Publish ``payload`` on ``service``; the service must be bound."""
+        if service not in self._services:
+            raise KeyError(f"PubMaster is not bound to service {service!r}")
+        return self._bus.publish(service, payload, valid=valid)
+
+
+class SubMaster:
+    """Conflated subscriber over multiple services.
+
+    After :meth:`update`, ``sm["radarState"]`` returns the latest payload
+    (or ``None`` if nothing has been published yet), ``sm.updated[name]``
+    says whether a new message arrived since the previous update, and
+    ``sm.valid[name]`` mirrors the publisher's validity flag.
+    """
+
+    def __init__(self, bus: MessageBus, services: Iterable[str]):
+        self._bus = bus
+        self._subs: Dict[str, Subscription] = {
+            name: bus.subscribe(name, conflate=True) for name in services
+        }
+        self.updated: Dict[str, bool] = {name: False for name in self._subs}
+        self.valid: Dict[str, bool] = {name: False for name in self._subs}
+        self.last_recv_time: Dict[str, float] = {name: float("-inf") for name in self._subs}
+
+    @property
+    def services(self) -> Iterable[str]:
+        return self._subs.keys()
+
+    def update(self) -> None:
+        """Refresh the ``updated``/``valid`` bookkeeping from the bus."""
+        for name, sub in self._subs.items():
+            self.updated[name] = sub.updated
+            event = sub.latest
+            if event is not None:
+                self.valid[name] = event.valid
+                if sub.updated:
+                    self.last_recv_time[name] = event.mono_time
+            sub.clear_updated()
+
+    def __getitem__(self, service: str):
+        event = self._subs[service].latest
+        return None if event is None else event.data
+
+    def event(self, service: str) -> Optional[Event]:
+        """Return the latest raw :class:`Event` for ``service``."""
+        return self._subs[service].latest
+
+    def all_alive(self, services: Optional[Iterable[str]] = None) -> bool:
+        """True when every listed service has received at least one message."""
+        names = self._subs.keys() if services is None else services
+        return all(self._subs[name].latest is not None for name in names)
+
+    def close(self) -> None:
+        """Unsubscribe from every service."""
+        for sub in self._subs.values():
+            self._bus.unsubscribe(sub)

@@ -1,0 +1,58 @@
+"""Service registry for the messaging layer.
+
+Mirrors OpenPilot's ``services.py``: each service has a name, a nominal
+publication frequency, and the payload type it carries.  Publishing a
+payload of the wrong type on a service is a programming error and raises
+immediately, which keeps the bus strongly typed without a schema compiler.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, Type
+
+from repro.messaging import messages as m
+
+
+@dataclass(frozen=True)
+class ServiceSpec:
+    """Declaration of a single pub/sub service (topic)."""
+
+    name: str
+    frequency_hz: float
+    payload_type: type
+
+
+SERVICE_LIST: Dict[str, ServiceSpec] = {
+    spec.name: spec
+    for spec in (
+        ServiceSpec("gpsLocationExternal", 10.0, m.GpsLocationExternal),
+        ServiceSpec("modelV2", 20.0, m.ModelV2),
+        ServiceSpec("radarState", 20.0, m.RadarState),
+        ServiceSpec("carState", 100.0, m.CarState),
+        ServiceSpec("carControl", 100.0, m.CarControl),
+        ServiceSpec("controlsState", 100.0, m.ControlsState),
+        ServiceSpec("alertEvent", 100.0, m.AlertEvent),
+        ServiceSpec("driverMonitoringState", 10.0, m.DriverMonitoringState),
+    )
+}
+
+
+def service_for(name: str) -> ServiceSpec:
+    """Return the :class:`ServiceSpec` for ``name``.
+
+    Raises ``KeyError`` with a helpful message if the service is unknown.
+    """
+    try:
+        return SERVICE_LIST[name]
+    except KeyError:
+        known = ", ".join(sorted(SERVICE_LIST))
+        raise KeyError(f"unknown service {name!r}; known services: {known}") from None
+
+
+def validate_payload(name: str, payload: object) -> None:
+    """Raise ``TypeError`` if ``payload`` is not valid for service ``name``."""
+    spec = service_for(name)
+    if not isinstance(payload, spec.payload_type):
+        raise TypeError(
+            f"service {name!r} expects {spec.payload_type.__name__}, "
+            f"got {type(payload).__name__}"
+        )

@@ -1,0 +1,38 @@
+"""Driving simulator substrate (CARLA substitute).
+
+A 2-D kinematic driving simulator operating in a road-aligned (Frenet)
+frame: the ego vehicle is a kinematic bicycle model, the lead vehicle is a
+scripted longitudinal actor, and the road carries lane geometry, guardrails
+and curvature.  The simulator runs at the paper's 100 Hz control rate
+(10 ms steps, 5000 steps = 50 s per simulation).
+"""
+
+from repro.sim.road import Road, RoadSpec
+from repro.sim.vehicle import EgoVehicle, VehicleParams, ActuatorCommand
+from repro.sim.actors import LeadVehicle, FollowerVehicle, LeadBehavior
+from repro.sim.sensors import GpsSensor, RadarSensor, CameraModel, SensorNoise
+from repro.sim.collision import CollisionDetector, LaneMonitor
+from repro.sim.scenarios import Scenario, SCENARIOS, build_scenario
+from repro.sim.world import World, WorldConfig
+
+__all__ = [
+    "Road",
+    "RoadSpec",
+    "EgoVehicle",
+    "VehicleParams",
+    "ActuatorCommand",
+    "LeadVehicle",
+    "FollowerVehicle",
+    "LeadBehavior",
+    "GpsSensor",
+    "RadarSensor",
+    "CameraModel",
+    "SensorNoise",
+    "CollisionDetector",
+    "LaneMonitor",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario",
+    "World",
+    "WorldConfig",
+]

@@ -1,0 +1,146 @@
+"""Other traffic participants: the lead vehicle and a following vehicle.
+
+The lead vehicle realises the four scripted behaviours of the paper's
+driving scenarios (S1–S4); the follower exists to detect rear-end
+collisions (accident A2) when the ego vehicle is forced to a stop in the
+travel lane by a Deceleration attack.
+"""
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+from repro.sim.units import DT, clamp
+
+
+class LeadBehavior(Enum):
+    """Longitudinal behaviour profile of the lead vehicle."""
+
+    CRUISE = "cruise"
+    DECELERATE = "decelerate"
+    ACCELERATE = "accelerate"
+
+
+@dataclass
+class ActorState:
+    """Kinematic state of a scripted actor (lane-following point mass)."""
+
+    s: float
+    d: float
+    speed: float
+    accel: float = 0.0
+
+
+class LeadVehicle:
+    """Scripted lead vehicle travelling along the ego lane centreline."""
+
+    def __init__(
+        self,
+        initial_s: float,
+        initial_speed: float,
+        behavior: LeadBehavior = LeadBehavior.CRUISE,
+        target_speed: Optional[float] = None,
+        speed_change_rate: float = 1.0,
+        speed_change_start: float = 10.0,
+        length: float = 4.6,
+        width: float = 1.8,
+    ):
+        """Create a lead vehicle.
+
+        Args:
+            initial_s: Initial arc-length position (front of ego + gap).
+            initial_speed: Initial speed, m/s.
+            behavior: One of the :class:`LeadBehavior` profiles.
+            target_speed: Final speed for DECELERATE/ACCELERATE profiles.
+            speed_change_rate: Magnitude of the speed change, m/s^2.
+            speed_change_start: Simulation time at which the change starts.
+            length / width: Body dimensions, m.
+        """
+        if behavior is not LeadBehavior.CRUISE and target_speed is None:
+            raise ValueError("target_speed is required for non-cruise behaviours")
+        self.state = ActorState(s=initial_s, d=0.0, speed=initial_speed)
+        self.behavior = behavior
+        self.target_speed = initial_speed if target_speed is None else target_speed
+        self.speed_change_rate = abs(speed_change_rate)
+        self.speed_change_start = speed_change_start
+        self.length = length
+        self.width = width
+
+    @property
+    def rear_s(self) -> float:
+        return self.state.s - self.length / 2.0
+
+    @property
+    def front_s(self) -> float:
+        return self.state.s + self.length / 2.0
+
+    def step(self, time: float, dt: float = DT) -> ActorState:
+        """Advance the scripted behaviour by one period."""
+        state = self.state
+        accel = 0.0
+        if self.behavior is not LeadBehavior.CRUISE and time >= self.speed_change_start:
+            if self.behavior is LeadBehavior.DECELERATE and state.speed > self.target_speed:
+                accel = -self.speed_change_rate
+            elif self.behavior is LeadBehavior.ACCELERATE and state.speed < self.target_speed:
+                accel = self.speed_change_rate
+        state.accel = accel
+        state.speed = max(0.0, state.speed + accel * dt)
+        if self.behavior is LeadBehavior.DECELERATE:
+            state.speed = max(state.speed, self.target_speed)
+        elif self.behavior is LeadBehavior.ACCELERATE:
+            state.speed = min(state.speed, self.target_speed)
+        state.s += state.speed * dt
+        return state
+
+
+class FollowerVehicle:
+    """A simple human-driven vehicle behind the ego vehicle.
+
+    The follower applies an intelligent-driver-model style control law with
+    a perception/reaction delay; if the ego vehicle brakes to a stop
+    without warning (hazard H2), the follower may not stop in time, which
+    is the rear-end collision A2 from the paper's accident list.
+    """
+
+    def __init__(
+        self,
+        initial_s: float,
+        initial_speed: float,
+        reaction_delay: float = 1.2,
+        max_decel: float = 6.0,
+        desired_headway: float = 1.5,
+        length: float = 4.6,
+        width: float = 1.8,
+    ):
+        self.state = ActorState(s=initial_s, d=0.0, speed=initial_speed)
+        self.reaction_delay = reaction_delay
+        self.max_decel = max_decel
+        self.desired_headway = desired_headway
+        self.length = length
+        self.width = width
+        self._pending_gap_history = []  # (time, gap, ego_speed)
+
+    @property
+    def front_s(self) -> float:
+        return self.state.s + self.length / 2.0
+
+    def step(self, time: float, ego_rear_s: float, ego_speed: float, dt: float = DT) -> ActorState:
+        """Advance the follower towards the ego vehicle's rear bumper."""
+        state = self.state
+        gap = ego_rear_s - self.front_s
+        # The follower reacts to the situation it perceived `reaction_delay`
+        # seconds ago.
+        self._pending_gap_history.append((time, gap, ego_speed))
+        perceived = self._pending_gap_history[0]
+        while self._pending_gap_history and time - self._pending_gap_history[0][0] >= self.reaction_delay:
+            perceived = self._pending_gap_history.pop(0)
+        perceived_gap, perceived_ego_speed = perceived[1], perceived[2]
+
+        desired_gap = max(2.0, self.desired_headway * state.speed)
+        closing_speed = state.speed - perceived_ego_speed
+        accel = 0.6 * (perceived_gap - desired_gap) - 0.9 * closing_speed
+        accel = clamp(accel, -self.max_decel, 1.5)
+        state.accel = accel
+        state.speed = max(0.0, state.speed + accel * dt)
+        state.s += state.speed * dt
+        return state

@@ -1,0 +1,175 @@
+"""Collision detection and lane monitoring.
+
+The paper reports three accident classes:
+
+* **A1** — collision with the lead vehicle,
+* **A2** — rear-end collision (the ego vehicle stops and is hit from
+  behind, causing traffic congestion),
+* **A3** — collision with road-side objects (guardrail) or vehicles in the
+  neighbouring lane,
+
+and counts *lane invasion* events (a wheel crossing a lane line), which
+occur even without attacks (Observation 1).
+"""
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+from repro.sim.actors import FollowerVehicle, LeadVehicle
+from repro.sim.road import Road
+from repro.sim.vehicle import EgoVehicle
+
+
+class AccidentType(Enum):
+    """Accident classes from Section III-A of the paper."""
+
+    LEAD_COLLISION = "A1"
+    REAR_END_COLLISION = "A2"
+    ROADSIDE_COLLISION = "A3"
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """A detected accident."""
+
+    accident: AccidentType
+    time: float
+    description: str
+
+
+@dataclass
+class LaneInvasionEvent:
+    """A single lane-line crossing by the ego vehicle."""
+
+    time: float
+    side: str  # "left" or "right"
+
+
+class CollisionDetector:
+    """Detects A1/A2/A3 accidents from ground-truth geometry."""
+
+    def __init__(self, road: Road):
+        self.road = road
+        self.events: List[CollisionEvent] = []
+
+    @property
+    def collided(self) -> bool:
+        return bool(self.events)
+
+    def first_event(self) -> Optional[CollisionEvent]:
+        return self.events[0] if self.events else None
+
+    def check(
+        self,
+        time: float,
+        ego: EgoVehicle,
+        lead: Optional[LeadVehicle] = None,
+        follower: Optional[FollowerVehicle] = None,
+    ) -> Optional[CollisionEvent]:
+        """Check for a new collision at ``time``; records and returns it."""
+        event = self._check_lead(time, ego, lead)
+        if event is None:
+            event = self._check_roadside(time, ego)
+        if event is None:
+            event = self._check_rear_end(time, ego, follower)
+        if event is not None:
+            self.events.append(event)
+        return event
+
+    def _check_lead(
+        self, time: float, ego: EgoVehicle, lead: Optional[LeadVehicle]
+    ) -> Optional[CollisionEvent]:
+        if lead is None:
+            return None
+        longitudinal_overlap = ego.front_s >= lead.rear_s and ego.rear_s <= lead.front_s
+        lateral_overlap = abs(ego.state.d - lead.state.d) < (ego.params.width + lead.width) / 2.0
+        if longitudinal_overlap and lateral_overlap:
+            return CollisionEvent(
+                AccidentType.LEAD_COLLISION,
+                time,
+                f"ego front bumper reached lead vehicle at s={ego.front_s:.1f} m",
+            )
+        return None
+
+    def _check_roadside(self, time: float, ego: EgoVehicle) -> Optional[CollisionEvent]:
+        if ego.right_edge <= self.road.right_guardrail:
+            return CollisionEvent(
+                AccidentType.ROADSIDE_COLLISION,
+                time,
+                f"ego collided with right guardrail (d={ego.state.d:.2f} m)",
+            )
+        if ego.left_edge >= self.road.left_road_edge:
+            return CollisionEvent(
+                AccidentType.ROADSIDE_COLLISION,
+                time,
+                f"ego collided with left road edge (d={ego.state.d:.2f} m)",
+            )
+        return None
+
+    def _check_rear_end(
+        self, time: float, ego: EgoVehicle, follower: Optional[FollowerVehicle]
+    ) -> Optional[CollisionEvent]:
+        if follower is None:
+            return None
+        longitudinal_overlap = follower.front_s >= ego.rear_s
+        lateral_overlap = abs(ego.state.d - follower.state.d) < (ego.params.width + follower.width) / 2.0
+        if longitudinal_overlap and lateral_overlap:
+            return CollisionEvent(
+                AccidentType.REAR_END_COLLISION,
+                time,
+                "follower vehicle hit the stopped ego vehicle",
+            )
+        return None
+
+
+@dataclass
+class LaneMonitorReport:
+    """Summary of lane-keeping behaviour over a simulation."""
+
+    invasion_events: List[LaneInvasionEvent] = field(default_factory=list)
+    out_of_lane: bool = False
+    out_of_lane_time: Optional[float] = None
+
+    def invasions_per_second(self, duration: float) -> float:
+        """Lane invasion event rate (events per second of simulation)."""
+        if duration <= 0:
+            return 0.0
+        return len(self.invasion_events) / duration
+
+
+class LaneMonitor:
+    """Tracks lane invasions and the out-of-lane hazard condition (H3)."""
+
+    def __init__(self, road: Road, out_of_lane_margin: float = 0.0):
+        """Args:
+            road: Road geometry.
+            out_of_lane_margin: Extra lateral distance beyond the lane line
+                the vehicle *centre* must exceed before the state counts as
+                "out of lane" (hazard H3).
+        """
+        self.road = road
+        self.out_of_lane_margin = out_of_lane_margin
+        self.report = LaneMonitorReport()
+        self._invading_left = False
+        self._invading_right = False
+
+    def check(self, time: float, ego: EgoVehicle) -> None:
+        """Update invasion / out-of-lane state for the current step."""
+        left_invading = ego.left_edge > self.road.left_lane_line
+        right_invading = ego.right_edge < self.road.right_lane_line
+
+        if left_invading and not self._invading_left:
+            self.report.invasion_events.append(LaneInvasionEvent(time, "left"))
+        if right_invading and not self._invading_right:
+            self.report.invasion_events.append(LaneInvasionEvent(time, "right"))
+        self._invading_left = left_invading
+        self._invading_right = right_invading
+
+        centre_out = (
+            ego.state.d > self.road.left_lane_line + self.out_of_lane_margin
+            or ego.state.d < self.road.right_lane_line - self.out_of_lane_margin
+        )
+        if centre_out and not self.report.out_of_lane:
+            self.report.out_of_lane = True
+            self.report.out_of_lane_time = time

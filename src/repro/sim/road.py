@@ -1,0 +1,128 @@
+"""Road geometry in a road-aligned (Frenet) frame.
+
+The driving scenarios in the paper take place on a highway-like road that
+curves to the left, with the ego vehicle initialised in the right lane,
+close to the right guardrail (this asymmetry is what makes Steering-Right
+attacks more effective than Steering-Left ones — Observation 5).
+
+Positions are expressed as ``(s, d)``: ``s`` is the arc length travelled
+along the ego lane's centreline and ``d`` the lateral offset from that
+centreline, positive to the **left**.
+"""
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RoadSpec:
+    """Static description of the road.
+
+    Attributes:
+        lane_width: Width of each lane in metres.
+        num_left_lanes: Number of additional lanes to the left of the ego
+            lane (the paper's scenario has one neighbouring lane).
+        right_shoulder: Distance from the ego lane's right line to the
+            right guardrail.
+        left_shoulder: Distance from the outermost left lane line to the
+            left road edge / barrier.
+        curve_start: Arc length at which the road begins to curve left.
+        curve_transition: Length over which curvature ramps from zero to
+            ``curvature_max``.
+        curvature_max: Final (constant) curvature of the left curve, 1/m.
+            Positive curvature turns left.
+    """
+
+    lane_width: float = 3.6
+    num_left_lanes: int = 1
+    right_shoulder: float = 0.6
+    left_shoulder: float = 0.6
+    curve_start: float = 150.0
+    curve_transition: float = 200.0
+    curvature_max: float = 0.0025
+
+    def __post_init__(self):
+        if self.lane_width <= 0:
+            raise ValueError("lane_width must be positive")
+        if self.num_left_lanes < 0:
+            raise ValueError("num_left_lanes must be non-negative")
+        if self.curve_transition <= 0:
+            raise ValueError("curve_transition must be positive")
+
+
+class Road:
+    """A road with a straight section followed by a gentle left curve."""
+
+    def __init__(self, spec: RoadSpec = RoadSpec()):
+        self.spec = spec
+
+    def curvature(self, s: float) -> float:
+        """Road centreline curvature at arc length ``s`` (1/m, + = left)."""
+        spec = self.spec
+        if s <= spec.curve_start:
+            return 0.0
+        progress = (s - spec.curve_start) / spec.curve_transition
+        if progress >= 1.0:
+            return spec.curvature_max
+        # Smooth (cosine) ramp avoids a curvature step that would excite
+        # the lateral controller unrealistically.
+        return spec.curvature_max * 0.5 * (1.0 - math.cos(math.pi * progress))
+
+    # Lateral landmarks (offsets from the ego lane centreline, + = left).
+
+    @property
+    def left_lane_line(self) -> float:
+        """Offset of the ego lane's left line."""
+        return self.spec.lane_width / 2.0
+
+    @property
+    def right_lane_line(self) -> float:
+        """Offset of the ego lane's right line."""
+        return -self.spec.lane_width / 2.0
+
+    @property
+    def right_guardrail(self) -> float:
+        """Offset of the right guardrail (a collision boundary)."""
+        return self.right_lane_line - self.spec.right_shoulder
+
+    @property
+    def left_road_edge(self) -> float:
+        """Offset of the left road edge / barrier (a collision boundary)."""
+        return self.left_lane_line + self.spec.num_left_lanes * self.spec.lane_width + self.spec.left_shoulder
+
+    def heading(self, s: float) -> float:
+        """Heading of the road tangent at ``s`` relative to the start (rad).
+
+        Integrated analytically over the piecewise curvature profile; used
+        to convert Frenet trajectories back to Cartesian for Figure 7.
+        """
+        spec = self.spec
+        if s <= spec.curve_start:
+            return 0.0
+        end_ramp = spec.curve_start + spec.curve_transition
+        if s <= end_ramp:
+            x = s - spec.curve_start
+            # integral of kappa_max/2 * (1 - cos(pi x / L)) dx
+            return spec.curvature_max * 0.5 * (
+                x - (spec.curve_transition / math.pi) * math.sin(math.pi * x / spec.curve_transition)
+            )
+        heading_at_ramp_end = spec.curvature_max * 0.5 * spec.curve_transition
+        return heading_at_ramp_end + spec.curvature_max * (s - end_ramp)
+
+    def to_cartesian(self, s: float, d: float, ds: float = 0.5):
+        """Convert a Frenet position to Cartesian ``(x, y)``.
+
+        The centreline is integrated numerically with step ``ds``; accuracy
+        of a few centimetres is ample for trajectory plots.
+        """
+        x = y = 0.0
+        travelled = 0.0
+        while travelled < s:
+            step = min(ds, s - travelled)
+            theta = self.heading(travelled + step / 2.0)
+            x += step * math.cos(theta)
+            y += step * math.sin(theta)
+            travelled += step
+        theta = self.heading(s)
+        # Lateral offset is applied along the local normal (left of tangent).
+        return x - d * math.sin(theta), y + d * math.cos(theta)

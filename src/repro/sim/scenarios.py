@@ -1,0 +1,105 @@
+"""Driving scenarios S1–S4 from the paper's evaluation (Section IV-A).
+
+All four scenarios start with the ego vehicle cruising at 60 mph and a
+lead vehicle 50, 70 or 100 m ahead:
+
+* **S1** — lead cruises at 35 mph.
+* **S2** — lead cruises at 50 mph.
+* **S3** — lead slows down from 50 mph to 35 mph.
+* **S4** — lead accelerates from 35 mph to 50 mph.
+"""
+
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.sim.actors import LeadBehavior
+from repro.sim.road import RoadSpec
+from repro.sim.units import mph_to_ms
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A fully parameterised driving scenario.
+
+    Speeds are stored in m/s; use :func:`repro.sim.units.mph_to_ms` when
+    constructing scenarios from the paper's mph figures.
+    """
+
+    name: str
+    description: str
+    ego_initial_speed: float
+    cruise_speed: float
+    lead_initial_speed: float
+    lead_behavior: LeadBehavior
+    lead_target_speed: Optional[float] = None
+    lead_speed_change_rate: float = 1.0
+    lead_speed_change_start: float = 10.0
+    initial_distance: float = 70.0
+    ego_initial_lane_offset: float = -0.3   # m, slightly towards the right guardrail
+    with_follower: bool = True
+    follower_gap: float = 45.0              # m behind the ego vehicle
+    follower_speed: float = mph_to_ms(55.0)
+    road: RoadSpec = RoadSpec()
+
+    def with_initial_distance(self, distance: float) -> "Scenario":
+        """Return a copy of the scenario with a different initial gap."""
+        if distance <= 0:
+            raise ValueError("initial distance must be positive")
+        return replace(self, initial_distance=distance)
+
+
+_EGO_SPEED = mph_to_ms(60.0)
+
+SCENARIOS: Dict[str, Scenario] = {
+    "S1": Scenario(
+        name="S1",
+        description="Lead vehicle cruises at 35 mph",
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(35.0),
+        lead_behavior=LeadBehavior.CRUISE,
+    ),
+    "S2": Scenario(
+        name="S2",
+        description="Lead vehicle cruises at 50 mph",
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(50.0),
+        lead_behavior=LeadBehavior.CRUISE,
+    ),
+    "S3": Scenario(
+        name="S3",
+        description="Lead vehicle slows down from 50 mph to 35 mph",
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(50.0),
+        lead_behavior=LeadBehavior.DECELERATE,
+        lead_target_speed=mph_to_ms(35.0),
+        lead_speed_change_rate=1.0,
+        lead_speed_change_start=12.0,
+    ),
+    "S4": Scenario(
+        name="S4",
+        description="Lead vehicle accelerates from 35 mph to 50 mph",
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(35.0),
+        lead_behavior=LeadBehavior.ACCELERATE,
+        lead_target_speed=mph_to_ms(50.0),
+        lead_speed_change_rate=1.0,
+        lead_speed_change_start=12.0,
+    ),
+}
+
+# The three initial gaps used in the paper's experiments (metres).
+INITIAL_DISTANCES: Tuple[float, ...] = (50.0, 70.0, 100.0)
+
+
+def build_scenario(name: str, initial_distance: float = 70.0) -> Scenario:
+    """Look up scenario ``name`` (``"S1"``..``"S4"``) with the given gap."""
+    try:
+        base = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
+    return base.with_initial_distance(initial_distance)

@@ -1,0 +1,186 @@
+"""Simulated sensors: GPS, radar, and a camera/perception model.
+
+These replace CARLA's sensor suite and OpenPilot's vision model.  Each
+sensor publishes its Cereal-substitute message at its nominal rate with
+configurable Gaussian noise, which is what the attack's context-inference
+step consumes (the paper's threats-to-validity section notes that sensor
+data quality affects the attack; the noise knobs let us sweep that).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.messaging.messages import (
+    GpsLocationExternal,
+    LaneLine,
+    ModelV2,
+    RadarLead,
+    RadarState,
+)
+from repro.sim.actors import LeadVehicle
+from repro.sim.road import Road
+from repro.sim.units import rad_to_deg
+from repro.sim.vehicle import EgoVehicle
+
+
+@dataclass(frozen=True)
+class SensorNoise:
+    """Standard deviations of the zero-mean Gaussian sensor noise."""
+
+    gps_speed_std: float = 0.05        # m/s
+    radar_distance_std: float = 0.15   # m
+    radar_speed_std: float = 0.05      # m/s
+    lane_position_std: float = 0.03    # m
+    heading_std: float = 0.002         # rad
+
+    @staticmethod
+    def noiseless() -> "SensorNoise":
+        """A noise model with every standard deviation set to zero."""
+        return SensorNoise(0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+class _PeriodicSensor:
+    """Base class handling the publish-at-frequency bookkeeping."""
+
+    def __init__(self, frequency_hz: float):
+        if frequency_hz <= 0:
+            raise ValueError("sensor frequency must be positive")
+        self.period = 1.0 / frequency_hz
+        self._last_publish = float("-inf")
+
+    def due(self, time: float) -> bool:
+        """True if a new measurement should be produced at ``time``."""
+        if time - self._last_publish + 1e-9 >= self.period:
+            self._last_publish = time
+            return True
+        return False
+
+
+class GpsSensor(_PeriodicSensor):
+    """GPS receiver publishing ``gpsLocationExternal``."""
+
+    def __init__(self, noise: SensorNoise, rng: np.random.Generator, frequency_hz: float = 10.0):
+        super().__init__(frequency_hz)
+        self.noise = noise
+        self.rng = rng
+
+    def measure(self, ego: EgoVehicle, road: Road) -> GpsLocationExternal:
+        speed = ego.state.speed + self.rng.normal(0.0, self.noise.gps_speed_std)
+        bearing = rad_to_deg(road.heading(ego.state.s) + ego.state.heading_error)
+        return GpsLocationExternal(
+            speed=max(0.0, speed),
+            bearing_deg=bearing,
+            latitude=38.0336 + ego.state.s * 1e-5,
+            longitude=-78.5080,
+            altitude=160.0,
+            accuracy=1.0,
+            flags=1,
+        )
+
+
+class RadarSensor(_PeriodicSensor):
+    """Forward radar publishing ``radarState`` (closest lead track)."""
+
+    def __init__(
+        self,
+        noise: SensorNoise,
+        rng: np.random.Generator,
+        frequency_hz: float = 20.0,
+        max_range: float = 180.0,
+    ):
+        super().__init__(frequency_hz)
+        self.noise = noise
+        self.rng = rng
+        self.max_range = max_range
+
+    def measure(self, ego: EgoVehicle, lead: Optional[LeadVehicle]) -> RadarState:
+        if lead is None:
+            return RadarState(lead_one=None)
+        d_rel = lead.rear_s - ego.front_s
+        if d_rel > self.max_range or d_rel < -5.0:
+            return RadarState(lead_one=None)
+        d_rel_meas = d_rel + self.rng.normal(0.0, self.noise.radar_distance_std)
+        v_rel = lead.state.speed - ego.state.speed
+        v_rel_meas = v_rel + self.rng.normal(0.0, self.noise.radar_speed_std)
+        track = RadarLead(
+            d_rel=max(0.0, d_rel_meas),
+            v_rel=v_rel_meas,
+            v_lead=max(0.0, ego.state.speed + v_rel_meas),
+            a_lead=lead.state.accel,
+            y_rel=lead.state.d - ego.state.d,
+            status=True,
+        )
+        return RadarState(lead_one=track)
+
+
+class CameraModel(_PeriodicSensor):
+    """Perception-model substitute publishing ``modelV2``.
+
+    OpenPilot derives lane line positions from a vision model; here they
+    are computed from ground-truth geometry plus noise, which preserves
+    the downstream surface (lateral offset, lane width, lane line
+    distances) the planner and the attacker both consume.
+    """
+
+    def __init__(
+        self,
+        noise: SensorNoise,
+        rng: np.random.Generator,
+        frequency_hz: float = 20.0,
+        vision_lead_range: float = 120.0,
+        curvature_lookahead: float = 15.0,
+    ):
+        """Args:
+            curvature_lookahead: Distance ahead (m) at which the model
+                estimates the path curvature used by the lateral planner's
+                feed-forward term.
+        """
+        super().__init__(frequency_hz)
+        self.noise = noise
+        self.rng = rng
+        self.vision_lead_range = vision_lead_range
+        self.curvature_lookahead = curvature_lookahead
+        self._frame_id = 0
+
+    def measure(
+        self, ego: EgoVehicle, road: Road, lead: Optional[LeadVehicle], time: float = 0.0
+    ) -> ModelV2:
+        self._frame_id += 1
+        # Vision-based lane detection re-anchors to whichever lane the
+        # vehicle is currently driving in: after a (possibly forced) lane
+        # change to the left, the reported lateral offset is relative to
+        # the new lane, so the lateral controller does not keep fighting a
+        # multi-metre error towards the original lane.
+        lane_width = road.spec.lane_width
+        lane_index = int(round(ego.state.d / lane_width))
+        lane_index = max(0, min(road.spec.num_left_lanes, lane_index))
+        d = ego.state.d - lane_index * lane_width
+        lane_noise = self.rng.normal(0.0, self.noise.lane_position_std, size=2)
+        left_line_offset = (road.left_lane_line - d) + lane_noise[0]
+        right_line_offset = (road.right_lane_line - d) + lane_noise[1]
+        heading = ego.state.heading_error + self.rng.normal(0.0, self.noise.heading_std)
+        curvature = road.curvature(ego.state.s + self.curvature_lookahead)
+
+        lead_probability = 0.0
+        lead_distance = 0.0
+        if lead is not None:
+            gap = lead.rear_s - ego.front_s
+            if 0.0 <= gap <= self.vision_lead_range:
+                lead_probability = 0.95
+                lead_distance = gap + self.rng.normal(0.0, self.noise.radar_distance_std)
+
+        return ModelV2(
+            lane_lines=(
+                LaneLine(offset=left_line_offset, probability=0.95),
+                LaneLine(offset=right_line_offset, probability=0.95),
+            ),
+            lane_width=road.spec.lane_width,
+            lateral_offset=float(d + self.rng.normal(0.0, self.noise.lane_position_std)),
+            heading_error=heading,
+            curvature=float(curvature),
+            lead_probability=lead_probability,
+            lead_distance=max(0.0, lead_distance),
+            frame_id=self._frame_id,
+        )

@@ -1,0 +1,54 @@
+"""Unit conversions and physical constants.
+
+The simulator and ADAS stack use SI units internally (metres, seconds,
+radians).  The paper states thresholds in mph and degrees; these helpers
+convert at the API boundary.
+"""
+
+import math
+
+# Conversion factors.
+MPH_TO_MS = 0.44704
+MS_TO_MPH = 1.0 / MPH_TO_MS
+KPH_TO_MS = 1.0 / 3.6
+MS_TO_KPH = 3.6
+DEG_TO_RAD = math.pi / 180.0
+RAD_TO_DEG = 180.0 / math.pi
+
+# Simulation timing (paper: 5000 steps of ~10 ms each, i.e. 50 s at 100 Hz).
+DT = 0.01
+STEPS_PER_SIMULATION = 5000
+SIMULATION_DURATION = DT * STEPS_PER_SIMULATION
+
+# Standard gravity, used for comfort/limit calculations.
+GRAVITY = 9.81
+
+
+def mph_to_ms(speed_mph: float) -> float:
+    """Convert a speed in miles-per-hour to metres-per-second."""
+    return speed_mph * MPH_TO_MS
+
+
+def ms_to_mph(speed_ms: float) -> float:
+    """Convert a speed in metres-per-second to miles-per-hour."""
+    return speed_ms * MS_TO_MPH
+
+
+def deg_to_rad(angle_deg: float) -> float:
+    """Convert an angle in degrees to radians."""
+    return angle_deg * DEG_TO_RAD
+
+
+def rad_to_deg(angle_rad: float) -> float:
+    """Convert an angle in radians to degrees."""
+    return angle_rad * RAD_TO_DEG
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval ``[low, high]``.
+
+    Raises ``ValueError`` if the interval is empty (``low > high``).
+    """
+    if low > high:
+        raise ValueError(f"empty clamp interval: [{low}, {high}]")
+    return max(low, min(high, value))

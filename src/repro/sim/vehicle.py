@@ -1,0 +1,175 @@
+"""Ego vehicle model: kinematic bicycle in the road-aligned frame.
+
+The attacks in the paper act on actuator commands (gas, brake, steering
+angle); what the reproduction needs from the vehicle model is a faithful
+command-to-motion path — actuator lag, steering ratio, physical
+acceleration limits — and accurate relative kinematics with respect to
+the lead vehicle and the lane.  A kinematic bicycle model integrated at
+100 Hz provides exactly that.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+from repro.sim.road import Road
+from repro.sim.units import DT, clamp, deg_to_rad
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical parameters of a mid-size sedan (Honda Civic-like)."""
+
+    length: float = 4.6            # m
+    width: float = 1.8             # m
+    wheelbase: float = 2.7         # m
+    steering_ratio: float = 15.3   # steering wheel deg per road wheel deg
+    max_steering_wheel_deg: float = 450.0
+    max_accel_physical: float = 4.0     # m/s^2, engine limit
+    max_decel_physical: float = -9.0    # m/s^2, friction limit
+    accel_time_constant: float = 0.25   # s, first-order lag of longitudinal actuators
+    steer_time_constant: float = 0.10   # s, first-order lag of the EPS
+    # Maximum steering-wheel rate the EPS delivers under its torque cap.
+    # This bounds how quickly *any* commanded angle — legitimate or
+    # attacked — is realised by the car.
+    max_steer_rate_deg_s: float = 400.0
+
+
+@dataclass
+class ActuatorCommand:
+    """Low-level command decoded from the CAN bus each control cycle.
+
+    Attributes:
+        accel: Requested acceleration from the gas actuator, m/s^2 (>= 0).
+        brake: Requested braking deceleration magnitude, m/s^2 (>= 0).
+        steering_angle_deg: Requested steering wheel angle, degrees
+            (positive = left).
+    """
+
+    accel: float = 0.0
+    brake: float = 0.0
+    steering_angle_deg: float = 0.0
+
+    @property
+    def net_accel(self) -> float:
+        """Net longitudinal acceleration request (gas minus brake)."""
+        return self.accel - self.brake
+
+
+@dataclass
+class VehicleState:
+    """Dynamic state of the ego vehicle in the Frenet frame."""
+
+    s: float = 0.0                     # arc length along lane centreline, m
+    d: float = 0.0                     # lateral offset from lane centre, m (+left)
+    heading_error: float = 0.0         # heading relative to road tangent, rad
+    speed: float = 0.0                 # m/s
+    accel: float = 0.0                 # m/s^2, realised
+    steering_wheel_deg: float = 0.0    # realised steering wheel angle
+    yaw_rate: float = 0.0              # rad/s
+
+
+class EgoVehicle:
+    """Kinematic bicycle model with first-order actuator dynamics."""
+
+    def __init__(
+        self,
+        road: Road,
+        params: VehicleParams = VehicleParams(),
+        initial_speed: float = 0.0,
+        initial_s: float = 0.0,
+        initial_d: float = 0.0,
+    ):
+        self.road = road
+        self.params = params
+        self.state = VehicleState(s=initial_s, d=initial_d, speed=initial_speed)
+
+    # -- geometry helpers -------------------------------------------------
+
+    @property
+    def front_s(self) -> float:
+        """Arc length of the front bumper."""
+        return self.state.s + self.params.length / 2.0
+
+    @property
+    def rear_s(self) -> float:
+        """Arc length of the rear bumper."""
+        return self.state.s - self.params.length / 2.0
+
+    @property
+    def left_edge(self) -> float:
+        """Lateral offset of the left side of the body."""
+        return self.state.d + self.params.width / 2.0
+
+    @property
+    def right_edge(self) -> float:
+        """Lateral offset of the right side of the body."""
+        return self.state.d - self.params.width / 2.0
+
+    # -- dynamics ---------------------------------------------------------
+
+    def step(
+        self,
+        command: ActuatorCommand,
+        dt: float = DT,
+        disturbance_curvature: float = 0.0,
+    ) -> VehicleState:
+        """Advance the vehicle by one control period under ``command``.
+
+        Args:
+            command: Actuator command to execute.
+            dt: Integration step, s.
+            disturbance_curvature: Additional path curvature (1/m) imposed
+                by the environment — road crown, crosswind, tyre pull.  A
+                slowly varying disturbance is what makes a purely
+                proportional lane-centering controller ride (and cross)
+                lane lines, reproducing the paper's Observation 1.
+        """
+        params = self.params
+        state = self.state
+
+        # Longitudinal: first-order lag towards the net requested accel,
+        # clipped to the physically achievable envelope.
+        accel_target = clamp(
+            command.net_accel, params.max_decel_physical, params.max_accel_physical
+        )
+        alpha = dt / (params.accel_time_constant + dt)
+        state.accel += alpha * (accel_target - state.accel)
+        new_speed = state.speed + state.accel * dt
+        if new_speed < 0.0:
+            new_speed = 0.0
+            state.accel = 0.0
+        state.speed = new_speed
+
+        # Steering: slew-rate limited first-order lag towards the command.
+        steer_cmd = clamp(
+            command.steering_angle_deg,
+            -params.max_steering_wheel_deg,
+            params.max_steering_wheel_deg,
+        )
+        beta = dt / (params.steer_time_constant + dt)
+        desired_change = beta * (steer_cmd - state.steering_wheel_deg)
+        max_change = params.max_steer_rate_deg_s * dt
+        state.steering_wheel_deg += clamp(desired_change, -max_change, max_change)
+
+        # Kinematic bicycle in the Frenet frame.
+        road_wheel_angle = deg_to_rad(state.steering_wheel_deg / params.steering_ratio)
+        vehicle_curvature = math.tan(road_wheel_angle) / params.wheelbase + disturbance_curvature
+        state.yaw_rate = state.speed * vehicle_curvature
+
+        road_curvature = self.road.curvature(state.s)
+        denom = 1.0 - state.d * road_curvature
+        if abs(denom) < 1e-3:
+            denom = math.copysign(1e-3, denom)
+        s_dot = state.speed * math.cos(state.heading_error) / denom
+        d_dot = state.speed * math.sin(state.heading_error)
+        heading_error_dot = state.yaw_rate - road_curvature * s_dot
+
+        state.s += s_dot * dt
+        state.d += d_dot * dt
+        state.heading_error += heading_error_dot * dt
+        # Keep the heading error in (-pi, pi] to avoid unbounded growth
+        # after a spin-out.
+        state.heading_error = math.atan2(
+            math.sin(state.heading_error), math.cos(state.heading_error)
+        )
+        return state

@@ -1,0 +1,278 @@
+"""Simulation world: clock, actors, sensors, and the physical buses.
+
+The :class:`World` owns the road, the ego vehicle, the scripted traffic,
+the sensors and the collision/lane monitors.  Every control period it
+
+1. publishes sensor messages on the Cereal-substitute bus,
+2. publishes the car's state frames on the CAN bus,
+3. decodes the latest actuator-command frames from the CAN bus (these may
+   have been tampered with by an attacker registered as a bus
+   transformer), and
+4. integrates the vehicle dynamics and ground-truth monitors.
+
+The ADAS, attack engine, driver model and fault-injection engine all live
+*outside* the world and interact with it only through the buses, matching
+the paper's architecture (Fig. 5).
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.can.bus import CANBus
+from repro.can.honda import ADDR, HONDA_DBC
+from repro.messaging.bus import MessageBus
+from repro.messaging.messages import CarState
+from repro.sim.actors import FollowerVehicle, LeadVehicle
+from repro.sim.collision import CollisionDetector, CollisionEvent, LaneMonitor
+from repro.sim.road import Road
+from repro.sim.scenarios import Scenario
+from repro.sim.sensors import CameraModel, GpsSensor, RadarSensor, SensorNoise
+from repro.sim.units import DT
+from repro.sim.vehicle import ActuatorCommand, EgoVehicle, VehicleParams
+
+
+@dataclass(frozen=True)
+class WorldConfig:
+    """Configuration of the simulation world.
+
+    The lateral disturbance models slowly varying road crown / crosswind /
+    tyre pull.  OpenPilot's proportional lane centering does not reject it
+    completely, so the ego vehicle rides — and occasionally crosses — lane
+    lines even without attacks, which reproduces the paper's Observation 1
+    (lane invasions happen without any fault injection) and provides the
+    near-lane-edge contexts (rules 3 and 4 of the safety context table)
+    that trigger steering attacks.
+    """
+
+    scenario: Scenario
+    noise: SensorNoise = SensorNoise()
+    seed: int = 0
+    record_trajectory: bool = True
+    trajectory_decimation: int = 10   # record one sample every N steps
+    disturbance_amplitude: float = 0.006   # 1/m, peak disturbance curvature
+    disturbance_period: float = 10.0       # s
+
+
+@dataclass
+class TrajectorySample:
+    """One recorded point of the ego trajectory (for Figure 7)."""
+
+    time: float
+    s: float
+    d: float
+    speed: float
+    steering_wheel_deg: float
+    x: float = 0.0
+    y: float = 0.0
+
+
+@dataclass
+class WorldStepResult:
+    """Ground-truth observations produced by one world step."""
+
+    time: float
+    collision: Optional[CollisionEvent] = None
+    lead_gap: Optional[float] = None       # bumper-to-bumper distance, m
+    lead_speed: Optional[float] = None
+
+
+class World:
+    """The physical simulation (CARLA substitute)."""
+
+    def __init__(self, config: WorldConfig, message_bus: MessageBus, can_bus: CANBus):
+        self.config = config
+        self.message_bus = message_bus
+        self.can_bus = can_bus
+        self.road = Road(config.scenario.road)
+        self.time = 0.0
+        self.step_count = 0
+
+        scenario = config.scenario
+        params = VehicleParams()
+        self.ego = EgoVehicle(
+            self.road,
+            params=params,
+            initial_speed=scenario.ego_initial_speed,
+            initial_s=0.0,
+            initial_d=scenario.ego_initial_lane_offset,
+        )
+        # The paper quotes the gap as the distance to the lead vehicle, so
+        # position the lead's rear bumper `initial_distance` ahead of the
+        # ego front bumper.
+        self.lead: Optional[LeadVehicle] = LeadVehicle(
+            initial_s=self.ego.front_s + scenario.initial_distance + 4.6 / 2.0,
+            initial_speed=scenario.lead_initial_speed,
+            behavior=scenario.lead_behavior,
+            target_speed=scenario.lead_target_speed,
+            speed_change_rate=scenario.lead_speed_change_rate,
+            speed_change_start=scenario.lead_speed_change_start,
+        )
+        self.follower: Optional[FollowerVehicle] = None
+        if scenario.with_follower:
+            self.follower = FollowerVehicle(
+                initial_s=self.ego.rear_s - scenario.follower_gap,
+                initial_speed=scenario.follower_speed,
+            )
+
+        rng = np.random.default_rng(config.seed)
+        self.gps = GpsSensor(config.noise, rng)
+        self.radar = RadarSensor(config.noise, rng)
+        self.camera = CameraModel(config.noise, rng)
+        self._disturbance_phase = float(rng.uniform(0.0, 2.0 * np.pi))
+
+        self.collision_detector = CollisionDetector(self.road)
+        self.lane_monitor = LaneMonitor(self.road)
+
+        self.trajectory: List[TrajectorySample] = []
+        self._can_counter = 0
+        self._last_command = ActuatorCommand()
+
+    def disturbance_curvature(self, time: float) -> float:
+        """Environmental lateral disturbance (road crown / crosswind), 1/m."""
+        if self.config.disturbance_amplitude == 0.0:
+            return 0.0
+        omega = 2.0 * np.pi / self.config.disturbance_period
+        return self.config.disturbance_amplitude * float(
+            np.sin(omega * time + self._disturbance_phase)
+        )
+
+    # -- sensing and CAN output ------------------------------------------
+
+    def publish_sensors(self) -> None:
+        """Publish due sensor messages on the Cereal-substitute bus."""
+        self.message_bus.set_time(self.time)
+        if self.gps.due(self.time):
+            self.message_bus.publish("gpsLocationExternal", self.gps.measure(self.ego, self.road))
+        if self.radar.due(self.time):
+            self.message_bus.publish("radarState", self.radar.measure(self.ego, self.lead))
+        if self.camera.due(self.time):
+            self.message_bus.publish(
+                "modelV2", self.camera.measure(self.ego, self.road, self.lead, time=self.time)
+            )
+
+    def publish_car_can(self) -> None:
+        """Publish the car's state frames (speed, steering) on the CAN bus."""
+        state = self.ego.state
+        self._can_counter = (self._can_counter + 1) & 0x3
+        self.can_bus.send(
+            HONDA_DBC.encode(
+                "POWERTRAIN_DATA",
+                {
+                    "XMISSION_SPEED": state.speed,
+                    "ACCEL_MEASURED": state.accel,
+                    "PEDAL_GAS": max(0.0, self._last_command.accel / 4.0),
+                    "BRAKE_PRESSED": 1.0 if self._last_command.brake > 0.1 else 0.0,
+                    "GAS_PRESSED": 0.0,
+                },
+                counter=self._can_counter,
+                timestamp=self.time,
+            )
+        )
+        self.can_bus.send(
+            HONDA_DBC.encode(
+                "STEERING_SENSORS",
+                {
+                    "STEER_ANGLE": state.steering_wheel_deg,
+                    "STEER_ANGLE_RATE": 0.0,
+                },
+                counter=self._can_counter,
+                timestamp=self.time,
+            )
+        )
+
+    def read_car_state(self) -> CarState:
+        """Decode the car's CAN state frames into a :class:`CarState`."""
+        speed = self.ego.state.speed
+        accel = self.ego.state.accel
+        steer = self.ego.state.steering_wheel_deg
+        powertrain = self.can_bus.latest(ADDR["POWERTRAIN_DATA"])
+        sensors = self.can_bus.latest(ADDR["STEERING_SENSORS"])
+        if powertrain is not None:
+            decoded = HONDA_DBC.decode(powertrain)
+            speed = decoded["XMISSION_SPEED"]
+            accel = decoded["ACCEL_MEASURED"]
+        if sensors is not None:
+            steer = HONDA_DBC.decode(sensors)["STEER_ANGLE"]
+        return CarState(
+            v_ego=speed,
+            a_ego=accel,
+            steering_angle_deg=steer,
+            gas=max(0.0, self._last_command.accel / 4.0),
+            brake=min(1.0, self._last_command.brake / 4.0),
+            cruise_enabled=True,
+            cruise_speed=self.config.scenario.cruise_speed,
+            standstill=speed < 0.1,
+        )
+
+    # -- actuation --------------------------------------------------------
+
+    def decode_actuator_command(self) -> ActuatorCommand:
+        """Decode the most recent actuator frames from the CAN bus.
+
+        If the ADAS has not yet sent a command (first cycle), the previous
+        command is held, which matches real actuator behaviour.
+        """
+        steering_frame = self.can_bus.latest(ADDR["STEERING_CONTROL"])
+        acc_frame = self.can_bus.latest(ADDR["ACC_CONTROL"])
+        command = ActuatorCommand(
+            accel=self._last_command.accel,
+            brake=self._last_command.brake,
+            steering_angle_deg=self._last_command.steering_angle_deg,
+        )
+        if acc_frame is not None:
+            decoded = HONDA_DBC.decode(acc_frame)
+            command.accel = max(0.0, decoded["ACCEL_COMMAND"])
+            command.brake = max(0.0, decoded["BRAKE_COMMAND"])
+        if steering_frame is not None:
+            decoded = HONDA_DBC.decode(steering_frame)
+            command.steering_angle_deg = decoded["STEER_ANGLE_CMD"]
+        return command
+
+    def step(self, command: Optional[ActuatorCommand] = None) -> WorldStepResult:
+        """Advance the physical world by one control period (10 ms).
+
+        Args:
+            command: Actuator command to execute.  If ``None``, the command
+                is decoded from the CAN bus (normal ADAS operation); a
+                non-``None`` value models the human driver overriding the
+                system.
+        """
+        if command is None:
+            command = self.decode_actuator_command()
+        self._last_command = command
+
+        self.ego.step(command, DT, disturbance_curvature=self.disturbance_curvature(self.time))
+        if self.lead is not None:
+            self.lead.step(self.time, DT)
+        if self.follower is not None:
+            self.follower.step(self.time, self.ego.rear_s, self.ego.state.speed, DT)
+
+        self.time += DT
+        self.step_count += 1
+
+        self.lane_monitor.check(self.time, self.ego)
+        collision = self.collision_detector.check(self.time, self.ego, self.lead, self.follower)
+
+        if self.config.record_trajectory and self.step_count % self.config.trajectory_decimation == 0:
+            # Cartesian coordinates are filled in lazily by the analysis
+            # layer (Figure 7) to keep the inner loop cheap.
+            self.trajectory.append(
+                TrajectorySample(
+                    time=self.time,
+                    s=self.ego.state.s,
+                    d=self.ego.state.d,
+                    speed=self.ego.state.speed,
+                    steering_wheel_deg=self.ego.state.steering_wheel_deg,
+                )
+            )
+
+        lead_gap = None
+        lead_speed = None
+        if self.lead is not None:
+            lead_gap = self.lead.rear_s - self.ego.front_s
+            lead_speed = self.lead.state.speed
+        return WorldStepResult(
+            time=self.time, collision=collision, lead_gap=lead_gap, lead_speed=lead_speed
+        )

@@ -1,0 +1,104 @@
+"""Integration tests for the campaign runner and the experiment harness."""
+
+import pytest
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import ContextAwareStrategy
+from repro.experiments import ExperimentScale, run_figure7, run_figure8, run_table4, run_table5
+from repro.experiments.table4 import TABLE4_STRATEGIES
+from repro.injection.campaign import Campaign, CampaignConfig
+
+
+SMOKE = ExperimentScale.smoke()
+
+
+class TestCampaign:
+    def test_grid_enumeration_counts(self):
+        config = CampaignConfig(
+            scenarios=("S1", "S2"),
+            initial_distances=(50.0, 70.0),
+            attack_types=(AttackType.ACCELERATION,),
+            repetitions=3,
+        )
+        cells = list(Campaign(config).cells())
+        assert len(cells) == config.total_runs == 2 * 2 * 1 * 3
+
+    def test_cell_seeds_unique_and_deterministic(self):
+        config = CampaignConfig(repetitions=2, attack_types=(AttackType.ACCELERATION,))
+        seeds_a = [cell.seed for cell in Campaign(config).cells()]
+        seeds_b = [cell.seed for cell in Campaign(config).cells()]
+        assert seeds_a == seeds_b
+        assert len(set(seeds_a)) == len(seeds_a)
+
+    def test_run_produces_results_for_every_cell(self):
+        config = CampaignConfig(
+            strategy_name="Context-Aware",
+            scenarios=("S1",),
+            initial_distances=(50.0,),
+            attack_types=(AttackType.ACCELERATION, AttackType.STEERING_RIGHT),
+            repetitions=1,
+            max_steps=2500,
+        )
+        progress = []
+        results = Campaign(config).run(progress=lambda done, total: progress.append((done, total)))
+        assert len(results) == 2
+        assert progress[-1] == (2, 2)
+        assert all(result.strategy == "Context-Aware" for result in results)
+
+    def test_attack_free_campaign(self):
+        config = CampaignConfig(
+            strategy_name="No-Attack",
+            scenarios=("S1",),
+            initial_distances=(70.0,),
+            attack_types=(),
+            repetitions=1,
+            max_steps=2500,
+        )
+        results = Campaign(config).run()
+        assert len(results) == 1
+        assert results[0].attack_type is None
+
+
+class TestExperimentHarness:
+    def test_table4_smoke_grid(self):
+        result = run_table4(SMOKE, strategies=TABLE4_STRATEGIES[-2:])  # Random-DUR + Context-Aware
+        assert len(result.summaries) == 2
+        context_aware = result.summary_for("Context-Aware")
+        assert context_aware.runs == 6  # 1 scenario x 1 distance x 6 attack types x 1 rep
+        assert "Context-Aware" in result.format()
+
+    def test_table5_smoke_grid(self):
+        result = run_table5(SMOKE)
+        assert set(result.without_corruption) == {t.value for t in AttackType}
+        assert set(result.with_corruption) == {t.value for t in AttackType}
+        text = result.format()
+        assert "With Strategic Value Corruption" in text
+
+    def test_figure7_records_trajectory(self):
+        result = run_figure7(seeds=[0])
+        assert len(result.trajectory) > 100
+        assert result.lane_invasions_per_second >= 0.0
+        assert "Figure 7" in result.format()
+        path = result.cartesian_path(resolution=5.0)
+        assert len(path) == len(result.trajectory)
+
+    def test_figure8_small_sweep(self):
+        import numpy as np
+
+        result = run_figure8(
+            scenario="S1",
+            initial_distance=50.0,
+            start_times=np.array([5.0, 30.0]),
+            durations=np.array([0.5, 2.5]),
+            context_aware_seeds=[1],
+        )
+        assert len(result.random_points()) == 4
+        assert len(result.context_aware_points()) >= 1
+        assert all(point.hazard for point in result.context_aware_points())
+        assert "critical start-time window" in result.format()
+
+    def test_scale_from_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "1")
+        assert ExperimentScale.from_environment().repetitions == 20
+        monkeypatch.delenv("REPRO_FULL_SCALE")
+        assert ExperimentScale.from_environment(SMOKE).repetitions == SMOKE.repetitions

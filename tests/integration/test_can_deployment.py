@@ -1,0 +1,76 @@
+"""Integration test: CAN-level deployment of the attack engine.
+
+Runs a closed-loop simulation where the attack is mounted as a CAN bus
+man-in-the-middle (decode → corrupt → re-checksum), rather than as an ADAS
+output hook, and checks it produces the same class of outcome.  Also checks
+that every tampered frame would pass Panda's integrity check (valid
+checksum) while staying within its rate/limit checks for strategic values.
+"""
+
+import pytest
+
+from repro.adas.openpilot import OpenPilot, OpenPilotConfig
+from repro.adas.panda import PandaSafetyModel
+from repro.analysis.hazards import HazardMonitor
+from repro.can.bus import CANBus
+from repro.can.checksum import verify_checksum
+from repro.can.honda import ADDR
+from repro.core.attack_engine import AttackEngine
+from repro.core.attack_types import AttackType
+from repro.core.can_tamper import CanAttackInterceptor
+from repro.core.strategies import ContextAwareStrategy
+from repro.messaging.bus import MessageBus
+from repro.sim.scenarios import build_scenario
+from repro.sim.world import World, WorldConfig
+
+
+def run_can_level_attack(attack_type=AttackType.ACCELERATION, steps=3000, seed=1):
+    message_bus = MessageBus()
+    can_bus = CANBus()
+    world = World(WorldConfig(scenario=build_scenario("S1", 50.0), seed=seed), message_bus, can_bus)
+    openpilot = OpenPilot(OpenPilotConfig(), message_bus, can_bus)
+    engine = AttackEngine(message_bus, attack_type, ContextAwareStrategy(), seed=seed)
+    interceptor = CanAttackInterceptor(engine).attach(can_bus)
+    panda = PandaSafetyModel()
+    can_bus.add_tap(lambda frame: panda.check_frame(frame, world.time))
+    monitor = HazardMonitor()
+
+    checksums_valid = True
+    def check_integrity(frame):
+        nonlocal checksums_valid
+        if frame.address in (ADDR["STEERING_CONTROL"], ADDR["ACC_CONTROL"]):
+            checksums_valid &= verify_checksum(frame.address, frame.data)
+    can_bus.add_tap(check_integrity)
+
+    for _ in range(steps):
+        time = world.time
+        world.publish_sensors()
+        world.publish_car_can()
+        car_state = world.read_car_state()
+        interceptor.observe_car_state(time, car_state)
+        openpilot.step(time, car_state)
+        result = world.step()
+        for _event in monitor.check(world):
+            engine.notify_hazard()
+        if result.collision is not None:
+            break
+    return engine, monitor, panda, can_bus, checksums_valid
+
+
+class TestCanLevelDeployment:
+    def test_attack_activates_and_causes_hazard(self):
+        engine, monitor, _panda, can_bus, _ok = run_can_level_attack()
+        assert engine.record.activated
+        assert monitor.any_hazard
+        assert can_bus.tampered_count > 0
+
+    def test_all_tampered_frames_pass_checksum(self):
+        *_rest, checksums_valid = run_can_level_attack()
+        assert checksums_valid
+
+    def test_strategic_values_pass_panda_limit_checks(self):
+        _engine, _monitor, panda, _bus, _ok = run_can_level_attack()
+        # The strategic corruption stays within the Panda limit set, so the
+        # only conceivable violations would be checksum ones — and there are
+        # none, because the attacker recomputes them.
+        assert panda.violation_count == 0

@@ -1,0 +1,50 @@
+"""Smoke tests for the runnable examples.
+
+Each example is executed in-process (importing its ``main``) with stdout
+captured, so a broken public API surface shows up as a test failure.  The
+slow sweep examples are exercised through their underlying experiment
+functions instead (covered in ``test_campaign_experiments.py``).
+"""
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "examples")
+)
+
+
+def load_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location(name.replace(".py", ""), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contains_quickstart_plus_scenarios(self):
+        examples = [name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")]
+        assert "quickstart.py" in examples
+        assert len(examples) >= 3
+
+    def test_quickstart_runs(self, capsys):
+        load_example("quickstart.py").main()
+        output = capsys.readouterr().out
+        assert "Safety context table" in output
+        assert "attack activated" in output
+
+    def test_can_tampering_example_runs(self, capsys):
+        load_example("can_tampering.py").main()
+        output = capsys.readouterr().out
+        assert "checksum_ok=True" in output
+        assert "accepted" in output
+
+    def test_attack_free_trajectory_example_runs(self, capsys):
+        load_example("attack_free_trajectory.py").main()
+        output = capsys.readouterr().out
+        assert "Lane invasions" in output
+        assert "Figure 7" in output

@@ -1,0 +1,100 @@
+"""Shape checks of the paper's observations on a reduced grid.
+
+These tests assert the qualitative findings (who wins, what is evaded, what
+the driver can and cannot prevent) rather than absolute numbers; the full
+quantitative comparison lives in EXPERIMENTS.md and the benchmark harness.
+"""
+
+import pytest
+
+from repro.analysis.observations import (
+    check_observation_1,
+    check_observation_2,
+    check_observation_5,
+    format_observations,
+)
+from repro.analysis.results import summarize_by_attack_type, summarize_strategy
+from repro.core.attack_types import AttackType
+from repro.core.strategies import ContextAwareStrategy, RandomStartDurationStrategy
+from repro.injection import SimulationConfig, run_simulation
+
+
+REDUCED_GRID = [
+    ("S1", 50.0, 1), ("S1", 70.0, 2), ("S2", 50.0, 1), ("S2", 70.0, 2),
+]
+STEERING_TYPES = (AttackType.STEERING_RIGHT, AttackType.ACCELERATION_STEERING)
+
+
+def run_grid(strategy_factory, attack_types, driver=True, max_steps=3500):
+    results = []
+    for scenario, distance, seed in REDUCED_GRID:
+        for attack_type in attack_types:
+            cfg = SimulationConfig(
+                scenario=scenario, initial_distance=distance, seed=seed,
+                attack_type=attack_type, driver_enabled=driver, max_steps=max_steps,
+            )
+            results.append(run_simulation(cfg, strategy_factory()))
+    return results
+
+
+@pytest.fixture(scope="module")
+def context_aware_results():
+    return run_grid(ContextAwareStrategy, list(AttackType))
+
+
+@pytest.fixture(scope="module")
+def random_results():
+    return run_grid(RandomStartDurationStrategy, list(AttackType))
+
+
+@pytest.fixture(scope="module")
+def attack_free_results():
+    return [
+        run_simulation(SimulationConfig(scenario=s, initial_distance=d, seed=seed, max_steps=5000))
+        for s, d, seed in REDUCED_GRID
+    ]
+
+
+class TestObservation1:
+    def test_lane_invasions_without_attacks(self, attack_free_results):
+        check = check_observation_1(attack_free_results)
+        assert check.holds, check.detail
+
+
+class TestObservation2:
+    def test_context_aware_beats_random_and_evades_alerts(
+        self, context_aware_results, random_results
+    ):
+        context_aware = summarize_strategy("Context-Aware", context_aware_results)
+        random_summary = summarize_strategy("Random-ST+DUR", random_results)
+        check = check_observation_2(context_aware, [random_summary])
+        assert check.holds, check.detail
+
+    def test_fcw_never_fires_during_context_aware_attacks(self, context_aware_results):
+        fcw_alerts = [
+            alert for result in context_aware_results for alert, _time in result.alerts
+            if alert == "fcw"
+        ]
+        assert fcw_alerts == []
+
+
+class TestObservation5:
+    def test_steering_attacks_effective_and_unpreventable(self):
+        with_driver = run_grid(ContextAwareStrategy, STEERING_TYPES, driver=True)
+        without_driver = run_grid(ContextAwareStrategy, STEERING_TYPES, driver=False)
+        summaries = summarize_by_attack_type(with_driver, without_driver)
+        check = check_observation_5(summaries)
+        assert check.holds, check.detail
+
+    def test_steering_time_to_hazard_below_driver_reaction_time(self):
+        results = run_grid(ContextAwareStrategy, (AttackType.STEERING_RIGHT,))
+        tths = [r.time_to_hazard for r in results if r.time_to_hazard is not None]
+        assert tths and max(tths) < 2.5
+
+
+class TestReporting:
+    def test_format_observations_lists_every_check(self, attack_free_results):
+        check = check_observation_1(attack_free_results)
+        text = format_observations([check])
+        assert "Observation 1" in text
+        assert ("HOLDS" in text) or ("DEVIATES" in text)

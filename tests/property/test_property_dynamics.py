@@ -1,0 +1,120 @@
+"""Property-based tests for vehicle dynamics, Kalman filter and corruption."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS
+from repro.core.attack_types import AttackType, spec_for
+from repro.core.corruption import CorruptionMode, ValueCorruptor
+from repro.core.kalman import ScalarKalmanFilter
+from repro.sim.road import Road, RoadSpec
+from repro.sim.units import clamp
+from repro.sim.vehicle import ActuatorCommand, EgoVehicle
+
+
+class TestVehicleInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=35.0),
+        st.floats(min_value=0.0, max_value=4.0),
+        st.floats(min_value=0.0, max_value=8.0),
+        st.floats(min_value=-45.0, max_value=45.0),
+        st.integers(min_value=1, max_value=300),
+    )
+    def test_speed_never_negative_and_accel_bounded(self, v0, accel, brake, steer, steps):
+        ego = EgoVehicle(Road(RoadSpec()), initial_speed=v0)
+        command = ActuatorCommand(accel=accel, brake=brake, steering_angle_deg=steer)
+        for _ in range(steps):
+            ego.step(command)
+            assert ego.state.speed >= 0.0
+            assert ego.params.max_decel_physical - 1e-6 <= ego.state.accel <= ego.params.max_accel_physical + 1e-6
+            assert abs(ego.state.steering_wheel_deg) <= ego.params.max_steering_wheel_deg + 1e-6
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=5.0, max_value=35.0), st.integers(min_value=10, max_value=200))
+    def test_arc_length_monotonically_increases_while_moving(self, v0, steps):
+        ego = EgoVehicle(Road(RoadSpec()), initial_speed=v0)
+        previous = ego.state.s
+        for _ in range(steps):
+            ego.step(ActuatorCommand())
+            assert ego.state.s >= previous
+            previous = ego.state.s
+
+
+class TestKalmanInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=40.0), min_size=1, max_size=50))
+    def test_estimate_stays_within_measurement_envelope(self, measurements):
+        kf = ScalarKalmanFilter()
+        for measurement in measurements:
+            kf.update(measurement)
+        low, high = min(measurements), max(measurements)
+        assert low - 1e-6 <= kf.estimate <= high + 1e-6
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=40.0), min_size=2, max_size=50))
+    def test_variance_positive_and_gain_in_unit_interval(self, measurements):
+        kf = ScalarKalmanFilter()
+        for measurement in measurements:
+            kf.predict(0.0, 0.01) if kf.initialized else None
+            kf.update(measurement)
+            assert kf.variance > 0.0
+            assert 0.0 <= kf.gain <= 1.0
+
+
+class TestCorruptionInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(list(AttackType)),
+        st.floats(min_value=0.0, max_value=2.0),
+        st.floats(min_value=0.0, max_value=3.5),
+        st.floats(min_value=-30.0, max_value=30.0),
+        st.floats(min_value=0.0, max_value=33.0),
+        st.sampled_from([-1, 0, 1]),
+    )
+    def test_strategic_corruption_never_exceeds_iso_limits(
+        self, attack_type, accel, brake, steering, speed, direction
+    ):
+        corruptor = ValueCorruptor(CorruptionMode.STRATEGIC)
+        corruptor.observe_speed(speed)
+        spec = spec_for(attack_type)
+        if spec.corrupts_steering and spec.steer_direction == 0 and direction == 0:
+            direction = 1
+        command = ActuatorCommand(accel=accel, brake=brake, steering_angle_deg=steering)
+        result = corruptor.corrupt(command, spec, direction, steering, cruise_speed=26.82)
+        # Corrupted channels always stay within the strategic (ISO) limits;
+        # untouched channels keep their original (already limited) values.
+        if spec.corrupt_accel:
+            assert 0.0 <= result.accel <= ISO_SAFETY_LIMITS.accel_max + 1e-9
+        if spec.corrupt_brake:
+            assert 0.0 <= result.brake <= -ISO_SAFETY_LIMITS.brake_min + 1e-9
+        assert abs(result.steering_angle_deg - steering) <= ISO_SAFETY_LIMITS.steer_delta_max_deg + 1e-9
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from(list(AttackType)),
+        st.floats(min_value=-30.0, max_value=30.0),
+        st.sampled_from([-1, 1]),
+    )
+    def test_fixed_corruption_respects_openpilot_steer_rate(self, attack_type, steering, direction):
+        corruptor = ValueCorruptor(CorruptionMode.FIXED)
+        spec = spec_for(attack_type)
+        command = ActuatorCommand(accel=0.0, brake=0.0, steering_angle_deg=steering)
+        result = corruptor.corrupt(command, spec, direction, steering, cruise_speed=26.82)
+        assert abs(result.steering_angle_deg - steering) <= OPENPILOT_LIMITS.steer_delta_max_deg + 1e-9
+
+
+class TestRoadInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=2000.0))
+    def test_curvature_bounded_and_nonnegative(self, s):
+        road = Road(RoadSpec())
+        assert 0.0 <= road.curvature(s) <= road.spec.curvature_max + 1e-12
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1500.0), st.floats(min_value=0.0, max_value=1500.0))
+    def test_heading_monotone_in_arc_length(self, s1, s2):
+        road = Road(RoadSpec())
+        low, high = sorted((s1, s2))
+        assert road.heading(high) >= road.heading(low) - 1e-12

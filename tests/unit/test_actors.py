@@ -1,0 +1,105 @@
+"""Tests for the lead and follower vehicles."""
+
+import pytest
+
+from repro.sim.actors import FollowerVehicle, LeadBehavior, LeadVehicle
+
+
+class TestLeadVehicle:
+    def test_cruise_holds_speed(self):
+        lead = LeadVehicle(initial_s=100.0, initial_speed=15.0)
+        for step in range(500):
+            lead.step(time=step * 0.01)
+        assert lead.state.speed == pytest.approx(15.0)
+        assert lead.state.s == pytest.approx(100.0 + 15.0 * 5.0, rel=0.01)
+
+    def test_decelerate_reaches_target_and_stops_there(self):
+        lead = LeadVehicle(
+            initial_s=0.0,
+            initial_speed=22.0,
+            behavior=LeadBehavior.DECELERATE,
+            target_speed=15.0,
+            speed_change_rate=1.0,
+            speed_change_start=1.0,
+        )
+        for step in range(2000):
+            lead.step(time=step * 0.01)
+        assert lead.state.speed == pytest.approx(15.0, abs=0.02)
+
+    def test_accelerate_reaches_target(self):
+        lead = LeadVehicle(
+            initial_s=0.0,
+            initial_speed=15.0,
+            behavior=LeadBehavior.ACCELERATE,
+            target_speed=22.0,
+            speed_change_rate=1.0,
+            speed_change_start=1.0,
+        )
+        for step in range(2000):
+            lead.step(time=step * 0.01)
+        assert lead.state.speed == pytest.approx(22.0, abs=0.02)
+
+    def test_no_change_before_start_time(self):
+        lead = LeadVehicle(
+            initial_s=0.0,
+            initial_speed=22.0,
+            behavior=LeadBehavior.DECELERATE,
+            target_speed=15.0,
+            speed_change_start=10.0,
+        )
+        for step in range(100):
+            lead.step(time=step * 0.01)
+        assert lead.state.speed == pytest.approx(22.0)
+
+    def test_missing_target_speed_rejected(self):
+        with pytest.raises(ValueError):
+            LeadVehicle(0.0, 20.0, behavior=LeadBehavior.DECELERATE)
+
+    def test_bumper_geometry(self):
+        lead = LeadVehicle(initial_s=50.0, initial_speed=10.0, length=4.0)
+        assert lead.front_s == pytest.approx(52.0)
+        assert lead.rear_s == pytest.approx(48.0)
+
+
+class TestFollowerVehicle:
+    def test_keeps_distance_behind_steady_ego(self):
+        follower = FollowerVehicle(initial_s=-50.0, initial_speed=24.0)
+        ego_rear, ego_speed = 0.0, 20.0
+        for step in range(6000):
+            time = step * 0.01
+            ego_rear += ego_speed * 0.01
+            follower.step(time, ego_rear, ego_speed)
+        gap = ego_rear - follower.front_s
+        assert 5.0 < gap < 60.0
+        assert follower.state.speed == pytest.approx(20.0, abs=1.0)
+
+    def test_reacts_with_delay(self):
+        follower = FollowerVehicle(initial_s=-60.0, initial_speed=20.0, reaction_delay=1.0)
+        # One second of normal driving behind a moving ego...
+        ego_rear = 0.0
+        for step in range(100):
+            ego_rear += 20.0 * 0.01
+            follower.step(step * 0.01, ego_rear_s=ego_rear, ego_speed=20.0)
+        speed_before_stop = follower.state.speed
+        # ... then the ego suddenly stops: for the next ~half second the
+        # follower is still acting on the old (moving) observation.
+        for step in range(100, 150):
+            follower.step(step * 0.01, ego_rear_s=ego_rear, ego_speed=0.0)
+        assert follower.state.speed == pytest.approx(speed_before_stop, abs=1.0)
+
+    def test_braking_bounded_by_max_decel(self):
+        follower = FollowerVehicle(initial_s=-12.0, initial_speed=25.0, max_decel=6.0, reaction_delay=0.0)
+        for step in range(200):
+            follower.step(step * 0.01, ego_rear_s=0.0, ego_speed=0.0)
+        assert follower.state.accel >= -6.0 - 1e-6
+
+    def test_may_collide_with_suddenly_stopped_ego(self):
+        # The A2 rear-end scenario: a close follower cannot always stop in time.
+        follower = FollowerVehicle(initial_s=-8.0, initial_speed=25.0, reaction_delay=1.5)
+        collided = False
+        for step in range(1000):
+            follower.step(step * 0.01, ego_rear_s=0.0, ego_speed=0.0)
+            if follower.front_s >= 0.0:
+                collided = True
+                break
+        assert collided

@@ -1,0 +1,89 @@
+"""Tests for the ADAS alert manager."""
+
+import pytest
+
+from repro.adas.alerts import AlertManager, AlertThresholds
+from repro.adas.lateral import LateralPlan
+from repro.adas.longitudinal import LongitudinalPlan
+
+
+def long_plan(has_lead=True, ttc=2.0):
+    return LongitudinalPlan(
+        desired_accel=-2.0, v_target=10.0, has_lead=has_lead,
+        lead_distance=20.0, lead_speed=10.0, time_to_collision=ttc, required_decel=3.0,
+    )
+
+
+def lat_plan(saturated=False):
+    return LateralPlan(
+        desired_curvature=0.0, desired_steering_deg=0.0, output_steering_deg=0.0,
+        saturated=saturated,
+    )
+
+
+class TestForwardCollisionWarning:
+    def test_fires_on_hard_brake_with_close_lead(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, output_brake=4.5, long_plan=long_plan(), lat_plan=lat_plan())
+        assert [a.name for a in alerts] == ["fcw"]
+        assert alerts[0].severity == "critical"
+
+    def test_not_fired_below_brake_threshold(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, output_brake=3.5, long_plan=long_plan(), lat_plan=lat_plan())
+        assert alerts == []
+
+    def test_not_fired_without_lead(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, output_brake=4.5,
+                                long_plan=long_plan(has_lead=False), lat_plan=lat_plan())
+        assert alerts == []
+
+    def test_not_fired_when_ttc_large(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, output_brake=4.5,
+                                long_plan=long_plan(ttc=10.0), lat_plan=lat_plan())
+        assert alerts == []
+
+    def test_not_fired_at_crawling_speed(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 1.0, output_brake=4.5, long_plan=long_plan(), lat_plan=lat_plan())
+        assert alerts == []
+
+    def test_rearm_time_prevents_duplicates(self):
+        manager = AlertManager(AlertThresholds(fcw_rearm_time=5.0))
+        manager.update(1.0, 20.0, 4.5, long_plan(), lat_plan())
+        again = manager.update(2.0, 20.0, 4.5, long_plan(), lat_plan())
+        assert again == []
+        later = manager.update(7.0, 20.0, 4.5, long_plan(), lat_plan())
+        assert [a.name for a in later] == ["fcw"]
+
+
+class TestSteerSaturated:
+    def test_fires_when_lateral_plan_saturated(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, 0.0, long_plan(), lat_plan(saturated=True))
+        assert [a.name for a in alerts] == ["steerSaturated"]
+        assert alerts[0].severity == "warning"
+
+    def test_rearm_time(self):
+        manager = AlertManager(AlertThresholds(steer_saturated_rearm_time=3.0))
+        manager.update(1.0, 20.0, 0.0, long_plan(), lat_plan(saturated=True))
+        assert manager.update(2.0, 20.0, 0.0, long_plan(), lat_plan(saturated=True)) == []
+        assert manager.update(4.5, 20.0, 0.0, long_plan(), lat_plan(saturated=True)) != []
+
+
+class TestBookkeeping:
+    def test_raised_alerts_accumulate(self):
+        manager = AlertManager()
+        manager.update(1.0, 20.0, 4.5, long_plan(), lat_plan(saturated=True))
+        assert manager.alert_count == 2
+        assert len(manager.alerts_named("fcw")) == 1
+        assert len(manager.alerts_named("steerSaturated")) == 1
+
+    def test_alert_event_conversion(self):
+        manager = AlertManager()
+        alerts = manager.update(1.0, 20.0, 4.5, long_plan(), lat_plan())
+        event = alerts[0].to_event()
+        assert event.name == "fcw"
+        assert event.severity == "critical"

@@ -1,0 +1,76 @@
+"""Tests for the simulated CAN bus (taps and man-in-the-middle transformers)."""
+
+import pytest
+
+from repro.can.bus import CANBus
+from repro.can.frame import CANFrame
+
+
+def frame(address=0xE4, data=b"\x01\x02"):
+    return CANFrame(address, data)
+
+
+class TestCANBusBasics:
+    def test_latest_frame_per_address(self, can_bus):
+        can_bus.send(frame(data=b"\x01"))
+        can_bus.send(frame(data=b"\x02"))
+        assert can_bus.latest(0xE4).data == b"\x02"
+
+    def test_latest_none_for_unknown_address(self, can_bus):
+        assert can_bus.latest(0x123) is None
+
+    def test_sent_count(self, can_bus):
+        for _ in range(3):
+            can_bus.send(frame())
+        assert can_bus.sent_count == 3
+
+    def test_clear_drops_frames_keeps_counters(self, can_bus):
+        can_bus.send(frame())
+        can_bus.clear()
+        assert can_bus.latest(0xE4) is None
+        assert can_bus.sent_count == 1
+
+    def test_tap_sees_every_frame(self, can_bus):
+        seen = []
+        can_bus.add_tap(seen.append)
+        can_bus.send(frame())
+        can_bus.send(frame(address=0x1FA))
+        assert [f.address for f in seen] == [0xE4, 0x1FA]
+
+
+class TestTransformers:
+    def test_transformer_can_replace_frame(self, can_bus):
+        can_bus.add_transformer(lambda f: f.with_data(b"\xff\xff"))
+        stored = can_bus.send(frame())
+        assert stored.data == b"\xff\xff"
+        assert can_bus.latest(0xE4).data == b"\xff\xff"
+        assert can_bus.tampered_count == 1
+
+    def test_transformer_returning_none_passes_through(self, can_bus):
+        can_bus.add_transformer(lambda f: None)
+        stored = can_bus.send(frame())
+        assert stored.data == b"\x01\x02"
+        assert can_bus.tampered_count == 0
+
+    def test_transformer_must_not_change_address(self, can_bus):
+        can_bus.add_transformer(lambda f: CANFrame(0x99, f.data))
+        with pytest.raises(ValueError):
+            can_bus.send(frame())
+
+    def test_taps_see_post_tamper_frame(self, can_bus):
+        seen = []
+        can_bus.add_transformer(lambda f: f.with_data(b"\xaa"))
+        can_bus.add_tap(seen.append)
+        can_bus.send(frame())
+        assert seen[0].data == b"\xaa"
+
+    def test_remove_transformer(self, can_bus):
+        transformer = lambda f: f.with_data(b"\xaa")  # noqa: E731
+        can_bus.add_transformer(transformer)
+        can_bus.remove_transformer(transformer)
+        assert can_bus.send(frame()).data == b"\x01\x02"
+
+    def test_transformers_chain_in_order(self, can_bus):
+        can_bus.add_transformer(lambda f: f.with_data(b"\x01"))
+        can_bus.add_transformer(lambda f: f.with_data(bytes([f.data[0] + 1])))
+        assert can_bus.send(frame()).data == b"\x02"

@@ -1,0 +1,76 @@
+"""Tests for CAN frames and checksums."""
+
+import pytest
+
+from repro.can.checksum import apply_checksum, honda_checksum, honda_counter, verify_checksum
+from repro.can.frame import CANFrame
+
+
+class TestCANFrame:
+    def test_basic_frame(self):
+        frame = CANFrame(0xE4, b"\x01\x02\x03")
+        assert frame.address == 0xE4
+        assert frame.hex() == "010203"
+        assert not frame.is_extended
+
+    def test_extended_address(self):
+        assert CANFrame(0x18DAF110, b"").is_extended
+
+    def test_invalid_address_rejected(self):
+        with pytest.raises(ValueError):
+            CANFrame(-1, b"")
+        with pytest.raises(ValueError):
+            CANFrame(0x20000000, b"")
+
+    def test_payload_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            CANFrame(0x100, bytes(9))
+
+    def test_with_data_preserves_metadata(self):
+        frame = CANFrame(0xE4, b"\x01", bus=2, timestamp=1.5)
+        clone = frame.with_data(b"\x02")
+        assert clone.address == 0xE4
+        assert clone.bus == 2
+        assert clone.timestamp == 1.5
+        assert clone.data == b"\x02"
+
+
+class TestHondaChecksum:
+    def test_checksum_is_four_bits(self):
+        assert 0 <= honda_checksum(0xE4, b"\x12\x34\x56\x78\x00") <= 0xF
+
+    def test_apply_then_verify(self):
+        data = bytearray(b"\xd0\x00\x55\xc0\x00")
+        apply_checksum(0xE4, data)
+        assert verify_checksum(0xE4, data)
+
+    def test_corruption_without_fixup_fails_verification(self):
+        data = bytearray(b"\xd0\x00\x55\xc0\x00")
+        apply_checksum(0xE4, data)
+        data[0] ^= 0xFF
+        assert not verify_checksum(0xE4, data)
+
+    def test_corruption_with_fixup_passes_verification(self):
+        # The attack's key trick: tamper then recompute the checksum.
+        data = bytearray(b"\xd0\x00\x55\xc0\x00")
+        apply_checksum(0xE4, data)
+        data[0] ^= 0xFF
+        apply_checksum(0xE4, data)
+        assert verify_checksum(0xE4, data)
+
+    def test_checksum_depends_on_address(self):
+        data = b"\x01\x02\x03\x00"
+        assert honda_checksum(0xE4, data) != honda_checksum(0xE5, data)
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError):
+            honda_checksum(0xE4, b"")
+        assert verify_checksum(0xE4, b"") is False
+
+    def test_counter_wraps_at_two_bits(self):
+        values = []
+        counter = 0
+        for _ in range(6):
+            counter = honda_counter(counter)
+            values.append(counter)
+        assert values == [1, 2, 3, 0, 1, 2]

@@ -1,0 +1,105 @@
+"""Tests for collision detection and lane monitoring."""
+
+import pytest
+
+from repro.sim.actors import FollowerVehicle, LeadVehicle
+from repro.sim.collision import AccidentType, CollisionDetector, LaneMonitor
+from repro.sim.road import Road, RoadSpec
+from repro.sim.vehicle import EgoVehicle
+
+
+@pytest.fixture
+def road():
+    return Road(RoadSpec())
+
+
+@pytest.fixture
+def ego(road):
+    return EgoVehicle(road, initial_speed=20.0)
+
+
+class TestCollisionDetector:
+    def test_no_collision_normally(self, road, ego):
+        detector = CollisionDetector(road)
+        lead = LeadVehicle(initial_s=60.0, initial_speed=15.0)
+        assert detector.check(1.0, ego, lead) is None
+        assert not detector.collided
+
+    def test_lead_collision_detected(self, road, ego):
+        detector = CollisionDetector(road)
+        lead = LeadVehicle(initial_s=ego.front_s + 1.0, initial_speed=15.0)
+        event = detector.check(1.0, ego, lead)
+        assert event is not None
+        assert event.accident is AccidentType.LEAD_COLLISION
+
+    def test_no_lead_collision_when_different_lane(self, road, ego):
+        detector = CollisionDetector(road)
+        lead = LeadVehicle(initial_s=ego.front_s + 1.0, initial_speed=15.0)
+        lead.state.d = 3.6  # adjacent lane
+        assert detector.check(1.0, ego, lead) is None
+
+    def test_right_guardrail_collision(self, road, ego):
+        detector = CollisionDetector(road)
+        ego.state.d = road.right_guardrail - 0.2
+        event = detector.check(2.0, ego, None)
+        assert event.accident is AccidentType.ROADSIDE_COLLISION
+
+    def test_left_road_edge_collision(self, road, ego):
+        detector = CollisionDetector(road)
+        ego.state.d = road.left_road_edge + 0.2
+        event = detector.check(2.0, ego, None)
+        assert event.accident is AccidentType.ROADSIDE_COLLISION
+
+    def test_rear_end_collision(self, road, ego):
+        detector = CollisionDetector(road)
+        follower = FollowerVehicle(initial_s=ego.rear_s - 1.0, initial_speed=25.0)
+        event = detector.check(3.0, ego, None, follower)
+        assert event.accident is AccidentType.REAR_END_COLLISION
+
+    def test_first_event_is_earliest(self, road, ego):
+        detector = CollisionDetector(road)
+        ego.state.d = road.right_guardrail - 0.2
+        detector.check(2.0, ego, None)
+        detector.check(3.0, ego, None)
+        assert detector.first_event().time == 2.0
+
+
+class TestLaneMonitor:
+    def test_centered_vehicle_no_invasion(self, road, ego):
+        monitor = LaneMonitor(road)
+        monitor.check(1.0, ego)
+        assert monitor.report.invasion_events == []
+        assert not monitor.report.out_of_lane
+
+    def test_invasion_counted_once_per_crossing(self, road, ego):
+        monitor = LaneMonitor(road)
+        ego.state.d = road.right_lane_line + 0.3  # edge over the line
+        monitor.check(1.0, ego)
+        monitor.check(1.1, ego)
+        assert len(monitor.report.invasion_events) == 1
+        # Return to centre then cross again -> second event.
+        ego.state.d = 0.0
+        monitor.check(1.2, ego)
+        ego.state.d = road.right_lane_line + 0.3
+        monitor.check(1.3, ego)
+        assert len(monitor.report.invasion_events) == 2
+
+    def test_invasion_side_recorded(self, road, ego):
+        monitor = LaneMonitor(road)
+        ego.state.d = road.left_lane_line - 0.3
+        monitor.check(1.0, ego)
+        assert monitor.report.invasion_events[0].side == "left"
+
+    def test_out_of_lane_when_centre_crosses(self, road, ego):
+        monitor = LaneMonitor(road)
+        ego.state.d = road.left_lane_line + 0.1
+        monitor.check(2.5, ego)
+        assert monitor.report.out_of_lane
+        assert monitor.report.out_of_lane_time == 2.5
+
+    def test_invasions_per_second(self, road, ego):
+        monitor = LaneMonitor(road)
+        ego.state.d = road.right_lane_line + 0.3
+        monitor.check(1.0, ego)
+        assert monitor.report.invasions_per_second(10.0) == pytest.approx(0.1)
+        assert monitor.report.invasions_per_second(0.0) == 0.0

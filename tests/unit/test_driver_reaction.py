@@ -1,0 +1,144 @@
+"""Tests for the driver-reaction simulator and anomaly detector."""
+
+import pytest
+
+from repro.driver.anomaly import AnomalyDetector
+from repro.driver.reaction import (
+    DriverParams,
+    DriverPhase,
+    DriverReactionSimulator,
+    brake_response_curve,
+)
+from repro.messaging.messages import AlertEvent
+from repro.sim.vehicle import ActuatorCommand
+
+
+NORMAL = ActuatorCommand(accel=0.5, brake=0.0, steering_angle_deg=2.0)
+
+
+class TestBrakeResponseCurve:
+    def test_matches_paper_equation(self):
+        # Eq. 4: brake = e^(10t-12) / (1 + e^(10t-12))
+        import math
+        for t in (0.0, 0.5, 1.0, 1.2, 1.5, 2.0):
+            expected = math.exp(10 * t - 12) / (1 + math.exp(10 * t - 12))
+            assert brake_response_curve(t) == pytest.approx(expected)
+
+    def test_monotone_increasing_to_one(self):
+        values = [brake_response_curve(t / 10) for t in range(0, 30)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+        assert brake_response_curve(3.0) > 0.99
+
+    def test_no_overflow_for_long_times(self):
+        assert brake_response_curve(1000.0) == 1.0
+
+
+class TestAnomalyDetector:
+    def test_normal_commands_not_anomalous(self):
+        detector = AnomalyDetector()
+        assert detector.detect(1.0, NORMAL, NORMAL, 20.0, 26.8) is None
+
+    def test_hard_brake_detected(self):
+        detector = AnomalyDetector()
+        anomaly = detector.detect(1.0, ActuatorCommand(brake=4.0), NORMAL, 20.0, 26.8)
+        assert anomaly.kind == "hard_brake"
+
+    def test_excessive_acceleration_detected(self):
+        detector = AnomalyDetector()
+        anomaly = detector.detect(1.0, ActuatorCommand(accel=2.4), NORMAL, 20.0, 26.8)
+        assert anomaly.kind == "acceleration"
+
+    def test_strategic_values_not_detected(self):
+        # Strategic corruption stays at the ISO limits, which the driver
+        # does not perceive as anomalous.
+        detector = AnomalyDetector()
+        previous = ActuatorCommand(steering_angle_deg=2.0)
+        strategic_accel = ActuatorCommand(accel=2.0, steering_angle_deg=2.0)
+        strategic_brake = ActuatorCommand(brake=3.5, steering_angle_deg=2.0)
+        assert detector.detect(1.0, strategic_accel, previous, 20.0, 26.8) is None
+        assert detector.detect(1.0, strategic_brake, previous, 20.0, 26.8) is None
+
+    def test_fast_steering_change_detected(self):
+        detector = AnomalyDetector()
+        previous = ActuatorCommand(steering_angle_deg=0.0)
+        anomaly = detector.detect(1.0, ActuatorCommand(steering_angle_deg=2.0), previous, 20.0, 26.8)
+        assert anomaly.kind == "steering"
+
+    def test_overspeed_detected(self):
+        detector = AnomalyDetector()
+        anomaly = detector.detect(1.0, NORMAL, NORMAL, 30.0, 26.8)
+        assert anomaly.kind == "overspeed"
+
+    def test_lane_departure_detected(self):
+        detector = AnomalyDetector()
+        anomaly = detector.detect(1.0, NORMAL, NORMAL, 20.0, 26.8, lateral_offset=1.6)
+        assert anomaly.kind == "lane_departure"
+
+
+class TestDriverStateMachine:
+    def test_never_engages_without_anomaly(self, message_bus):
+        driver = DriverReactionSimulator(message_bus)
+        for step in range(500):
+            decision = driver.update(step * 0.01, NORMAL, 20.0, 26.8, 0.0, 0.0, 2.0)
+        assert not driver.perceived
+        assert not decision.engaged
+
+    def test_reaction_delay_before_engagement(self, message_bus):
+        driver = DriverReactionSimulator(message_bus, DriverParams(reaction_time=2.5))
+        anomalous = ActuatorCommand(accel=2.4)
+        decision = driver.update(0.0, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert driver.perceived and not decision.engaged
+        decision = driver.update(2.0, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert not decision.engaged
+        decision = driver.update(2.51, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert decision.engaged
+
+    def test_alert_triggers_perception(self, message_bus):
+        driver = DriverReactionSimulator(message_bus)
+        message_bus.publish("alertEvent", AlertEvent(name="fcw", severity="critical"))
+        driver.update(0.0, NORMAL, 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert driver.perceived
+        assert driver.perceived_reason == "alert:fcw"
+
+    def test_mitigation_brakes_hard_for_acceleration_anomaly(self, message_bus):
+        driver = DriverReactionSimulator(message_bus, DriverParams(reaction_time=0.0))
+        anomalous = ActuatorCommand(accel=2.4)
+        driver.update(0.0, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        decision = driver.update(1.5, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert decision.phase is DriverPhase.MITIGATING
+        assert decision.command.brake > 5.0
+        assert decision.command.accel == 0.0
+
+    def test_mitigation_releases_brake_for_hard_brake_anomaly(self, message_bus):
+        driver = DriverReactionSimulator(message_bus, DriverParams(reaction_time=0.0))
+        anomalous = ActuatorCommand(brake=4.0)
+        driver.update(0.0, anomalous, 15.0, 26.8, 0.0, 0.0, 0.0)
+        decision = driver.update(1.5, anomalous, 10.0, 26.8, 0.0, 0.0, 0.0)
+        assert decision.command.brake == 0.0
+        assert decision.command.accel > 0.0
+
+    def test_manual_driving_after_mitigation(self, message_bus):
+        driver = DriverReactionSimulator(
+            message_bus, DriverParams(reaction_time=0.0, mitigation_time=1.0)
+        )
+        anomalous = ActuatorCommand(accel=2.4)
+        driver.update(0.0, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        driver.update(0.5, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        decision = driver.update(2.0, NORMAL, 15.0, 26.8, 0.0, 0.0, 0.0, lead_gap=60.0, lead_speed=20.0)
+        assert decision.phase is DriverPhase.MANUAL
+        assert decision.command.accel > 0.0
+
+    def test_disabled_driver_never_reacts(self, message_bus):
+        driver = DriverReactionSimulator(message_bus, DriverParams(enabled=False))
+        decision = driver.update(0.0, ActuatorCommand(accel=5.0), 20.0, 26.8, 0.0, 0.0, 0.0)
+        assert not driver.perceived
+        assert not decision.engaged
+
+    def test_manual_car_following_slows_for_close_lead(self, message_bus):
+        driver = DriverReactionSimulator(
+            message_bus, DriverParams(reaction_time=0.0, mitigation_time=0.5)
+        )
+        anomalous = ActuatorCommand(accel=2.4)
+        driver.update(0.0, anomalous, 20.0, 26.8, 0.0, 0.0, 0.0)
+        decision = driver.update(1.0, NORMAL, 20.0, 26.8, 0.0, 0.0, 0.0, lead_gap=10.0, lead_speed=5.0)
+        assert decision.command.brake > 0.0

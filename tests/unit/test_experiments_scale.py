@@ -1,0 +1,106 @@
+"""Tests for the experiment scaling and observation-check helpers."""
+
+import pytest
+
+from repro.analysis.metrics import RunResult
+from repro.analysis.observations import (
+    ObservationCheck,
+    check_observation_1,
+    check_observation_3,
+    check_observation_4,
+    check_observation_6,
+    format_observations,
+)
+from repro.analysis.results import AttackTypeSummary, StrategySummary
+from repro.experiments.scale import ExperimentScale
+
+
+class TestExperimentScale:
+    def test_default_scale_covers_all_scenarios(self):
+        scale = ExperimentScale()
+        assert scale.scenarios == ("S1", "S2", "S3", "S4")
+        assert scale.repetitions >= 1
+
+    def test_full_scale_matches_paper_grid(self):
+        full = ExperimentScale.full()
+        # 4 scenarios x 3 distances x 6 attack types x 20 reps = 1,440 runs.
+        assert len(full.scenarios) * len(full.initial_distances) * 6 * full.repetitions == 1440
+        # Random-ST+DUR uses 10x the repetitions (14,400 runs).
+        assert full.random_st_dur_repetitions == 10 * full.repetitions
+
+    def test_smoke_scale_is_tiny(self):
+        smoke = ExperimentScale.smoke()
+        assert smoke.repetitions == 1
+        assert len(smoke.scenarios) == 1
+
+    def test_environment_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FULL_SCALE", "true")
+        assert ExperimentScale.from_environment().repetitions == 20
+        monkeypatch.setenv("REPRO_FULL_SCALE", "0")
+        assert ExperimentScale.from_environment().repetitions == ExperimentScale().repetitions
+
+
+def run_result(hazards=None, invasions=0, **kwargs):
+    defaults = dict(scenario="S1", initial_distance=70.0, attack_type=None,
+                    strategy="No-Attack", seed=0, driver_enabled=True, duration=50.0)
+    defaults.update(kwargs)
+    result = RunResult(**defaults)
+    result.hazards = hazards or {}
+    result.lane_invasions = invasions
+    return result
+
+
+def strategy_summary(name, hazard_rate, alert_rate, no_alert_rate):
+    return StrategySummary(
+        strategy=name, runs=100, alerts=int(alert_rate * 100), alert_rate=alert_rate,
+        hazards=int(hazard_rate * 100), hazard_rate=hazard_rate,
+        accidents=0, accident_rate=0.0,
+        hazards_without_alerts=int(no_alert_rate * 100),
+        hazards_without_alerts_rate=no_alert_rate,
+        lane_invasions_per_second=0.3, tth_mean=2.0, tth_std=0.5,
+    )
+
+
+def attack_summary(name, hazards=10, prevented=0, alerts=0, runs=10):
+    return AttackTypeSummary(
+        attack_type=name, runs=runs, alerts=alerts, alert_rate=alerts / runs,
+        hazards=hazards, hazard_rate=hazards / runs, accidents=0, accident_rate=0.0,
+        tth_mean=2.0, tth_std=0.1, prevented_hazards=prevented,
+    )
+
+
+class TestObservationChecks:
+    def test_observation_1_holds_with_invasions_and_no_hazards(self):
+        runs = [run_result(invasions=10), run_result(invasions=5)]
+        assert check_observation_1(runs).holds
+
+    def test_observation_1_fails_with_hazards(self):
+        runs = [run_result(invasions=10, hazards={"H3": 5.0})]
+        assert not check_observation_1(runs).holds
+
+    def test_observation_3(self):
+        check = check_observation_3((10.0, 20.0), random_hazard_rate=0.4,
+                                    context_aware_hazard_rate=0.9)
+        assert check.holds
+        assert not check_observation_3(None, 0.4, 0.9).holds
+
+    def test_observation_4(self):
+        summaries = {"Acceleration": attack_summary("Acceleration", prevented=5),
+                     "Steering-Right": attack_summary("Steering-Right")}
+        assert check_observation_4(summaries).holds
+        assert not check_observation_4(
+            {"Acceleration": attack_summary("Acceleration", prevented=0)}
+        ).holds
+
+    def test_observation_6(self):
+        with_corruption = {"Acceleration": attack_summary("Acceleration", alerts=0, prevented=0)}
+        without_corruption = {"Acceleration": attack_summary("Acceleration", alerts=5, prevented=3)}
+        assert check_observation_6(with_corruption, without_corruption).holds
+        assert not check_observation_6(without_corruption, with_corruption).holds
+
+    def test_format_observations(self):
+        checks = [ObservationCheck(1, "desc", True, "detail"),
+                  ObservationCheck(2, "other", False)]
+        text = format_observations(checks)
+        assert "Observation 1: HOLDS" in text
+        assert "Observation 2: DEVIATES" in text

@@ -1,0 +1,164 @@
+"""Tests for hazard detection, run metrics and result aggregation."""
+
+import pytest
+
+from repro.analysis.hazards import HazardMonitor, HazardParams, HazardType
+from repro.analysis.metrics import RunResult
+from repro.analysis.results import (
+    format_table_iv,
+    format_table_v,
+    summarize_by_attack_type,
+    summarize_strategy,
+)
+from repro.sim.collision import AccidentType, CollisionEvent
+from repro.sim.vehicle import ActuatorCommand
+
+
+class TestHazardMonitor:
+    def test_no_hazard_in_nominal_state(self, world):
+        monitor = HazardMonitor()
+        world.step(ActuatorCommand())
+        assert monitor.check(world) == []
+        assert not monitor.any_hazard
+
+    def test_h1_when_too_close_to_lead(self, world):
+        monitor = HazardMonitor(HazardParams(h1_headway=1.0))
+        world.lead.state.s = world.ego.front_s + 5.0 + world.lead.length / 2.0
+        world.step(ActuatorCommand())
+        events = monitor.check(world)
+        assert [e.hazard for e in events] == [HazardType.UNSAFE_FOLLOWING_DISTANCE]
+
+    def test_h1_not_triggered_when_lead_in_other_lane(self, world):
+        monitor = HazardMonitor()
+        world.lead.state.s = world.ego.front_s + 5.0
+        world.lead.state.d = 3.6
+        world.step(ActuatorCommand())
+        assert monitor.check(world) == []
+
+    def test_h2_when_stopped_with_no_lead_nearby(self, world):
+        monitor = HazardMonitor(HazardParams(h2_speed_floor=8.0, h2_warmup=0.0))
+        world.ego.state.speed = 2.0
+        world.lead.state.s = world.ego.front_s + 200.0
+        world.step(ActuatorCommand())
+        events = monitor.check(world)
+        assert [e.hazard for e in events] == [HazardType.UNNECESSARY_STOP]
+
+    def test_h2_suppressed_when_lead_is_close(self, world):
+        monitor = HazardMonitor(HazardParams(h2_warmup=0.0))
+        world.ego.state.speed = 2.0
+        world.lead.state.s = world.ego.front_s + 10.0
+        world.step(ActuatorCommand())
+        assert monitor.check(world) == []
+
+    def test_h2_suppressed_during_warmup(self, world):
+        monitor = HazardMonitor(HazardParams(h2_warmup=10.0))
+        world.ego.state.speed = 2.0
+        world.lead.state.s = world.ego.front_s + 200.0
+        world.step(ActuatorCommand())
+        assert monitor.check(world) == []
+
+    def test_h3_when_out_of_lane(self, world):
+        monitor = HazardMonitor(HazardParams(out_of_lane_margin=0.4))
+        world.ego.state.d = world.road.left_lane_line + 0.5
+        world.step(ActuatorCommand())
+        events = monitor.check(world)
+        assert [e.hazard for e in events] == [HazardType.OUT_OF_LANE]
+
+    def test_each_hazard_recorded_once(self, world):
+        monitor = HazardMonitor(HazardParams(out_of_lane_margin=0.0))
+        world.ego.state.d = world.road.left_lane_line + 0.5
+        world.step(ActuatorCommand())
+        assert len(monitor.check(world)) == 1
+        world.step(ActuatorCommand())
+        assert monitor.check(world) == []
+        assert monitor.first_event.hazard is HazardType.OUT_OF_LANE
+
+
+def make_result(hazards=None, accidents=None, alerts=None, activation=10.0, **kwargs):
+    defaults = dict(scenario="S1", initial_distance=70.0, attack_type="Acceleration",
+                    strategy="Context-Aware", seed=0, driver_enabled=True, duration=50.0)
+    defaults.update(kwargs)
+    result = RunResult(**defaults)
+    result.hazards = hazards or {}
+    result.accidents = accidents or {}
+    result.alerts = alerts or []
+    result.attack_activation_time = activation
+    result.attack_activated = activation is not None
+    return result
+
+
+class TestRunResultMetrics:
+    def test_time_to_hazard(self):
+        result = make_result(hazards={"H1": 13.5}, activation=10.0)
+        assert result.time_to_hazard == pytest.approx(3.5)
+
+    def test_time_to_hazard_none_without_attack(self):
+        result = make_result(hazards={"H1": 13.5}, activation=None)
+        assert result.time_to_hazard is None
+
+    def test_hazard_without_alert(self):
+        assert make_result(hazards={"H1": 13.5}).hazard_without_alert
+        assert not make_result(hazards={"H1": 13.5}, alerts=[("fcw", 12.0)]).hazard_without_alert
+        assert not make_result().hazard_without_alert
+
+    def test_lane_invasion_rate(self):
+        result = make_result()
+        result.lane_invasions = 25
+        assert result.lane_invasions_per_second == pytest.approx(0.5)
+
+    def test_record_accident(self):
+        result = make_result()
+        result.record_accident(CollisionEvent(AccidentType.LEAD_COLLISION, 20.0, ""))
+        assert result.accidents == {"A1": 20.0}
+
+
+class TestAggregation:
+    def test_summarize_strategy_counts(self):
+        results = [
+            make_result(hazards={"H1": 12.0}),
+            make_result(hazards={"H3": 15.0}, alerts=[("steerSaturated", 14.0)]),
+            make_result(),
+            make_result(accidents={"A1": 20.0}, hazards={"H1": 18.0}),
+        ]
+        summary = summarize_strategy("Context-Aware", results)
+        assert summary.runs == 4
+        assert summary.hazards == 3
+        assert summary.accidents == 1
+        assert summary.alerts == 1
+        assert summary.hazards_without_alerts == 2
+        assert summary.hazard_rate == pytest.approx(0.75)
+
+    def test_summarize_strategy_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_strategy("X", [])
+
+    def test_summarize_by_attack_type_with_driver_pairing(self):
+        with_driver = [make_result(seed=1, hazards={}), make_result(seed=2, hazards={"H1": 12.0})]
+        without_driver = [
+            make_result(seed=1, hazards={"H1": 11.0}, driver_enabled=False),
+            make_result(seed=2, hazards={"H1": 12.0}, driver_enabled=False),
+        ]
+        with_driver[0].driver_engaged = True
+        summaries = summarize_by_attack_type(with_driver, without_driver)
+        summary = summaries["Acceleration"]
+        assert summary.prevented_hazards == 1
+        assert summary.new_hazards == 0
+        assert summary.hazards == 1
+
+    def test_new_hazards_detected(self):
+        with_driver = [make_result(seed=1, hazards={"H2": 20.0})]
+        without_driver = [make_result(seed=1, hazards={"H1": 12.0})]
+        summaries = summarize_by_attack_type(with_driver, without_driver)
+        assert summaries["Acceleration"].new_hazards == 1
+
+    def test_table_formatting_contains_all_rows(self):
+        summary = summarize_strategy("Context-Aware", [make_result(hazards={"H1": 12.0})])
+        text = format_table_iv([summary])
+        assert "Context-Aware" in text and "Hazards" in text
+
+    def test_table_v_formatting(self):
+        runs = [make_result(hazards={"H1": 12.0})]
+        summaries = summarize_by_attack_type(runs)
+        text = format_table_v(summaries, summaries)
+        assert "No Strategic Value Corruption" in text
+        assert "With Strategic Value Corruption" in text

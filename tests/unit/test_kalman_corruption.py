@@ -1,0 +1,144 @@
+"""Tests for the Kalman filter and the strategic value corruption."""
+
+import pytest
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS
+from repro.core.attack_types import AttackType, spec_for
+from repro.core.corruption import CorruptionMode, ValueCorruptor
+from repro.core.kalman import ScalarKalmanFilter
+from repro.sim.vehicle import ActuatorCommand
+
+
+class TestScalarKalmanFilter:
+    def test_first_update_initialises(self):
+        kf = ScalarKalmanFilter()
+        kf.update(20.0)
+        assert kf.estimate == pytest.approx(20.0)
+        assert kf.initialized
+
+    def test_predict_uses_constant_acceleration_model(self):
+        kf = ScalarKalmanFilter()
+        kf.reset(20.0)
+        assert kf.predict(2.0, 0.5) == pytest.approx(21.0)
+
+    def test_predict_before_init_raises(self):
+        with pytest.raises(RuntimeError):
+            ScalarKalmanFilter().predict(1.0, 0.1)
+
+    def test_update_moves_estimate_towards_measurement(self):
+        kf = ScalarKalmanFilter()
+        kf.reset(20.0, variance=1.0)
+        kf.update(22.0)
+        assert 20.0 < kf.estimate <= 22.0
+        assert 0.0 < kf.gain <= 1.0
+
+    def test_converges_to_constant_measurement(self):
+        kf = ScalarKalmanFilter()
+        kf.reset(0.0)
+        for _ in range(100):
+            kf.predict(0.0, 0.01)
+            kf.update(15.0)
+        assert kf.estimate == pytest.approx(15.0, abs=0.1)
+
+    def test_variance_shrinks_on_update_grows_on_predict(self):
+        kf = ScalarKalmanFilter()
+        kf.reset(10.0, variance=1.0)
+        kf.predict(0.0, 0.01)
+        grown = kf.variance
+        kf.update(10.0)
+        assert kf.variance < grown
+
+    def test_predicted_speed_does_not_mutate(self):
+        kf = ScalarKalmanFilter()
+        kf.reset(10.0)
+        before = kf.estimate
+        kf.predicted_speed(2.0, 0.5)
+        assert kf.estimate == before
+
+
+def corrupt(mode, attack_type, command=None, direction=0, prev_steer=0.0,
+            cruise=26.82, speed=None):
+    corruptor = ValueCorruptor(mode)
+    if speed is not None:
+        corruptor.observe_speed(speed)
+    command = command or ActuatorCommand(accel=0.3, brake=0.0, steering_angle_deg=2.0)
+    return corruptor.corrupt(command, spec_for(attack_type), direction, prev_steer, cruise)
+
+
+class TestFixedCorruption:
+    def test_acceleration_uses_openpilot_maximum(self):
+        result = corrupt(CorruptionMode.FIXED, AttackType.ACCELERATION)
+        assert result.accel == pytest.approx(OPENPILOT_LIMITS.accel_max)
+        assert result.brake == 0.0
+
+    def test_deceleration_uses_openpilot_maximum(self):
+        result = corrupt(CorruptionMode.FIXED, AttackType.DECELERATION)
+        assert result.brake == pytest.approx(-OPENPILOT_LIMITS.brake_min)
+        assert result.accel == 0.0
+
+    def test_steering_moves_towards_fixed_value(self):
+        result = corrupt(CorruptionMode.FIXED, AttackType.STEERING_RIGHT,
+                         direction=-1, prev_steer=2.0)
+        assert result.steering_angle_deg == pytest.approx(1.5)
+
+    def test_steering_change_within_rate_limit(self):
+        result = corrupt(CorruptionMode.FIXED, AttackType.STEERING_LEFT,
+                         direction=+1, prev_steer=-3.0)
+        assert abs(result.steering_angle_deg - (-3.0)) <= OPENPILOT_LIMITS.steer_delta_max_deg + 1e-9
+
+    def test_combined_attack_corrupts_both_channels(self):
+        result = corrupt(CorruptionMode.FIXED, AttackType.ACCELERATION_STEERING,
+                         direction=-1, prev_steer=0.0)
+        assert result.accel == pytest.approx(OPENPILOT_LIMITS.accel_max)
+        assert result.steering_angle_deg != 0.0
+
+
+class TestStrategicCorruption:
+    def test_acceleration_uses_iso_limit(self):
+        result = corrupt(CorruptionMode.STRATEGIC, AttackType.ACCELERATION, speed=15.0)
+        assert result.accel == pytest.approx(ISO_SAFETY_LIMITS.accel_max)
+
+    def test_deceleration_uses_iso_limit(self):
+        result = corrupt(CorruptionMode.STRATEGIC, AttackType.DECELERATION, speed=15.0)
+        assert result.brake == pytest.approx(-ISO_SAFETY_LIMITS.brake_min)
+
+    def test_acceleration_backs_off_near_speed_cap(self):
+        # Predicted speed near 1.1 * v_cruise -> accel reduced (Eq. 1-3).
+        cruise = 26.82
+        result = corrupt(CorruptionMode.STRATEGIC, AttackType.ACCELERATION,
+                         cruise=cruise, speed=1.1 * cruise - 0.2)
+        assert result.accel < ISO_SAFETY_LIMITS.accel_max
+        assert result.accel >= 0.0
+
+    def test_acceleration_full_when_far_below_cap(self):
+        result = corrupt(CorruptionMode.STRATEGIC, AttackType.ACCELERATION,
+                         cruise=26.82, speed=16.0)
+        assert result.accel == pytest.approx(ISO_SAFETY_LIMITS.accel_max)
+
+    def test_strategic_values_pass_driver_anomaly_thresholds(self):
+        from repro.driver.anomaly import AnomalyDetector
+        detector = AnomalyDetector()
+        for attack_type, direction in ((AttackType.ACCELERATION, 0),
+                                       (AttackType.DECELERATION, 0),
+                                       (AttackType.STEERING_RIGHT, -1)):
+            command = ActuatorCommand(accel=0.3, brake=0.0, steering_angle_deg=0.0)
+            previous = ActuatorCommand(steering_angle_deg=0.0)
+            result = corrupt(CorruptionMode.STRATEGIC, attack_type, command=command,
+                             direction=direction, speed=15.0)
+            assert detector.detect(0.0, result, previous, 15.0, 26.82) is None
+
+    def test_fixed_values_trip_driver_anomaly_thresholds(self):
+        from repro.driver.anomaly import AnomalyDetector
+        detector = AnomalyDetector()
+        previous = ActuatorCommand()
+        command = ActuatorCommand(accel=0.3, brake=0.0, steering_angle_deg=0.0)
+        accel = corrupt(CorruptionMode.FIXED, AttackType.ACCELERATION, command=command)
+        brake = corrupt(CorruptionMode.FIXED, AttackType.DECELERATION, command=command)
+        assert detector.detect(0.0, accel, previous, 15.0, 26.82).kind == "acceleration"
+        assert detector.detect(0.0, brake, previous, 15.0, 26.82).kind == "hard_brake"
+
+    def test_untouched_channels_preserved(self):
+        command = ActuatorCommand(accel=0.7, brake=0.0, steering_angle_deg=5.5)
+        result = corrupt(CorruptionMode.STRATEGIC, AttackType.DECELERATION, command=command,
+                         speed=15.0)
+        assert result.steering_angle_deg == pytest.approx(5.5)

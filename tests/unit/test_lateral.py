@@ -1,0 +1,82 @@
+"""Tests for the ALC lateral planner / steering controller."""
+
+import pytest
+
+from repro.adas.lateral import LateralParams, LateralPlanner
+from repro.messaging.messages import CarState, LaneLine, ModelV2
+
+
+def model(lateral_offset=0.0, heading_error=0.0, curvature=0.0, lane_width=3.6):
+    half = lane_width / 2.0
+    return ModelV2(
+        lane_lines=(
+            LaneLine(offset=half - lateral_offset),
+            LaneLine(offset=-half - lateral_offset),
+        ),
+        lane_width=lane_width,
+        lateral_offset=lateral_offset,
+        heading_error=heading_error,
+        curvature=curvature,
+    )
+
+
+def car_state(steering=0.0, v_ego=20.0):
+    return CarState(v_ego=v_ego, steering_angle_deg=steering)
+
+
+class TestSteeringDirection:
+    def test_steers_left_when_right_of_centre(self):
+        plan = LateralPlanner().update(car_state(), model(lateral_offset=-0.5))
+        assert plan.desired_steering_deg > 0.0
+
+    def test_steers_right_when_left_of_centre(self):
+        plan = LateralPlanner().update(car_state(), model(lateral_offset=+0.5))
+        assert plan.desired_steering_deg < 0.0
+
+    def test_counters_heading_error(self):
+        plan = LateralPlanner().update(car_state(), model(heading_error=0.05))
+        assert plan.desired_steering_deg < 0.0
+
+    def test_centred_and_aligned_needs_no_steering(self):
+        plan = LateralPlanner().update(car_state(), model())
+        assert plan.desired_steering_deg == pytest.approx(0.0, abs=0.2)
+
+    def test_curvature_feedforward_steers_into_curve(self):
+        plan = LateralPlanner().update(car_state(), model(curvature=0.002))
+        assert plan.desired_steering_deg > 1.0
+
+    def test_larger_error_larger_command(self):
+        planner = LateralPlanner()
+        small = planner.update(car_state(), model(lateral_offset=-0.2))
+        large = planner.update(car_state(), model(lateral_offset=-1.0))
+        assert abs(large.desired_steering_deg) > abs(small.desired_steering_deg)
+
+
+class TestSaturation:
+    def test_not_saturated_in_normal_operation(self):
+        planner = LateralPlanner()
+        for _ in range(300):
+            plan = planner.update(car_state(steering=0.0), model(lateral_offset=-0.2))
+        assert not plan.saturated
+
+    def test_saturated_after_sustained_large_mismatch(self):
+        params = LateralParams()
+        planner = LateralPlanner(params)
+        # Car far out of position and the measured steering not responding.
+        for _ in range(params.saturation_frames + 5):
+            plan = planner.update(car_state(steering=0.0), model(lateral_offset=-3.0, heading_error=-0.1))
+        assert plan.saturated
+
+    def test_saturation_counter_resets_when_mismatch_clears(self):
+        params = LateralParams()
+        planner = LateralPlanner(params)
+        for _ in range(params.saturation_frames - 10):
+            planner.update(car_state(steering=0.0), model(lateral_offset=-3.0, heading_error=-0.1))
+        planner.update(car_state(steering=0.0), model(lateral_offset=0.0))
+        for _ in range(20):
+            plan = planner.update(car_state(steering=0.0), model(lateral_offset=-3.0, heading_error=-0.1))
+        assert not plan.saturated
+
+    def test_desired_steering_clamped_to_vehicle_maximum(self):
+        plan = LateralPlanner().update(car_state(), model(lateral_offset=-50.0, heading_error=-1.0))
+        assert abs(plan.desired_steering_deg) <= 450.0 + 1e-6

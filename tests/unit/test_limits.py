@@ -1,0 +1,62 @@
+"""Tests for the ADAS safety limit sets."""
+
+import pytest
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS, PANDA_LIMITS, SafetyLimits
+
+
+class TestPaperValues:
+    def test_openpilot_limits_match_table3_fixed(self):
+        assert OPENPILOT_LIMITS.accel_max == pytest.approx(2.4)
+        assert OPENPILOT_LIMITS.brake_min == pytest.approx(-4.0)
+        assert OPENPILOT_LIMITS.steer_delta_max_deg == pytest.approx(0.5)
+
+    def test_iso_limits_match_table3_strategic(self):
+        assert ISO_SAFETY_LIMITS.accel_max == pytest.approx(2.0)
+        assert ISO_SAFETY_LIMITS.brake_min == pytest.approx(-3.5)
+        assert ISO_SAFETY_LIMITS.steer_delta_max_deg == pytest.approx(0.25)
+        assert ISO_SAFETY_LIMITS.cruise_overspeed_factor == pytest.approx(1.1)
+
+    def test_strategic_values_within_openpilot_limits(self):
+        # The whole point of the strategic corruption: its values pass the
+        # looser OpenPilot / Panda checks.
+        assert not OPENPILOT_LIMITS.violates(
+            ISO_SAFETY_LIMITS.accel_max, -ISO_SAFETY_LIMITS.brake_min,
+            ISO_SAFETY_LIMITS.steer_delta_max_deg,
+        )
+        assert not PANDA_LIMITS.violates(
+            ISO_SAFETY_LIMITS.accel_max, -ISO_SAFETY_LIMITS.brake_min,
+            ISO_SAFETY_LIMITS.steer_delta_max_deg,
+        )
+
+    def test_fixed_values_violate_iso_limits(self):
+        assert ISO_SAFETY_LIMITS.violates(
+            OPENPILOT_LIMITS.accel_max, -OPENPILOT_LIMITS.brake_min,
+            OPENPILOT_LIMITS.steer_delta_max_deg,
+        )
+
+
+class TestSafetyLimitsBehaviour:
+    def test_clamp_accel(self):
+        assert OPENPILOT_LIMITS.clamp_accel(10.0) == pytest.approx(2.4)
+        assert OPENPILOT_LIMITS.clamp_accel(-10.0) == pytest.approx(-4.0)
+        assert OPENPILOT_LIMITS.clamp_accel(1.0) == 1.0
+
+    def test_clamp_steer_delta(self):
+        assert OPENPILOT_LIMITS.clamp_steer_delta(3.0) == pytest.approx(0.5)
+        assert OPENPILOT_LIMITS.clamp_steer_delta(-3.0) == pytest.approx(-0.5)
+
+    def test_violates_per_channel(self):
+        limits = SafetyLimits(accel_max=2.0, brake_min=-3.5, steer_delta_max_deg=0.25)
+        assert limits.violates(2.1, 0.0, 0.0)
+        assert limits.violates(0.0, 3.6, 0.0)
+        assert limits.violates(0.0, 0.0, 0.3)
+        assert not limits.violates(2.0, 3.5, 0.25)
+
+    def test_invalid_limit_values_rejected(self):
+        with pytest.raises(ValueError):
+            SafetyLimits(accel_max=0.0, brake_min=-1.0, steer_delta_max_deg=0.1)
+        with pytest.raises(ValueError):
+            SafetyLimits(accel_max=1.0, brake_min=1.0, steer_delta_max_deg=0.1)
+        with pytest.raises(ValueError):
+            SafetyLimits(accel_max=1.0, brake_min=-1.0, steer_delta_max_deg=0.0)

@@ -1,0 +1,80 @@
+"""Tests for the ACC longitudinal planner."""
+
+import pytest
+
+from repro.adas.longitudinal import LongitudinalParams, LongitudinalPlanner
+from repro.messaging.messages import CarState, RadarLead, RadarState
+
+
+def car_state(v_ego=20.0, cruise=26.82):
+    return CarState(v_ego=v_ego, cruise_enabled=True, cruise_speed=cruise)
+
+
+def radar(d_rel, v_rel, v_ego=20.0):
+    return RadarState(lead_one=RadarLead(d_rel=d_rel, v_rel=v_rel, v_lead=v_ego + v_rel))
+
+
+class TestCruiseControl:
+    def test_accelerates_below_cruise_speed(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=20.0), None)
+        assert plan.desired_accel > 0.5
+        assert not plan.has_lead
+
+    def test_holds_at_cruise_speed(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=26.82), None)
+        assert plan.desired_accel == pytest.approx(0.0, abs=0.05)
+
+    def test_slows_above_cruise_speed(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=30.0), None)
+        assert plan.desired_accel < 0.0
+
+    def test_acceleration_bounded_by_planner_limits(self):
+        params = LongitudinalParams()
+        plan = LongitudinalPlanner(params).update(car_state(v_ego=1.0), None)
+        assert plan.desired_accel <= params.planner_limits.accel_max + 1e-9
+
+    def test_braking_bounded_by_planner_limits(self):
+        params = LongitudinalParams()
+        plan = LongitudinalPlanner(params).update(
+            car_state(v_ego=26.0), radar(5.0, -15.0, v_ego=26.0)
+        )
+        assert plan.desired_accel >= params.planner_limits.brake_min - 1e-9
+
+
+class TestLeadFollowing:
+    def test_brakes_when_closing_fast(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=26.82), radar(50.0, -11.0, 26.82))
+        assert plan.has_lead
+        assert plan.desired_accel < -1.0
+
+    def test_ignores_invalid_lead_track(self):
+        lead = RadarLead(d_rel=10.0, v_rel=-10.0, v_lead=10.0, status=False)
+        plan = LongitudinalPlanner().update(car_state(), RadarState(lead_one=lead))
+        assert not plan.has_lead
+
+    def test_follows_at_desired_headway(self):
+        params = LongitudinalParams()
+        v = 15.6
+        desired_gap = params.standstill_distance + params.follow_time_headway * v
+        plan = LongitudinalPlanner(params).update(
+            car_state(v_ego=v), radar(desired_gap, 0.0, v)
+        )
+        assert plan.desired_accel == pytest.approx(0.0, abs=0.1)
+
+    def test_closes_gap_when_too_far_behind_slow_lead(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=15.0), radar(150.0, 0.0, 15.0))
+        assert plan.desired_accel > 0.3
+
+    def test_time_to_collision_computed_when_closing(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=25.0), radar(50.0, -10.0, 25.0))
+        assert plan.time_to_collision == pytest.approx(5.0, rel=0.05)
+
+    def test_time_to_collision_infinite_when_opening(self):
+        plan = LongitudinalPlanner().update(car_state(v_ego=20.0), radar(50.0, +5.0, 20.0))
+        assert plan.time_to_collision == float("inf")
+
+    def test_required_decel_grows_as_gap_shrinks(self):
+        planner = LongitudinalPlanner()
+        far = planner.update(car_state(v_ego=25.0), radar(60.0, -10.0, 25.0))
+        near = planner.update(car_state(v_ego=25.0), radar(20.0, -10.0, 25.0))
+        assert near.required_decel > far.required_decel > 0.0

@@ -1,0 +1,103 @@
+"""Tests for the publish/subscribe message bus."""
+
+import pytest
+
+from repro.messaging.bus import MessageBus
+from repro.messaging.messages import CarState, GpsLocationExternal, RadarState
+
+
+class TestPublishSubscribe:
+    def test_subscriber_receives_published_event(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        message_bus.publish("carState", CarState(v_ego=10.0))
+        assert sub.latest is not None
+        assert sub.latest.data.v_ego == 10.0
+
+    def test_multiple_subscribers_each_receive(self, message_bus):
+        subs = [message_bus.subscribe("radarState") for _ in range(3)]
+        message_bus.publish("radarState", RadarState())
+        assert all(sub.latest is not None for sub in subs)
+
+    def test_events_carry_increasing_sequence_numbers(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        for _ in range(5):
+            message_bus.publish("carState", CarState())
+        events = sub.drain()
+        assert [event.seq for event in events] == [0, 1, 2, 3, 4]
+
+    def test_publish_wrong_payload_type_raises(self, message_bus):
+        with pytest.raises(TypeError):
+            message_bus.publish("carState", GpsLocationExternal())
+
+    def test_publish_unknown_service_raises(self, message_bus):
+        with pytest.raises(KeyError):
+            message_bus.publish("noSuchService", CarState())
+
+    def test_unsubscribed_service_gets_nothing(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        message_bus.publish("radarState", RadarState())
+        assert sub.latest is None
+
+    def test_unsubscribe_stops_delivery(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        message_bus.unsubscribe(sub)
+        message_bus.publish("carState", CarState())
+        assert sub.latest is None
+
+    def test_publication_count(self, message_bus):
+        assert message_bus.publication_count("carState") == 0
+        message_bus.publish("carState", CarState())
+        message_bus.publish("carState", CarState())
+        assert message_bus.publication_count("carState") == 2
+
+
+class TestConflation:
+    def test_conflated_subscription_keeps_only_latest(self, message_bus):
+        sub = message_bus.subscribe("carState", conflate=True)
+        for speed in (1.0, 2.0, 3.0):
+            message_bus.publish("carState", CarState(v_ego=speed))
+        events = sub.drain()
+        assert len(events) == 1
+        assert events[0].data.v_ego == 3.0
+
+    def test_non_conflated_subscription_keeps_all(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        for speed in (1.0, 2.0, 3.0):
+            message_bus.publish("carState", CarState(v_ego=speed))
+        assert [event.data.v_ego for event in sub.drain()] == [1.0, 2.0, 3.0]
+
+    def test_drain_clears_queue(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        message_bus.publish("carState", CarState())
+        assert len(sub.drain()) == 1
+        assert sub.drain() == []
+
+
+class TestClockAndTaps:
+    def test_events_stamped_with_bus_time(self, message_bus):
+        sub = message_bus.subscribe("carState")
+        message_bus.set_time(1.23)
+        message_bus.publish("carState", CarState())
+        assert sub.latest.mono_time == pytest.approx(1.23)
+
+    def test_clock_must_be_monotonic(self, message_bus):
+        message_bus.set_time(5.0)
+        with pytest.raises(ValueError):
+            message_bus.set_time(4.0)
+
+    def test_event_age(self, message_bus):
+        message_bus.set_time(2.0)
+        event = message_bus.publish("carState", CarState())
+        assert event.age(3.5) == pytest.approx(1.5)
+
+    def test_tap_sees_every_service(self, message_bus):
+        seen = []
+        message_bus.add_tap(lambda event: seen.append(event.service))
+        message_bus.publish("carState", CarState())
+        message_bus.publish("radarState", RadarState())
+        assert seen == ["carState", "radarState"]
+
+    def test_validity_flag_propagates(self, message_bus):
+        sub = message_bus.subscribe("radarState")
+        message_bus.publish("radarState", RadarState(), valid=False)
+        assert sub.latest.valid is False

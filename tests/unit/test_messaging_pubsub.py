@@ -1,0 +1,71 @@
+"""Tests for PubMaster / SubMaster."""
+
+import pytest
+
+from repro.messaging.messages import CarState, ModelV2, RadarState
+from repro.messaging.pubsub import PubMaster, SubMaster
+
+
+class TestPubMaster:
+    def test_send_on_bound_service(self, message_bus):
+        pm = PubMaster(message_bus, ["carState"])
+        sub = message_bus.subscribe("carState")
+        pm.send("carState", CarState(v_ego=5.0))
+        assert sub.latest.data.v_ego == 5.0
+
+    def test_send_on_unbound_service_raises(self, message_bus):
+        pm = PubMaster(message_bus, ["carState"])
+        with pytest.raises(KeyError):
+            pm.send("radarState", RadarState())
+
+    def test_unknown_service_rejected_at_construction(self, message_bus):
+        with pytest.raises(KeyError):
+            PubMaster(message_bus, ["bogusService"])
+
+
+class TestSubMaster:
+    def test_getitem_returns_latest_payload(self, message_bus):
+        sm = SubMaster(message_bus, ["carState"])
+        message_bus.publish("carState", CarState(v_ego=9.0))
+        sm.update()
+        assert sm["carState"].v_ego == 9.0
+
+    def test_getitem_none_before_any_publication(self, message_bus):
+        sm = SubMaster(message_bus, ["carState"])
+        sm.update()
+        assert sm["carState"] is None
+
+    def test_updated_flag_set_once_per_new_message(self, message_bus):
+        sm = SubMaster(message_bus, ["carState"])
+        message_bus.publish("carState", CarState())
+        sm.update()
+        assert sm.updated["carState"] is True
+        sm.update()
+        assert sm.updated["carState"] is False
+
+    def test_valid_mirrors_publisher_flag(self, message_bus):
+        sm = SubMaster(message_bus, ["modelV2"])
+        message_bus.publish("modelV2", ModelV2(), valid=False)
+        sm.update()
+        assert sm.valid["modelV2"] is False
+
+    def test_all_alive(self, message_bus):
+        sm = SubMaster(message_bus, ["carState", "radarState"])
+        message_bus.publish("carState", CarState())
+        assert not sm.all_alive()
+        message_bus.publish("radarState", RadarState())
+        assert sm.all_alive()
+
+    def test_last_recv_time_tracks_bus_clock(self, message_bus):
+        sm = SubMaster(message_bus, ["carState"])
+        message_bus.set_time(7.5)
+        message_bus.publish("carState", CarState())
+        sm.update()
+        assert sm.last_recv_time["carState"] == pytest.approx(7.5)
+
+    def test_close_unsubscribes(self, message_bus):
+        sm = SubMaster(message_bus, ["carState"])
+        sm.close()
+        message_bus.publish("carState", CarState(v_ego=4.0))
+        sm.update()
+        assert sm["carState"] is None

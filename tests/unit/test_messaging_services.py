@@ -1,0 +1,71 @@
+"""Tests for the service registry and message log."""
+
+import pytest
+
+from repro.messaging.log import MessageLog
+from repro.messaging.messages import AlertEvent, CarState, GpsLocationExternal
+from repro.messaging.services import SERVICE_LIST, service_for, validate_payload
+
+
+class TestServiceRegistry:
+    def test_paper_eavesdropping_services_exist(self):
+        # The three services the attack subscribes to (Section III-C).
+        for name in ("gpsLocationExternal", "modelV2", "radarState"):
+            assert name in SERVICE_LIST
+
+    def test_service_for_returns_spec(self):
+        spec = service_for("gpsLocationExternal")
+        assert spec.payload_type is GpsLocationExternal
+        assert spec.frequency_hz > 0
+
+    def test_service_for_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError) as excinfo:
+            service_for("bogus")
+        assert "radarState" in str(excinfo.value)
+
+    def test_validate_payload_accepts_correct_type(self):
+        validate_payload("carState", CarState())
+
+    def test_validate_payload_rejects_wrong_type(self):
+        with pytest.raises(TypeError):
+            validate_payload("carState", AlertEvent(name="fcw", severity="critical"))
+
+
+class TestMessageLog:
+    def test_records_all_events(self, message_bus):
+        log = MessageLog().attach(message_bus)
+        message_bus.publish("carState", CarState())
+        message_bus.publish("carState", CarState())
+        assert len(log) == 2
+        assert log.count("carState") == 2
+
+    def test_service_filter(self, message_bus):
+        log = MessageLog(services=["alertEvent"]).attach(message_bus)
+        message_bus.publish("carState", CarState())
+        message_bus.publish("alertEvent", AlertEvent(name="fcw", severity="critical"))
+        assert len(log) == 1
+        assert log.by_service("carState") == []
+        assert log.count("alertEvent") == 1
+
+    def test_last_returns_most_recent(self, message_bus):
+        log = MessageLog().attach(message_bus)
+        message_bus.publish("carState", CarState(v_ego=1.0))
+        message_bus.publish("carState", CarState(v_ego=2.0))
+        assert log.last("carState").data.v_ego == 2.0
+
+    def test_last_none_when_empty(self, message_bus):
+        log = MessageLog().attach(message_bus)
+        assert log.last("carState") is None
+
+    def test_iteration_in_publication_order(self, message_bus):
+        log = MessageLog().attach(message_bus)
+        message_bus.publish("carState", CarState(v_ego=1.0))
+        message_bus.publish("gpsLocationExternal", GpsLocationExternal(speed=2.0))
+        services = [event.service for event in log]
+        assert services == ["carState", "gpsLocationExternal"]
+
+    def test_clear(self, message_bus):
+        log = MessageLog().attach(message_bus)
+        message_bus.publish("carState", CarState())
+        log.clear()
+        assert len(log) == 0

@@ -1,0 +1,100 @@
+"""Tests for the Panda safety model and driver monitoring."""
+
+import pytest
+
+from repro.adas.driver_monitoring import DriverMonitoring, DriverMonitoringParams
+from repro.adas.panda import PandaSafetyModel
+from repro.can.honda import HONDA_DBC
+from repro.core.can_tamper import tamper_signal
+
+
+class TestPandaAccelChecks:
+    def test_accepts_in_range_accel(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 2.0, "BRAKE_COMMAND": 0.0})
+        assert panda.check_frame(frame) == []
+
+    def test_rejects_excessive_accel(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 3.5, "BRAKE_COMMAND": 0.0})
+        violations = panda.check_frame(frame)
+        assert [v.rule for v in violations] == ["accel_too_high"]
+
+    def test_rejects_excessive_brake(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 0.0, "BRAKE_COMMAND": 5.0})
+        assert [v.rule for v in panda.check_frame(frame)] == ["brake_too_high"]
+
+    def test_rejects_bad_checksum(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 1.0, "BRAKE_COMMAND": 0.0})
+        corrupted = frame.with_data(bytes([frame.data[0] ^ 0x10]) + frame.data[1:])
+        assert [v.rule for v in panda.check_frame(corrupted)] == ["bad_checksum"]
+
+    def test_tampered_frame_with_fixed_checksum_passes_integrity(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 1.0, "BRAKE_COMMAND": 0.0})
+        tampered = tamper_signal(frame, HONDA_DBC, {"ACCEL_COMMAND": 2.0})
+        assert panda.check_frame(tampered) == []
+
+
+class TestPandaSteerRate:
+    def test_slow_steering_changes_accepted(self):
+        panda = PandaSafetyModel()
+        for angle in (0.0, 0.4, 0.8):
+            frame = HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": angle})
+            assert panda.check_frame(frame) == []
+
+    def test_fast_steering_change_rejected(self):
+        panda = PandaSafetyModel()
+        panda.check_frame(HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": 0.0}))
+        violations = panda.check_frame(
+            HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": 5.0})
+        )
+        assert [v.rule for v in violations] == ["steer_rate_too_high"]
+
+    def test_would_block_does_not_record(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 3.5, "BRAKE_COMMAND": 0.0})
+        assert panda.would_block(frame)
+        assert panda.violation_count == 0
+
+    def test_reset_clears_state(self):
+        panda = PandaSafetyModel()
+        panda.check_frame(HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 3.5, "BRAKE_COMMAND": 0.0}))
+        panda.reset()
+        assert panda.violation_count == 0
+
+    def test_unrelated_addresses_ignored(self):
+        panda = PandaSafetyModel()
+        frame = HONDA_DBC.encode("POWERTRAIN_DATA", {"XMISSION_SPEED": 20.0})
+        assert panda.check_frame(frame) == []
+
+
+class TestDriverMonitoring:
+    def test_attentive_driver_keeps_full_awareness(self):
+        dm = DriverMonitoring()
+        for step in range(100):
+            state = dm.update(step * 0.01, 0.01)
+        assert state.awareness == pytest.approx(1.0)
+        assert not state.is_distracted
+        assert not dm.warning_active
+
+    def test_distraction_decays_awareness_and_warns(self):
+        dm = DriverMonitoring(
+            DriverMonitoringParams(decay_rate=1.0, warn_threshold=0.5),
+            distraction_profile=lambda t: True,
+        )
+        for step in range(100):
+            dm.update(step * 0.01, 0.01)
+        assert dm.awareness < 0.5
+        assert dm.warning_active
+
+    def test_awareness_recovers_after_distraction(self):
+        dm = DriverMonitoring(
+            DriverMonitoringParams(decay_rate=1.0, recovery_rate=1.0),
+            distraction_profile=lambda t: t < 0.5,
+        )
+        for step in range(200):
+            dm.update(step * 0.01, 0.01)
+        assert dm.awareness > 0.9

@@ -1,0 +1,93 @@
+"""Tests for road geometry."""
+
+import math
+
+import pytest
+
+from repro.sim.road import Road, RoadSpec
+
+
+class TestRoadSpecValidation:
+    def test_defaults_valid(self):
+        RoadSpec()
+
+    def test_invalid_lane_width(self):
+        with pytest.raises(ValueError):
+            RoadSpec(lane_width=0.0)
+
+    def test_negative_left_lanes(self):
+        with pytest.raises(ValueError):
+            RoadSpec(num_left_lanes=-1)
+
+    def test_invalid_transition(self):
+        with pytest.raises(ValueError):
+            RoadSpec(curve_transition=0.0)
+
+
+class TestCurvature:
+    def test_straight_before_curve_start(self):
+        road = Road(RoadSpec(curve_start=150.0))
+        assert road.curvature(0.0) == 0.0
+        assert road.curvature(149.9) == 0.0
+
+    def test_full_curvature_after_transition(self):
+        spec = RoadSpec(curve_start=150.0, curve_transition=200.0, curvature_max=0.0025)
+        road = Road(spec)
+        assert road.curvature(1000.0) == pytest.approx(0.0025)
+
+    def test_curvature_monotonic_in_transition(self):
+        road = Road(RoadSpec())
+        values = [road.curvature(s) for s in range(150, 351, 10)]
+        assert all(b >= a - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_curve_turns_left(self):
+        # Positive curvature = left turn, matching the paper's left-curved road.
+        assert Road(RoadSpec()).curvature(500.0) > 0.0
+
+
+class TestLateralLandmarks:
+    def test_lane_lines_symmetric(self):
+        road = Road(RoadSpec(lane_width=3.6))
+        assert road.left_lane_line == pytest.approx(1.8)
+        assert road.right_lane_line == pytest.approx(-1.8)
+
+    def test_right_guardrail_beyond_lane_line(self):
+        road = Road(RoadSpec())
+        assert road.right_guardrail < road.right_lane_line
+
+    def test_left_road_edge_accounts_for_adjacent_lane(self):
+        spec = RoadSpec(lane_width=3.6, num_left_lanes=1, left_shoulder=0.6)
+        road = Road(spec)
+        assert road.left_road_edge == pytest.approx(1.8 + 3.6 + 0.6)
+
+
+class TestHeadingAndCartesian:
+    def test_heading_zero_on_straight(self):
+        assert Road(RoadSpec()).heading(100.0) == 0.0
+
+    def test_heading_increases_on_curve(self):
+        road = Road(RoadSpec())
+        assert road.heading(600.0) > road.heading(400.0) > 0.0
+
+    def test_heading_matches_integrated_curvature_after_ramp(self):
+        spec = RoadSpec(curve_start=100.0, curve_transition=100.0, curvature_max=0.002)
+        road = Road(spec)
+        # Past the ramp, heading grows linearly with slope curvature_max.
+        h1, h2 = road.heading(300.0), road.heading(400.0)
+        assert (h2 - h1) == pytest.approx(0.002 * 100.0, rel=1e-6)
+
+    def test_cartesian_straight_section(self):
+        road = Road(RoadSpec(curve_start=1000.0))
+        x, y = road.to_cartesian(100.0, 0.0)
+        assert x == pytest.approx(100.0, abs=0.01)
+        assert y == pytest.approx(0.0, abs=0.01)
+
+    def test_cartesian_lateral_offset_is_perpendicular(self):
+        road = Road(RoadSpec(curve_start=1000.0))
+        x, y = road.to_cartesian(50.0, 1.5)
+        assert y == pytest.approx(1.5, abs=0.01)
+
+    def test_cartesian_curve_bends_left(self):
+        road = Road(RoadSpec(curve_start=50.0, curve_transition=50.0, curvature_max=0.01))
+        __, y = road.to_cartesian(400.0, 0.0)
+        assert y > 10.0

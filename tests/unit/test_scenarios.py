@@ -1,0 +1,65 @@
+"""Tests for the driving scenarios S1-S4."""
+
+import pytest
+
+from repro.sim.actors import LeadBehavior
+from repro.sim.scenarios import INITIAL_DISTANCES, SCENARIOS, build_scenario
+from repro.sim.units import mph_to_ms
+
+
+class TestScenarioDefinitions:
+    def test_all_four_scenarios_exist(self):
+        assert set(SCENARIOS) == {"S1", "S2", "S3", "S4"}
+
+    def test_ego_cruises_at_60mph(self):
+        for scenario in SCENARIOS.values():
+            assert scenario.ego_initial_speed == pytest.approx(mph_to_ms(60.0))
+            assert scenario.cruise_speed == pytest.approx(mph_to_ms(60.0))
+
+    def test_s1_lead_cruises_at_35mph(self):
+        s1 = SCENARIOS["S1"]
+        assert s1.lead_behavior is LeadBehavior.CRUISE
+        assert s1.lead_initial_speed == pytest.approx(mph_to_ms(35.0))
+
+    def test_s2_lead_cruises_at_50mph(self):
+        assert SCENARIOS["S2"].lead_initial_speed == pytest.approx(mph_to_ms(50.0))
+
+    def test_s3_lead_decelerates_50_to_35(self):
+        s3 = SCENARIOS["S3"]
+        assert s3.lead_behavior is LeadBehavior.DECELERATE
+        assert s3.lead_initial_speed == pytest.approx(mph_to_ms(50.0))
+        assert s3.lead_target_speed == pytest.approx(mph_to_ms(35.0))
+
+    def test_s4_lead_accelerates_35_to_50(self):
+        s4 = SCENARIOS["S4"]
+        assert s4.lead_behavior is LeadBehavior.ACCELERATE
+        assert s4.lead_initial_speed == pytest.approx(mph_to_ms(35.0))
+        assert s4.lead_target_speed == pytest.approx(mph_to_ms(50.0))
+
+    def test_paper_initial_distances(self):
+        assert INITIAL_DISTANCES == (50.0, 70.0, 100.0)
+
+    def test_ego_starts_near_right_side(self):
+        # The paper initialises the ego vehicle closer to the right guardrail.
+        assert SCENARIOS["S1"].ego_initial_lane_offset < 0.0
+
+
+class TestBuildScenario:
+    def test_build_applies_initial_distance(self):
+        scenario = build_scenario("S2", 100.0)
+        assert scenario.initial_distance == 100.0
+        assert scenario.name == "S2"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError):
+            build_scenario("S9")
+
+    def test_invalid_distance_raises(self):
+        with pytest.raises(ValueError):
+            build_scenario("S1", -5.0)
+
+    def test_with_initial_distance_returns_copy(self):
+        base = SCENARIOS["S1"]
+        modified = base.with_initial_distance(55.0)
+        assert base.initial_distance != 55.0
+        assert modified.initial_distance == 55.0

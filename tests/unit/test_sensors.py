@@ -1,0 +1,118 @@
+"""Tests for the simulated sensors."""
+
+import numpy as np
+import pytest
+
+from repro.sim.actors import LeadVehicle
+from repro.sim.road import Road, RoadSpec
+from repro.sim.sensors import CameraModel, GpsSensor, RadarSensor, SensorNoise
+from repro.sim.vehicle import EgoVehicle
+
+
+@pytest.fixture
+def road():
+    return Road(RoadSpec())
+
+
+@pytest.fixture
+def ego(road):
+    return EgoVehicle(road, initial_speed=20.0, initial_d=-0.3)
+
+
+@pytest.fixture
+def lead():
+    return LeadVehicle(initial_s=60.0, initial_speed=15.0)
+
+
+def noiseless_rng():
+    return SensorNoise.noiseless(), np.random.default_rng(0)
+
+
+class TestPeriodicPublication:
+    def test_due_respects_frequency(self):
+        noise, rng = noiseless_rng()
+        gps = GpsSensor(noise, rng, frequency_hz=10.0)
+        assert gps.due(0.0)
+        assert not gps.due(0.05)
+        assert gps.due(0.1)
+
+    def test_invalid_frequency_rejected(self):
+        noise, rng = noiseless_rng()
+        with pytest.raises(ValueError):
+            GpsSensor(noise, rng, frequency_hz=0.0)
+
+
+class TestGps:
+    def test_reports_ego_speed(self, ego, road):
+        noise, rng = noiseless_rng()
+        gps = GpsSensor(noise, rng)
+        assert gps.measure(ego, road).speed == pytest.approx(20.0)
+
+    def test_speed_never_negative_with_noise(self, ego, road):
+        gps = GpsSensor(SensorNoise(gps_speed_std=5.0), np.random.default_rng(1))
+        ego.state.speed = 0.0
+        for _ in range(50):
+            assert gps.measure(ego, road).speed >= 0.0
+
+
+class TestRadar:
+    def test_reports_relative_distance_and_speed(self, ego, road, lead):
+        noise, rng = noiseless_rng()
+        radar = RadarSensor(noise, rng)
+        state = radar.measure(ego, lead)
+        expected_gap = lead.rear_s - ego.front_s
+        assert state.lead_one.d_rel == pytest.approx(expected_gap, abs=0.01)
+        assert state.lead_one.v_rel == pytest.approx(-5.0, abs=0.01)
+
+    def test_no_lead_when_out_of_range(self, ego, road):
+        noise, rng = noiseless_rng()
+        radar = RadarSensor(noise, rng, max_range=50.0)
+        far_lead = LeadVehicle(initial_s=500.0, initial_speed=15.0)
+        assert radar.measure(ego, far_lead).lead_one is None
+
+    def test_no_lead_when_none_present(self, ego):
+        noise, rng = noiseless_rng()
+        radar = RadarSensor(noise, rng)
+        assert radar.measure(ego, None).lead_one is None
+
+
+class TestCameraModel:
+    def test_lane_lines_relative_to_vehicle(self, ego, road):
+        noise, rng = noiseless_rng()
+        camera = CameraModel(noise, rng)
+        model = camera.measure(ego, road, None)
+        # Vehicle is 0.3 m right of centre: left line farther, right line closer.
+        assert model.lane_lines[0].offset == pytest.approx(road.left_lane_line + 0.3, abs=0.01)
+        assert model.lane_lines[1].offset == pytest.approx(road.right_lane_line + 0.3, abs=0.01)
+        assert model.lateral_offset == pytest.approx(-0.3, abs=0.01)
+
+    def test_curvature_lookahead(self, road):
+        noise, rng = noiseless_rng()
+        camera = CameraModel(noise, rng, curvature_lookahead=20.0)
+        ego = EgoVehicle(road, initial_speed=20.0)
+        ego.state.s = road.spec.curve_start + road.spec.curve_transition + 100.0
+        model = camera.measure(ego, road, None)
+        assert model.curvature == pytest.approx(road.spec.curvature_max)
+
+    def test_lead_probability_when_visible(self, ego, road, lead):
+        noise, rng = noiseless_rng()
+        camera = CameraModel(noise, rng)
+        model = camera.measure(ego, road, lead)
+        assert model.lead_probability > 0.5
+        assert model.lead_distance > 0.0
+
+    def test_lane_reanchoring_after_lane_change(self, road):
+        # Once the vehicle is mostly in the adjacent (left) lane, the
+        # perception reports its offset relative to that lane.
+        noise, rng = noiseless_rng()
+        camera = CameraModel(noise, rng)
+        ego = EgoVehicle(road, initial_speed=20.0, initial_d=road.spec.lane_width + 0.2)
+        model = camera.measure(ego, road, None)
+        assert abs(model.lateral_offset) < road.spec.lane_width / 2.0
+
+    def test_no_reanchor_to_nonexistent_right_lane(self, road):
+        noise, rng = noiseless_rng()
+        camera = CameraModel(noise, rng)
+        ego = EgoVehicle(road, initial_speed=20.0, initial_d=-road.spec.lane_width)
+        model = camera.measure(ego, road, None)
+        assert model.lateral_offset == pytest.approx(-road.spec.lane_width, abs=0.01)

@@ -1,0 +1,135 @@
+"""Tests for the attack strategies (Table III) and attack types (Table II)."""
+
+import numpy as np
+import pytest
+
+from repro.core.attack_types import ATTACK_TYPES, AttackType, ControlAction, spec_for
+from repro.core.context_matcher import ContextMatch
+from repro.core.context_table import default_context_table
+from repro.core.corruption import CorruptionMode
+from repro.core.strategies import (
+    ContextAwareStrategy,
+    NoAttackStrategy,
+    RandomDurationStrategy,
+    RandomStartDurationStrategy,
+    RandomStartStrategy,
+    strategy_by_name,
+)
+
+
+def match_for(action):
+    table = default_context_table()
+    rule = table.rules_for_action(action)[0]
+    return ContextMatch(rule=rule, time=1.0)
+
+
+class TestAttackTypes:
+    def test_six_attack_types_like_table2(self):
+        assert len(ATTACK_TYPES) == 6
+
+    def test_acceleration_spec(self):
+        spec = spec_for(AttackType.ACCELERATION)
+        assert spec.corrupt_accel and not spec.corrupt_brake
+        assert spec.actions == (ControlAction.ACCELERATION,)
+
+    def test_steering_specs_have_directions(self):
+        assert spec_for(AttackType.STEERING_LEFT).steer_direction == +1
+        assert spec_for(AttackType.STEERING_RIGHT).steer_direction == -1
+
+    def test_combined_specs_cover_multiple_actions(self):
+        spec = spec_for(AttackType.DECELERATION_STEERING)
+        assert spec.corrupt_brake
+        assert ControlAction.STEER_LEFT in spec.actions
+        assert spec.corrupts_steering
+
+
+class TestRandomStrategies:
+    def test_random_st_dur_samples_within_paper_ranges(self):
+        strategy = RandomStartDurationStrategy()
+        strategy.prepare(np.random.default_rng(0))
+        assert 5.0 <= strategy.start_time <= 40.0
+        assert 0.5 <= strategy.duration <= 2.5
+
+    def test_random_st_has_fixed_driver_reaction_duration(self):
+        strategy = RandomStartStrategy()
+        strategy.prepare(np.random.default_rng(0))
+        assert strategy.duration == pytest.approx(2.5)
+
+    def test_activation_only_after_start_time(self):
+        strategy = RandomStartDurationStrategy(start_range=(10.0, 10.0))
+        strategy.prepare(np.random.default_rng(0))
+        spec = spec_for(AttackType.ACCELERATION)
+        assert not strategy.should_activate(9.0, spec, []).activate
+        assert strategy.should_activate(10.5, spec, []).activate
+
+    def test_deactivation_after_duration(self):
+        strategy = RandomStartDurationStrategy(duration_range=(1.0, 1.0))
+        strategy.prepare(np.random.default_rng(0))
+        assert not strategy.should_deactivate(10.5, 10.0, hazard_occurred=False)
+        assert strategy.should_deactivate(11.1, 10.0, hazard_occurred=False)
+
+    def test_unprepared_strategy_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomStartDurationStrategy().should_activate(1.0, spec_for(AttackType.ACCELERATION), [])
+
+    def test_random_strategies_use_fixed_values(self):
+        assert RandomStartDurationStrategy.corruption_mode is CorruptionMode.FIXED
+        assert RandomStartStrategy.corruption_mode is CorruptionMode.FIXED
+        assert RandomDurationStrategy.corruption_mode is CorruptionMode.FIXED
+
+    def test_random_dur_requires_context(self):
+        strategy = RandomDurationStrategy()
+        strategy.prepare(np.random.default_rng(0))
+        spec = spec_for(AttackType.ACCELERATION)
+        assert not strategy.should_activate(5.0, spec, []).activate
+        decision = strategy.should_activate(5.0, spec, [match_for(ControlAction.ACCELERATION)])
+        assert decision.activate
+
+
+class TestContextAwareStrategy:
+    def test_uses_strategic_values(self):
+        assert ContextAwareStrategy.corruption_mode is CorruptionMode.STRATEGIC
+        assert ContextAwareStrategy.context_triggered
+
+    def test_activates_only_on_relevant_context(self):
+        strategy = ContextAwareStrategy()
+        strategy.prepare(np.random.default_rng(0))
+        spec = spec_for(AttackType.DECELERATION)
+        wrong = [match_for(ControlAction.ACCELERATION)]
+        right = [match_for(ControlAction.DECELERATION)]
+        assert not strategy.should_activate(1.0, spec, wrong).activate
+        decision = strategy.should_activate(1.0, spec, right)
+        assert decision.activate
+        assert decision.reason == "rule2"
+
+    def test_steering_direction_from_matched_rule(self):
+        strategy = ContextAwareStrategy()
+        strategy.prepare(np.random.default_rng(0))
+        spec = spec_for(AttackType.ACCELERATION_STEERING)
+        decision = strategy.should_activate(1.0, spec, [match_for(ControlAction.STEER_RIGHT)])
+        assert decision.activate
+        assert decision.steer_direction == -1
+
+    def test_stops_on_hazard(self):
+        strategy = ContextAwareStrategy()
+        assert strategy.should_deactivate(5.0, 3.0, hazard_occurred=True)
+        assert not strategy.should_deactivate(5.0, 3.0, hazard_occurred=False)
+
+    def test_stops_at_max_duration(self):
+        strategy = ContextAwareStrategy(max_duration=4.0)
+        assert strategy.should_deactivate(7.5, 3.0, hazard_occurred=False)
+
+
+class TestStrategyRegistry:
+    def test_all_table3_strategies_constructible_by_name(self):
+        for name in ("No-Attack", "Random-ST+DUR", "Random-ST", "Random-DUR", "Context-Aware"):
+            assert strategy_by_name(name).name == name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            strategy_by_name("Quantum")
+
+    def test_no_attack_strategy_never_activates(self):
+        strategy = NoAttackStrategy()
+        spec = spec_for(AttackType.ACCELERATION)
+        assert not strategy.should_activate(10.0, spec, [match_for(ControlAction.ACCELERATION)]).activate

@@ -1,0 +1,55 @@
+"""Tests for repro.sim.units."""
+
+import math
+
+import pytest
+
+from repro.sim import units
+
+
+class TestConversions:
+    def test_mph_to_ms_60(self):
+        assert units.mph_to_ms(60.0) == pytest.approx(26.82, abs=0.01)
+
+    def test_mph_round_trip(self):
+        assert units.ms_to_mph(units.mph_to_ms(35.0)) == pytest.approx(35.0)
+
+    def test_zero_speed(self):
+        assert units.mph_to_ms(0.0) == 0.0
+        assert units.ms_to_mph(0.0) == 0.0
+
+    def test_deg_to_rad_180(self):
+        assert units.deg_to_rad(180.0) == pytest.approx(math.pi)
+
+    def test_rad_to_deg_round_trip(self):
+        assert units.rad_to_deg(units.deg_to_rad(33.3)) == pytest.approx(33.3)
+
+    def test_negative_angle(self):
+        assert units.deg_to_rad(-90.0) == pytest.approx(-math.pi / 2)
+
+
+class TestSimulationConstants:
+    def test_step_duration_matches_paper(self):
+        # Paper: 5000 steps of ~10 ms each = 50 s.
+        assert units.DT == pytest.approx(0.01)
+        assert units.STEPS_PER_SIMULATION == 5000
+        assert units.SIMULATION_DURATION == pytest.approx(50.0)
+
+
+class TestClamp:
+    def test_inside_interval(self):
+        assert units.clamp(0.5, 0.0, 1.0) == 0.5
+
+    def test_below(self):
+        assert units.clamp(-2.0, 0.0, 1.0) == 0.0
+
+    def test_above(self):
+        assert units.clamp(7.0, 0.0, 1.0) == 1.0
+
+    def test_at_bounds(self):
+        assert units.clamp(0.0, 0.0, 1.0) == 0.0
+        assert units.clamp(1.0, 0.0, 1.0) == 1.0
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(0.5, 1.0, 0.0)

@@ -1,0 +1,103 @@
+"""Tests for the ego vehicle dynamics."""
+
+import pytest
+
+from repro.sim.road import Road, RoadSpec
+from repro.sim.vehicle import ActuatorCommand, EgoVehicle, VehicleParams
+
+
+@pytest.fixture
+def straight_road():
+    return Road(RoadSpec(curve_start=1e9))
+
+
+@pytest.fixture
+def ego(straight_road):
+    return EgoVehicle(straight_road, initial_speed=20.0)
+
+
+def run(ego, command, steps, dt=0.01, disturbance=0.0):
+    for _ in range(steps):
+        ego.step(command, dt, disturbance_curvature=disturbance)
+    return ego.state
+
+
+class TestLongitudinal:
+    def test_coasting_holds_speed(self, ego):
+        state = run(ego, ActuatorCommand(), 100)
+        assert state.speed == pytest.approx(20.0, abs=0.01)
+        assert state.s == pytest.approx(20.0, abs=0.3)
+
+    def test_acceleration_increases_speed(self, ego):
+        state = run(ego, ActuatorCommand(accel=2.0), 300)
+        assert state.speed > 24.5
+
+    def test_braking_decreases_speed(self, ego):
+        state = run(ego, ActuatorCommand(brake=3.5), 300)
+        assert state.speed < 10.5
+
+    def test_speed_never_negative(self, ego):
+        state = run(ego, ActuatorCommand(brake=8.0), 1000)
+        assert state.speed == 0.0
+
+    def test_actuator_lag_delays_response(self, ego):
+        ego.step(ActuatorCommand(accel=2.0))
+        assert ego.state.accel < 2.0 * 0.2
+
+    def test_net_accel_combines_gas_and_brake(self):
+        command = ActuatorCommand(accel=2.0, brake=0.5)
+        assert command.net_accel == pytest.approx(1.5)
+
+    def test_physical_acceleration_limit(self, ego):
+        run(ego, ActuatorCommand(accel=50.0), 200)
+        assert ego.state.accel <= ego.params.max_accel_physical + 1e-6
+
+
+class TestLateral:
+    def test_zero_steering_keeps_lane_position(self, ego):
+        state = run(ego, ActuatorCommand(), 500)
+        assert abs(state.d) < 1e-6
+
+    def test_left_steering_moves_left(self, ego):
+        state = run(ego, ActuatorCommand(steering_angle_deg=15.0), 300)
+        assert state.d > 0.1
+
+    def test_right_steering_moves_right(self, ego):
+        state = run(ego, ActuatorCommand(steering_angle_deg=-15.0), 300)
+        assert state.d < -0.1
+
+    def test_steering_ratio_reduces_road_wheel_angle(self, straight_road):
+        slow = EgoVehicle(straight_road, VehicleParams(steering_ratio=20.0), initial_speed=20.0)
+        fast = EgoVehicle(straight_road, VehicleParams(steering_ratio=10.0), initial_speed=20.0)
+        run(slow, ActuatorCommand(steering_angle_deg=20.0), 200)
+        run(fast, ActuatorCommand(steering_angle_deg=20.0), 200)
+        assert abs(fast.state.d) > abs(slow.state.d)
+
+    def test_steering_command_clamped_to_max(self, ego):
+        run(ego, ActuatorCommand(steering_angle_deg=10000.0), 500)
+        assert ego.state.steering_wheel_deg <= ego.params.max_steering_wheel_deg + 1e-6
+
+    def test_disturbance_curvature_pushes_vehicle(self, ego):
+        state = run(ego, ActuatorCommand(), 300, disturbance=0.003)
+        assert state.d > 0.2
+
+    def test_heading_error_wrapped(self, ego):
+        run(ego, ActuatorCommand(steering_angle_deg=400.0), 2000)
+        assert -3.1416 <= ego.state.heading_error <= 3.1416
+
+
+class TestGeometryHelpers:
+    def test_bumper_positions(self, ego):
+        assert ego.front_s - ego.rear_s == pytest.approx(ego.params.length)
+
+    def test_edges(self, ego):
+        assert ego.left_edge - ego.right_edge == pytest.approx(ego.params.width)
+
+    def test_curved_road_frenet_consistency(self):
+        # Travelling the curve with the exact matching steering keeps d ~ 0.
+        road = Road(RoadSpec(curve_start=0.0, curve_transition=1.0, curvature_max=0.002))
+        ego = EgoVehicle(road, initial_speed=20.0)
+        import math
+        wheel = math.degrees(math.atan(0.002 * ego.params.wheelbase)) * ego.params.steering_ratio
+        run(ego, ActuatorCommand(steering_angle_deg=wheel), 1000)
+        assert abs(ego.state.d) < 0.8

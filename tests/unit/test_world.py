@@ -1,0 +1,97 @@
+"""Tests for the simulation world."""
+
+import pytest
+
+from repro.can.honda import ADDR, HONDA_DBC
+from repro.sim.vehicle import ActuatorCommand
+
+
+class TestSensorsAndCan:
+    def test_publish_sensors_reaches_bus(self, world, message_bus):
+        sub_radar = message_bus.subscribe("radarState")
+        sub_model = message_bus.subscribe("modelV2")
+        sub_gps = message_bus.subscribe("gpsLocationExternal")
+        world.publish_sensors()
+        assert sub_radar.latest is not None
+        assert sub_model.latest is not None
+        assert sub_gps.latest is not None
+
+    def test_sensor_rates_respected(self, world, message_bus):
+        sub_gps = message_bus.subscribe("gpsLocationExternal")
+        for _ in range(100):  # 1 second of 10 ms steps
+            world.publish_sensors()
+            world.step(ActuatorCommand())
+        # GPS publishes at 10 Hz -> ~10 messages in 1 s.
+        assert 9 <= len(sub_gps.drain()) <= 12
+
+    def test_publish_car_can_and_read_back(self, world):
+        world.publish_car_can()
+        car_state = world.read_car_state()
+        assert car_state.v_ego == pytest.approx(world.ego.state.speed, abs=0.02)
+        assert car_state.cruise_enabled
+
+    def test_car_state_without_can_uses_ground_truth(self, world):
+        car_state = world.read_car_state()
+        assert car_state.v_ego == pytest.approx(world.ego.state.speed)
+
+
+class TestActuation:
+    def test_decode_actuator_command_from_can(self, world):
+        frame = HONDA_DBC.encode(
+            "ACC_CONTROL", {"ACCEL_COMMAND": 1.2, "BRAKE_COMMAND": 0.0, "ACC_ON": 1.0}
+        )
+        world.can_bus.send(frame)
+        steer = HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": 2.5})
+        world.can_bus.send(steer)
+        command = world.decode_actuator_command()
+        assert command.accel == pytest.approx(1.2, abs=0.01)
+        assert command.steering_angle_deg == pytest.approx(2.5, abs=0.01)
+
+    def test_step_advances_time_and_actors(self, world):
+        initial_lead_s = world.lead.state.s
+        result = world.step(ActuatorCommand())
+        assert world.time == pytest.approx(0.01)
+        assert world.step_count == 1
+        assert world.lead.state.s > initial_lead_s
+        assert result.lead_gap is not None
+
+    def test_step_without_command_uses_can(self, world):
+        world.can_bus.send(
+            HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 2.0, "BRAKE_COMMAND": 0.0})
+        )
+        for _ in range(200):
+            world.step()
+        assert world.ego.state.speed > world.config.scenario.ego_initial_speed + 0.5
+
+    def test_initial_gap_matches_scenario(self, world):
+        gap = world.lead.rear_s - world.ego.front_s
+        assert gap == pytest.approx(world.config.scenario.initial_distance, abs=0.1)
+
+    def test_follower_present_when_configured(self, world):
+        assert world.follower is not None
+        assert world.follower.front_s < world.ego.rear_s
+
+
+class TestTrajectoryAndDisturbance:
+    def test_trajectory_recorded_when_enabled(self, message_bus, can_bus):
+        from repro.sim.scenarios import build_scenario
+        from repro.sim.world import World, WorldConfig
+
+        world = World(
+            WorldConfig(scenario=build_scenario("S1", 70.0), record_trajectory=True,
+                        trajectory_decimation=5),
+            message_bus,
+            can_bus,
+        )
+        for _ in range(50):
+            world.step(ActuatorCommand())
+        assert len(world.trajectory) == 10
+
+    def test_disturbance_zero_when_disabled(self, world):
+        assert world.disturbance_curvature(12.3) == 0.0
+
+    def test_disturbance_bounded_by_amplitude(self, noisy_world):
+        amplitude = noisy_world.config.disturbance_amplitude
+        values = [abs(noisy_world.disturbance_curvature(t * 0.1)) for t in range(200)]
+        assert max(values) <= amplitude + 1e-12
+        assert max(values) > 0.0
