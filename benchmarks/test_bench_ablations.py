@@ -6,6 +6,7 @@ noise robustness, and the simulation throughput that makes the paper-scale
 campaigns feasible).
 """
 
+import os
 import statistics
 
 from conftest import run_once
@@ -13,23 +14,32 @@ from conftest import run_once
 from repro.core.attack_types import AttackType
 from repro.core.strategies import ContextAwareStrategy
 from repro.experiments.table5 import ContextAwareFixedValueStrategy
-from repro.injection import SimulationConfig, run_simulation
+from repro.injection import SimulationConfig, run_simulation, run_simulations
 from repro.sim.sensors import SensorNoise
 
 
 GRID = [("S1", 50.0, 1), ("S1", 70.0, 2), ("S2", 50.0, 3)]
 
+#: Worker processes used to fan out the ablation grids (results are
+#: identical to a sequential sweep; see repro.injection.executor).  On a
+#: single-CPU benchmark machine this resolves to 1, which short-circuits
+#: to the in-process path so the timings don't absorb pool overhead.
+WORKERS = min(2, os.cpu_count() or 1)
+
 
 def _hazard_rate(strategy_factory, attack_type, **config_overrides):
-    hazards = 0
-    for scenario, distance, seed in GRID:
-        config = SimulationConfig(
-            scenario=scenario, initial_distance=distance, seed=seed,
-            attack_type=attack_type, max_steps=3500, **config_overrides,
+    tasks = [
+        (
+            SimulationConfig(
+                scenario=scenario, initial_distance=distance, seed=seed,
+                attack_type=attack_type, max_steps=3500, **config_overrides,
+            ),
+            strategy_factory(),
         )
-        result = run_simulation(config, strategy_factory())
-        hazards += bool(result.hazards)
-    return hazards / len(GRID)
+        for scenario, distance, seed in GRID
+    ]
+    results = run_simulations(tasks, workers=WORKERS)
+    return sum(bool(result.hazards) for result in results) / len(GRID)
 
 
 def test_ablation_driver_reaction_time(benchmark):

@@ -1,0 +1,133 @@
+"""Throughput micro-benchmarks with a machine-readable trail.
+
+Measures the two numbers the performance layer optimises — single-run
+step throughput (the compiled CAN codec + step-loop fast paths) and
+campaign run throughput (the parallel executor) — and writes them to
+``BENCH_throughput.json`` at the repository root, so future PRs can
+detect regressions against the recorded trajectory.
+
+The seed-revision baseline stored in the JSON was measured on the same
+container that produced this file; speedup factors are only meaningful
+when the benchmark machine is comparable.
+"""
+
+import json
+import os
+import time
+
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.engine import SimulationConfig, run_simulation
+
+_BENCH_JSON = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_throughput.json")
+)
+
+#: Wall-clock numbers of the seed revision (sequential runner, reference
+#: codec), measured on the container that generated BENCH_throughput.json.
+SEED_BASELINE = {
+    "single_run_steps_per_second": 5105.0,
+    "campaign_runs_per_second": 5.10,
+}
+
+_results = {}
+
+
+def _campaign_config(max_steps: int = 5000) -> CampaignConfig:
+    """The reduced benchmark grid (matches benchmarks/conftest.py scale)."""
+    return CampaignConfig(
+        strategy_name="Context-Aware",
+        scenarios=("S1", "S2"),
+        initial_distances=(50.0, 70.0),
+        repetitions=1,
+        max_steps=max_steps,
+    )
+
+
+def _write_results() -> None:
+    payload = {
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "cpu_count": os.cpu_count(),
+        "seed_baseline": SEED_BASELINE,
+        "measurements": _results,
+    }
+    if "single_run_steps_per_second" in _results:
+        payload["speedup_single_run_vs_seed"] = round(
+            _results["single_run_steps_per_second"]
+            / SEED_BASELINE["single_run_steps_per_second"],
+            2,
+        )
+    best_campaign = max(
+        (
+            _results.get("campaign_sequential_runs_per_second", 0.0),
+            _results.get("campaign_parallel_runs_per_second", 0.0),
+        )
+    )
+    if best_campaign:
+        payload["speedup_campaign_vs_seed"] = round(
+            best_campaign / SEED_BASELINE["campaign_runs_per_second"], 2
+        )
+    with open(_BENCH_JSON, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def test_bench_single_run_step_throughput(benchmark):
+    """Steps/second of one attack-free 50 s simulation (best of 3)."""
+
+    def one_run():
+        return run_simulation(
+            SimulationConfig(scenario="S1", initial_distance=70.0, seed=0)
+        )
+
+    best = float("inf")
+    steps = 0
+    for _ in range(2):  # warm-up-free best-of pre-runs
+        start = time.perf_counter()
+        result = one_run()
+        best = min(best, time.perf_counter() - start)
+        steps = round(result.duration / 0.01)
+    start = time.perf_counter()
+    result = benchmark.pedantic(one_run, rounds=1, iterations=1)
+    best = min(best, time.perf_counter() - start)
+
+    assert result.duration >= 45.0
+    _results["single_run_steps_per_second"] = round(steps / best, 1)
+    _write_results()
+    print(f"\nsingle-run throughput: {steps / best:.0f} steps/s (seed: "
+          f"{SEED_BASELINE['single_run_steps_per_second']:.0f})")
+
+
+def test_bench_campaign_throughput(benchmark):
+    """Runs/second of the reduced campaign, sequential and with 4 workers.
+
+    Sequential and parallel results must agree exactly (the executor's
+    core guarantee); both rates are recorded.  On single-core containers
+    the parallel rate will not exceed the sequential one.
+    """
+    config = _campaign_config()
+    total = config.total_runs
+
+    start = time.perf_counter()
+    sequential = Campaign(config).run()
+    sequential_elapsed = time.perf_counter() - start
+
+    def parallel_run():
+        return Campaign(config).run(workers=4)
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(parallel_run, rounds=1, iterations=1)
+    parallel_elapsed = time.perf_counter() - start
+
+    assert len(sequential) == len(parallel) == total
+    assert sequential == parallel
+
+    _results["campaign_total_runs"] = total
+    _results["campaign_sequential_runs_per_second"] = round(total / sequential_elapsed, 2)
+    _results["campaign_parallel_runs_per_second"] = round(total / parallel_elapsed, 2)
+    _results["campaign_parallel_workers"] = 4
+    _write_results()
+    print(
+        f"\ncampaign throughput: {total / sequential_elapsed:.2f} runs/s sequential, "
+        f"{total / parallel_elapsed:.2f} runs/s with 4 workers "
+        f"(seed: {SEED_BASELINE['campaign_runs_per_second']:.2f})"
+    )

@@ -25,7 +25,8 @@ from repro.adas.lateral import LateralParams, LateralPlan, LateralPlanner
 from repro.adas.limits import OPENPILOT_LIMITS, SafetyLimits
 from repro.adas.longitudinal import LongitudinalParams, LongitudinalPlan, LongitudinalPlanner
 from repro.can.bus import CANBus
-from repro.can.honda import HONDA_DBC
+from repro.can.frame import CANFrame
+from repro.can.honda import ADDR, HONDA_DBC
 from repro.messaging.bus import MessageBus
 from repro.messaging.messages import Actuators, CarControl, CarState, ControlsState
 from repro.messaging.pubsub import PubMaster, SubMaster
@@ -82,6 +83,11 @@ class OpenPilot:
         self._engaged = True
         self._can_counter = 0
         self._previous_command = ActuatorCommand()
+        # Compiled codec plans for the two command frames sent every cycle.
+        self._addr_steering_control = ADDR["STEERING_CONTROL"]
+        self._addr_acc_control = ADDR["ACC_CONTROL"]
+        self._plan_steering_control = HONDA_DBC.plan_by_address(self._addr_steering_control)
+        self._plan_acc_control = HONDA_DBC.plan_by_address(self._addr_acc_control)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -169,6 +175,18 @@ class OpenPilot:
             steer_torque=clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
         )
         self.pub_master.send("carControl", CarControl(enabled=self._engaged, actuators=actuators))
+        if new_alerts:
+            fcw = any(alert.name == "fcw" for alert in new_alerts)
+            alert_text = new_alerts[-1].text
+            alert_type = new_alerts[-1].name
+            alert_status = (
+                "critical" if any(a.severity == "critical" for a in new_alerts) else "normal"
+            )
+        else:
+            fcw = False
+            alert_text = ""
+            alert_type = ""
+            alert_status = "normal"
         self.pub_master.send(
             "controlsState",
             ControlsState(
@@ -179,10 +197,10 @@ class OpenPilot:
                 a_target=long_plan.desired_accel,
                 curvature=lat_plan.desired_curvature,
                 steer_saturated=lat_plan.saturated,
-                fcw=any(alert.name == "fcw" for alert in new_alerts),
-                alert_text=new_alerts[-1].text if new_alerts else "",
-                alert_type=new_alerts[-1].name if new_alerts else "",
-                alert_status="critical" if any(a.severity == "critical" for a in new_alerts) else "normal",
+                fcw=fcw,
+                alert_text=alert_text,
+                alert_type=alert_type,
+                alert_status=alert_status,
             ),
         )
 
@@ -203,27 +221,31 @@ class OpenPilot:
         """Encode and send the actuator command frames on the CAN bus."""
         self._can_counter = (self._can_counter + 1) & 0x3
         self.can_bus.send(
-            HONDA_DBC.encode(
-                "STEERING_CONTROL",
-                {
-                    "STEER_ANGLE_CMD": command.steering_angle_deg,
-                    "STEER_TORQUE": clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
-                    "STEER_REQUEST": 1.0,
-                },
-                counter=self._can_counter,
+            CANFrame(
+                self._addr_steering_control,
+                self._plan_steering_control.encode(
+                    {
+                        "STEER_ANGLE_CMD": command.steering_angle_deg,
+                        "STEER_TORQUE": clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
+                        "STEER_REQUEST": 1.0,
+                    },
+                    counter=self._can_counter,
+                ),
                 timestamp=time,
             )
         )
         self.can_bus.send(
-            HONDA_DBC.encode(
-                "ACC_CONTROL",
-                {
-                    "ACCEL_COMMAND": command.accel,
-                    "BRAKE_COMMAND": command.brake,
-                    "BRAKE_REQUEST": 1.0 if command.brake > 0 else 0.0,
-                    "ACC_ON": 1.0,
-                },
-                counter=self._can_counter,
+            CANFrame(
+                self._addr_acc_control,
+                self._plan_acc_control.encode(
+                    {
+                        "ACCEL_COMMAND": command.accel,
+                        "BRAKE_COMMAND": command.brake,
+                        "BRAKE_REQUEST": 1.0 if command.brake > 0 else 0.0,
+                        "ACC_ON": 1.0,
+                    },
+                    counter=self._can_counter,
+                ),
                 timestamp=time,
             )
         )

@@ -55,8 +55,8 @@ class PandaSafetyModel:
             self.violations.extend(found)
             return found
 
-        decoded = HONDA_DBC.decode(frame)
         if frame.address == ADDR["ACC_CONTROL"]:
+            decoded = HONDA_DBC.decode(frame, signals=("ACCEL_COMMAND", "BRAKE_COMMAND"))
             accel = decoded["ACCEL_COMMAND"]
             brake = decoded["BRAKE_COMMAND"]
             if accel > self.limits.accel_max + 1e-6:
@@ -64,7 +64,7 @@ class PandaSafetyModel:
             if -brake < self.limits.brake_min - 1e-6:
                 found.append(PandaViolation(time, frame.address, "brake_too_high", brake))
         else:
-            steer_cmd = decoded["STEER_ANGLE_CMD"]
+            steer_cmd = HONDA_DBC.decode_signal(frame, "STEER_ANGLE_CMD")
             if self._last_steer_cmd is not None:
                 delta = steer_cmd - self._last_steer_cmd
                 if abs(delta) > self.limits.steer_delta_max_deg + 1e-6:

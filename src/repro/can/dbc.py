@@ -12,12 +12,37 @@ Bit layout convention: signals are packed big-endian (Motorola byte
 order), addressed by the offset of their most significant bit counting
 from the MSB of byte 0.  This is sufficient for the Honda-style messages
 modelled in :mod:`repro.can.honda` and keeps the codec easy to verify.
+
+Performance
+-----------
+
+``encode``/``decode`` sit on the 100 Hz control path of every simulation
+(six decodes and four encodes per 10 ms step), so the :class:`DBC` builds
+a :class:`MessagePlan` per message at construction time:
+
+* shift/mask/sign-extension constants are computed once per signal
+  instead of on every call;
+* the whole payload is converted to/from a single Python int (one
+  ``int.from_bytes`` per decode rather than one per signal);
+* each plan keeps a preallocated encode buffer;
+* each plan memoizes the physical values of the most recently seen
+  payload, so decoding a frame that was just encoded (or decoding the
+  same frame twice in one step) skips the bit unpacking *and* the
+  checksum verification entirely.
+
+``decode(frame, signals=(...))`` decodes only a subset of signals and
+``decode_signal(frame, name)`` is the single-field fast path; both are
+used by the hot callers in :mod:`repro.sim.world` and
+:mod:`repro.core.can_tamper`.  The loop-per-signal reference
+implementation is kept as :func:`_pack_field`/:func:`_unpack_field` and
+the equivalence of the compiled plans against it is asserted by
+``tests/unit/test_can_codec_plans.py``.
 """
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Dict, Iterable, Mapping, Optional, Sequence
 
-from repro.can.checksum import apply_checksum, verify_checksum
+from repro.can.checksum import NIBBLE_SUMS, address_nibble_sum, verify_checksum
 from repro.can.frame import CANFrame
 
 
@@ -100,6 +125,7 @@ class MessageDef:
 
 
 def _pack_field(data: bytearray, msb_offset: int, size: int, raw: int) -> None:
+    """Reference field packer (per-call shift/mask computation)."""
     total_bits = len(data) * 8
     shift = total_bits - msb_offset - size
     value = int.from_bytes(data, "big")
@@ -109,10 +135,265 @@ def _pack_field(data: bytearray, msb_offset: int, size: int, raw: int) -> None:
 
 
 def _unpack_field(data: bytes, msb_offset: int, size: int) -> int:
+    """Reference field unpacker (per-call shift/mask computation)."""
     total_bits = len(data) * 8
     shift = total_bits - msb_offset - size
     value = int.from_bytes(data, "big")
     return (value >> shift) & ((1 << size) - 1)
+
+
+class _FieldPlan:
+    """Precompiled constants for one signal inside one message."""
+
+    __slots__ = (
+        "name",
+        "signal",
+        "shift",
+        "mask",
+        "clear_mask",
+        "factor",
+        "offset",
+        "minimum",
+        "maximum",
+        "is_signed",
+        "sign_bit",
+        "wrap",
+        "signed_min",
+        "signed_max",
+    )
+
+    def __init__(self, signal: Signal, total_bits: int):
+        self.name = signal.name
+        self.signal = signal
+        self.shift = total_bits - signal.msb_offset - signal.size
+        self.mask = (1 << signal.size) - 1
+        self.clear_mask = ~(self.mask << self.shift)
+        self.factor = signal.factor
+        self.offset = signal.offset
+        self.minimum = signal.minimum
+        self.maximum = signal.maximum
+        self.is_signed = signal.is_signed
+        # For signed fields: raw >= sign_bit means negative, subtract wrap.
+        self.sign_bit = 1 << (signal.size - 1) if signal.is_signed else 0
+        self.wrap = 1 << signal.size
+        self.signed_min = -(1 << (signal.size - 1))
+        self.signed_max = (1 << (signal.size - 1)) - 1
+
+    def to_physical(self, raw: int) -> float:
+        if self.sign_bit and raw >= self.sign_bit:
+            raw -= self.wrap
+        return raw * self.factor + self.offset
+
+
+#: Sentinel distinguishing "signal not in the values dict" from any value.
+_MISSING = object()
+
+
+def _float_literal(value: float) -> str:
+    """A source literal that round-trips to exactly ``value``."""
+    return repr(float(value))
+
+
+def _compile_encode_source(message: MessageDef, fields: "Dict[str, _FieldPlan]") -> str:
+    """Generate the source of a specialised encoder for ``message``.
+
+    The generated function unrolls the per-signal loop with every shift,
+    mask and scaling constant embedded as a literal (the same technique
+    code-generating DBC compilers use).  The arithmetic mirrors
+    :meth:`Signal.to_raw` exactly — including the ``max``/``min`` clamp
+    semantics — so the output is byte-identical to the reference encoder;
+    ``tests/unit/test_can_codec_plans.py`` pins that equivalence.
+    """
+    lines = [
+        "def _compiled_encode(self, values, counter=0):",
+        "    if not self._names.issuperset(values):",
+        "        unknown = values.keys() - self._names",
+        "        raise KeyError(",
+        "            f\"unknown signals for message {self.message.name!r}: {sorted(unknown)}\"",
+        "        )",
+        "    acc = 0",
+        "    raws = {}",
+    ]
+    for name, plan in fields.items():
+        if name in ("CHECKSUM", "COUNTER"):
+            continue
+        lines.append(f"    v = values.get({name!r}, _MISSING)")
+        lines.append("    if v is not _MISSING:")
+        if plan.minimum is not None:
+            lines.append(f"        if not v > {_float_literal(plan.minimum)}:")
+            lines.append(f"            v = {_float_literal(plan.minimum)}")
+        if plan.maximum is not None:
+            lines.append(f"        if not v < {_float_literal(plan.maximum)}:")
+            lines.append(f"            v = {_float_literal(plan.maximum)}")
+        expr = "v"
+        if plan.offset != 0.0:
+            expr = f"({expr} - {_float_literal(plan.offset)})"
+        if plan.factor != 1.0:
+            expr = f"{expr} / {_float_literal(plan.factor)}"
+        lines.append(f"        raw = int(round({expr}))")
+        if plan.is_signed:
+            lines.append(f"        if raw < {plan.signed_min}:")
+            lines.append(f"            raw = {plan.signed_min}")
+            lines.append(f"        elif raw > {plan.signed_max}:")
+            lines.append(f"            raw = {plan.signed_max}")
+            lines.append("        if raw < 0:")
+            lines.append(f"            raw += {plan.wrap}")
+        else:
+            lines.append("        if raw < 0:")
+            lines.append("            raw = 0")
+            lines.append(f"        elif raw > {plan.mask}:")
+            lines.append(f"            raw = {plan.mask}")
+        lines.append(f"        acc = (acc & {plan.clear_mask}) | (raw << {plan.shift})")
+        lines.append(f"        raws[{name!r}] = raw")
+    counter_plan = fields.get("COUNTER")
+    if counter_plan is not None:
+        lines.append(f"    raw = counter & {counter_plan.mask}")
+        lines.append(
+            f"    acc = (acc & {counter_plan.clear_mask}) | (raw << {counter_plan.shift})"
+        )
+        lines.append("    raws['COUNTER'] = raw")
+    lines.append("    buffer = self._buffer")
+    lines.append(f"    buffer[:] = acc.to_bytes({message.length}, 'big')")
+    if message.checksummed:
+        lines.append(
+            "    checksum = (8 - (%d + sum(map(_nibble_sum, buffer)) - (buffer[-1] & 15))) & 15"
+            % address_nibble_sum(message.address)
+        )
+        lines.append("    buffer[-1] = (buffer[-1] & 240) | checksum")
+        lines.append("    acc = (acc & -16) | checksum")
+    lines.append("    data = bytes(buffer)")
+    checksum_plan = fields.get("CHECKSUM")
+    if checksum_plan is not None:
+        lines.append(
+            f"    raws['CHECKSUM'] = (acc >> {checksum_plan.shift}) & {checksum_plan.mask}"
+        )
+    lines.append("    self._memo_raws = raws")
+    lines.append("    self._memo_values = {}")
+    lines.append("    self._memo_data = data")
+    lines.append(f"    self._memo_checked = {message.checksummed}")
+    lines.append("    return data")
+    return "\n".join(lines)
+
+
+def _compile_unpack_source(fields: "Dict[str, _FieldPlan]") -> str:
+    """Generate a ``lambda value: {...}`` unpacking every raw field."""
+    items = ", ".join(
+        f"{name!r}: (value >> {plan.shift}) & {plan.mask}" for name, plan in fields.items()
+    )
+    return f"lambda value: {{{items}}}"
+
+
+class MessagePlan:
+    """Compiled encode/decode plan for one :class:`MessageDef`.
+
+    Plans are built once per DBC and are not thread-safe (they reuse an
+    encode buffer and a single-entry decode memo); each campaign worker
+    process gets its own copy, which is all the simulator needs.
+    """
+
+    def __init__(self, message: MessageDef):
+        self.message = message
+        total_bits = message.length * 8
+        self.fields: Dict[str, _FieldPlan] = {
+            name: _FieldPlan(sig, total_bits) for name, sig in message.signals.items()
+        }
+        self._names = frozenset(self.fields)
+        self._buffer = bytearray(message.length)
+        # Compile the specialised encoder/unpacker for this message (all
+        # shift/mask/scaling constants embedded as literals).
+        namespace = {
+            "_MISSING": _MISSING,
+            "_nibble_sum": NIBBLE_SUMS.__getitem__,
+        }
+        exec(_compile_encode_source(message, self.fields), namespace)
+        self._compiled_encode = namespace["_compiled_encode"]
+        self._unpack_raws = eval(_compile_unpack_source(self.fields))
+        # Single-entry decode memo for the last payload seen: raw field
+        # values plus a lazily filled physical-value cache, so encoding a
+        # frame costs no scaling work and decoding it back only scales the
+        # signals actually requested.
+        self._memo_data: Optional[bytes] = None
+        self._memo_checked = False
+        self._memo_raws: Dict[str, int] = {}
+        self._memo_values: Dict[str, float] = {}
+
+    # -- encode ----------------------------------------------------------
+
+    def encode(self, values: Mapping[str, float], counter: int = 0) -> bytes:
+        """Encode physical ``values`` into payload bytes (with checksum).
+
+        Runs the exec-compiled encoder, which also seeds the decode memo:
+        a frame we just encoded is by far the most likely frame to be
+        decoded next (the world reads back its own state frames and the
+        ADAS commands every step).
+        """
+        return self._compiled_encode(self, values, counter)
+
+    # -- decode ----------------------------------------------------------
+
+    def _refresh_memo(self, frame: CANFrame, check: bool) -> None:
+        """Point the memo at ``frame.data``, unpacking raws on a miss."""
+        data = frame.data
+        message = self.message
+        if data == self._memo_data:
+            if check and message.checksummed and not self._memo_checked:
+                if not verify_checksum(message.address, data):
+                    raise ValueError(
+                        f"checksum mismatch on message {message.name!r} ({message.address:#x})"
+                    )
+                self._memo_checked = True
+            return
+        if len(data) != message.length:
+            raise ValueError(
+                f"message {message.name!r} expects {message.length} bytes, "
+                f"frame has {len(data)}"
+            )
+        checked = False
+        if check and message.checksummed:
+            if not verify_checksum(message.address, data):
+                raise ValueError(
+                    f"checksum mismatch on message {message.name!r} ({message.address:#x})"
+                )
+            checked = True
+        self._memo_raws = self._unpack_raws(int.from_bytes(data, "big"))
+        self._memo_values = {}
+        self._memo_data = data
+        self._memo_checked = checked
+
+    def _physical(self, name: str) -> float:
+        """Physical value of ``name`` for the memoized payload (lazy)."""
+        values = self._memo_values
+        value = values.get(name)
+        if value is None:
+            plan = self.fields[name]  # KeyError -> unknown signal
+            value = plan.to_physical(self._memo_raws.get(name, 0))
+            values[name] = value
+        return value
+
+    def decode(
+        self, frame: CANFrame, check: bool = True, signals: Optional[Sequence[str]] = None
+    ) -> Dict[str, float]:
+        """Decode ``frame`` into physical values (optionally a subset)."""
+        self._refresh_memo(frame, check)
+        physical = self._physical
+        try:
+            if signals is None:
+                return {name: physical(name) for name in self.fields}
+            return {name: physical(name) for name in signals}
+        except KeyError as exc:
+            raise KeyError(
+                f"message {self.message.name!r} has no signal named {exc.args[0]!r}"
+            ) from None
+
+    def decode_signal(self, frame: CANFrame, name: str, check: bool = True) -> float:
+        """Single-signal decode fast path."""
+        self._refresh_memo(frame, check)
+        try:
+            return self._physical(name)
+        except KeyError:
+            raise KeyError(
+                f"message {self.message.name!r} has no signal named {name!r}"
+            ) from None
 
 
 class DBC:
@@ -122,11 +403,16 @@ class DBC:
         self.name = name
         self._by_address: Dict[int, MessageDef] = {}
         self._by_name: Dict[str, MessageDef] = {}
+        self._plan_by_address: Dict[int, MessagePlan] = {}
+        self._plan_by_name: Dict[str, MessagePlan] = {}
         for msg in messages:
             if msg.address in self._by_address:
                 raise ValueError(f"duplicate address {msg.address:#x} in DBC {name!r}")
             self._by_address[msg.address] = msg
             self._by_name[msg.name] = msg
+            plan = MessagePlan(msg)
+            self._plan_by_address[msg.address] = plan
+            self._plan_by_name[msg.name] = plan
 
     def message_by_address(self, address: int) -> MessageDef:
         try:
@@ -143,6 +429,20 @@ class DBC:
     def addresses(self) -> Iterable[int]:
         return self._by_address.keys()
 
+    def plan_by_address(self, address: int) -> MessagePlan:
+        """The compiled :class:`MessagePlan` for the message at ``address``."""
+        try:
+            return self._plan_by_address[address]
+        except KeyError:
+            raise KeyError(f"DBC {self.name!r} has no message at {address:#x}") from None
+
+    def plan_by_name(self, name: str) -> MessagePlan:
+        """The compiled :class:`MessagePlan` for the message named ``name``."""
+        try:
+            return self._plan_by_name[name]
+        except KeyError:
+            raise KeyError(f"DBC {self.name!r} has no message named {name!r}") from None
+
     def encode(
         self,
         name: str,
@@ -153,43 +453,32 @@ class DBC:
     ) -> CANFrame:
         """Encode physical ``values`` into a checksummed :class:`CANFrame`.
 
+        Unknown signal names are rejected *before* any packing work.
         Signals not present in ``values`` are encoded as zero.  The message's
         ``COUNTER`` signal, if defined, is set from ``counter``; the
         ``CHECKSUM`` signal, if defined, is filled in last.
         """
-        msg = self.message_by_name(name)
-        data = bytearray(msg.length)
-        for sig_name, sig in msg.signals.items():
-            if sig_name in ("CHECKSUM",):
-                continue
-            if sig_name == "COUNTER":
-                _pack_field(data, sig.msb_offset, sig.size, counter & ((1 << sig.size) - 1))
-                continue
-            if sig_name in values:
-                _pack_field(data, sig.msb_offset, sig.size, sig.to_raw(values[sig_name]))
-        unknown = set(values) - set(msg.signals)
-        if unknown:
-            raise KeyError(f"unknown signals for message {name!r}: {sorted(unknown)}")
-        if msg.checksummed:
-            apply_checksum(msg.address, data)
-        return CANFrame(msg.address, bytes(data), bus=bus, timestamp=timestamp)
+        plan = self.plan_by_name(name)
+        data = plan.encode(values, counter)
+        return CANFrame(plan.message.address, data, bus=bus, timestamp=timestamp)
 
-    def decode(self, frame: CANFrame, check: bool = True) -> Dict[str, float]:
+    def decode(
+        self,
+        frame: CANFrame,
+        check: bool = True,
+        signals: Optional[Sequence[str]] = None,
+    ) -> Dict[str, float]:
         """Decode a frame into a dict of physical signal values.
 
         Args:
             frame: The frame to decode; its address must exist in the DBC.
             check: If True (default) and the message is checksummed, raise
                 ``ValueError`` when the embedded checksum is wrong.
+            signals: Optional subset of signal names to decode; ``None``
+                decodes every signal of the message.
         """
-        msg = self.message_by_address(frame.address)
-        if len(frame.data) != msg.length:
-            raise ValueError(
-                f"message {msg.name!r} expects {msg.length} bytes, frame has {len(frame.data)}"
-            )
-        if check and msg.checksummed and not verify_checksum(frame.address, frame.data):
-            raise ValueError(f"checksum mismatch on message {msg.name!r} ({frame.address:#x})")
-        return {
-            sig_name: sig.to_physical(_unpack_field(frame.data, sig.msb_offset, sig.size))
-            for sig_name, sig in msg.signals.items()
-        }
+        return self.plan_by_address(frame.address).decode(frame, check=check, signals=signals)
+
+    def decode_signal(self, frame: CANFrame, name: str, check: bool = True) -> float:
+        """Decode a single signal from ``frame`` (fast path for hot callers)."""
+        return self.plan_by_address(frame.address).decode_signal(frame, name, check=check)

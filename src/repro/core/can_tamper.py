@@ -74,7 +74,9 @@ class CanAttackInterceptor:
     def transform(self, frame: CANFrame) -> Optional[CANFrame]:
         """CAN bus transformer callback."""
         if frame.address == ADDR["ACC_CONTROL"]:
-            decoded = self.dbc.decode(frame, check=False)
+            decoded = self.dbc.decode(
+                frame, check=False, signals=("ACCEL_COMMAND", "BRAKE_COMMAND")
+            )
             command = ActuatorCommand(
                 accel=max(0.0, decoded["ACCEL_COMMAND"]),
                 brake=max(0.0, decoded["BRAKE_COMMAND"]),
@@ -91,7 +93,7 @@ class CanAttackInterceptor:
             )
 
         if frame.address == ADDR["STEERING_CONTROL"]:
-            decoded = self.dbc.decode(frame, check=False)
+            commanded_angle = self.dbc.decode_signal(frame, "STEER_ANGLE_CMD", check=False)
             # Only tamper with the steering frame when the active attack
             # actually targets the steering channel; otherwise the ADAS's
             # legitimate lane-keeping command passes through untouched.
@@ -99,11 +101,11 @@ class CanAttackInterceptor:
                 self._last_decoded = ActuatorCommand(
                     accel=self._last_decoded.accel,
                     brake=self._last_decoded.brake,
-                    steering_angle_deg=decoded["STEER_ANGLE_CMD"],
+                    steering_angle_deg=commanded_angle,
                 )
                 return None
             corrupted_angle = self._last_decoded.steering_angle_deg
-            if abs(corrupted_angle - decoded["STEER_ANGLE_CMD"]) < 1e-9:
+            if abs(corrupted_angle - commanded_angle) < 1e-9:
                 return None
             return tamper_signal(frame, self.dbc, {"STEER_ANGLE_CMD": corrupted_angle})
 

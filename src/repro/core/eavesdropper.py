@@ -17,9 +17,13 @@ from repro.messaging.pubsub import SubMaster
 EAVESDROPPED_SERVICES = ("gpsLocationExternal", "modelV2", "radarState")
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class EavesdroppedData:
-    """The raw state information the attacker has collected so far."""
+    """The raw state information the attacker has collected so far.
+
+    A snapshot is produced on every attacker control cycle and consumed
+    immediately by the state inference; treat instances as immutable.
+    """
 
     time: float
     v_ego: Optional[float] = None            # m/s, from GPS
@@ -50,8 +54,7 @@ class Eavesdropper:
 
     def snapshot(self, time: float) -> EavesdroppedData:
         """Return the attacker's current view of the vehicle state."""
-        self._sub_master.update()
-        self.messages_seen += sum(1 for updated in self._sub_master.updated.values() if updated)
+        self.messages_seen += self._sub_master.update()
 
         gps = self._sub_master["gpsLocationExternal"]
         model = self._sub_master["modelV2"]

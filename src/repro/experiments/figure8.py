@@ -16,7 +16,8 @@ import numpy as np
 from repro.analysis.metrics import RunResult
 from repro.core.attack_types import AttackType
 from repro.core.strategies import ContextAwareStrategy, RandomStartDurationStrategy
-from repro.injection.engine import SimulationConfig, run_simulation
+from repro.injection.engine import SimulationConfig
+from repro.injection.executor import run_simulations
 
 
 @dataclass(frozen=True)
@@ -87,6 +88,7 @@ def run_figure8(
     durations: Optional[np.ndarray] = None,
     context_aware_seeds: Optional[List[int]] = None,
     seed: int = 7,
+    workers: Optional[int] = None,
 ) -> Figure8Result:
     """Sweep (start time, duration) for one attack type plus Context-Aware runs.
 
@@ -96,6 +98,9 @@ def run_figure8(
         durations: Durations for the grid (default 0.5..2.5 s, step 0.5 s).
         context_aware_seeds: Seeds for the Context-Aware reference runs.
         seed: Base seed for the sweep runs.
+        workers: Worker processes for the sweep (> 1 fans the independent
+            simulations out over the parallel executor; the points are
+            identical to a sequential sweep).
     """
     start_times = start_times if start_times is not None else np.arange(5.0, 36.0, 3.0)
     durations = durations if durations is not None else np.arange(0.5, 2.6, 0.5)
@@ -105,6 +110,8 @@ def run_figure8(
         scenario=scenario, initial_distance=initial_distance, attack_type=attack_type
     )
 
+    grid = []
+    tasks = []
     for index, start in enumerate(np.atleast_1d(start_times)):
         for jndex, duration in enumerate(np.atleast_1d(durations)):
             strategy = RandomStartDurationStrategy(
@@ -118,16 +125,8 @@ def run_figure8(
                 attack_type=attack_type,
                 driver_enabled=True,
             )
-            run = run_simulation(config, strategy)
-            result.points.append(
-                ParameterSpacePoint(
-                    start_time=float(start),
-                    duration=float(duration),
-                    hazard=run.hazard_occurred,
-                    strategy=strategy.name,
-                )
-            )
-
+            grid.append((float(start), float(duration), strategy.name))
+            tasks.append((config, strategy))
     for ca_seed in context_aware_seeds:
         config = SimulationConfig(
             scenario=scenario,
@@ -136,7 +135,20 @@ def run_figure8(
             attack_type=attack_type,
             driver_enabled=True,
         )
-        run = run_simulation(config, ContextAwareStrategy())
+        tasks.append((config, ContextAwareStrategy()))
+
+    runs = run_simulations(tasks, workers=workers)
+
+    for (start, duration, strategy_name), run in zip(grid, runs):
+        result.points.append(
+            ParameterSpacePoint(
+                start_time=start,
+                duration=duration,
+                hazard=run.hazard_occurred,
+                strategy=strategy_name,
+            )
+        )
+    for run in runs[len(grid):]:
         if run.attack_activation_time is None:
             continue
         result.points.append(

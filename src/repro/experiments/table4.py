@@ -72,6 +72,7 @@ def run_table4(
     scale: Optional[ExperimentScale] = None,
     strategies: Sequence = TABLE4_STRATEGIES,
     attack_types: Sequence = ALL_ATTACK_TYPES,
+    workers: Optional[int] = None,
 ) -> Table4Result:
     """Run the Table IV experiment grid and aggregate it.
 
@@ -80,13 +81,15 @@ def run_table4(
             :meth:`ExperimentScale.full` for the paper-sized grid).
         strategies: Strategy classes to compare.
         attack_types: Attack types included in the grid.
+        workers: Worker processes per campaign (> 1 enables the parallel
+            executor; results are identical to a sequential run).
     """
     scale = scale or ExperimentScale.from_environment()
     result = Table4Result()
     for strategy_cls in strategies:
         config = _campaign_for(strategy_cls, scale, attack_types)
         campaign = Campaign(config, strategy_factory=strategy_cls)
-        runs = campaign.run()
+        runs = campaign.run(workers=workers)
         result.runs[strategy_cls.name] = runs
         result.summaries.append(summarize_strategy(strategy_cls.name, runs))
     return result

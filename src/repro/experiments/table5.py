@@ -44,7 +44,10 @@ class Table5Result:
 
 
 def _run_mode(
-    strategy_cls, scale: ExperimentScale, driver_enabled: bool
+    strategy_cls,
+    scale: ExperimentScale,
+    driver_enabled: bool,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     config = CampaignConfig(
         strategy_name=strategy_cls.name,
@@ -55,11 +58,19 @@ def _run_mode(
         driver_enabled=driver_enabled,
         master_seed=scale.master_seed,
     )
-    return Campaign(config, strategy_factory=strategy_cls).run()
+    return Campaign(config, strategy_factory=strategy_cls).run(workers=workers)
 
 
-def run_table5(scale: Optional[ExperimentScale] = None) -> Table5Result:
-    """Run the Table V experiment and aggregate it."""
+def run_table5(
+    scale: Optional[ExperimentScale] = None, workers: Optional[int] = None
+) -> Table5Result:
+    """Run the Table V experiment and aggregate it.
+
+    Args:
+        scale: Grid dimensions.
+        workers: Worker processes per campaign (> 1 enables the parallel
+            executor; results are identical to a sequential run).
+    """
     scale = scale or ExperimentScale.from_environment()
     result = Table5Result()
 
@@ -67,8 +78,8 @@ def run_table5(scale: Optional[ExperimentScale] = None) -> Table5Result:
         ("fixed", ContextAwareFixedValueStrategy),
         ("strategic", ContextAwareStrategy),
     ):
-        with_driver = _run_mode(strategy_cls, scale, driver_enabled=True)
-        without_driver = _run_mode(strategy_cls, scale, driver_enabled=False)
+        with_driver = _run_mode(strategy_cls, scale, driver_enabled=True, workers=workers)
+        without_driver = _run_mode(strategy_cls, scale, driver_enabled=False, workers=workers)
         result.runs[f"{key}/driver"] = with_driver
         result.runs[f"{key}/no-driver"] = without_driver
         summaries = summarize_by_attack_type(with_driver, without_driver)

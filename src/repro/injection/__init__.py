@@ -5,10 +5,13 @@
 * :mod:`repro.injection.campaign` — sweeps over scenarios, initial
   distances, attack types, strategies and repetitions, with deterministic
   per-run seeding, to regenerate the paper's experiment grids.
+* :mod:`repro.injection.executor` — process-pool execution of campaigns
+  and ad-hoc simulation lists with bit-identical results.
 """
 
 from repro.injection.engine import SimulationConfig, Simulation, run_simulation
 from repro.injection.campaign import CampaignConfig, Campaign, run_campaign
+from repro.injection.executor import ParallelCampaignRunner, run_simulations
 
 __all__ = [
     "SimulationConfig",
@@ -17,4 +20,6 @@ __all__ = [
     "CampaignConfig",
     "Campaign",
     "run_campaign",
+    "ParallelCampaignRunner",
+    "run_simulations",
 ]

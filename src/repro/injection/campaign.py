@@ -117,13 +117,31 @@ class Campaign:
         strategy = self.strategy_factory() if cell.attack_type is not None else None
         return run_simulation(config, strategy)
 
-    def run(self, progress: Optional[Callable[[int, int], None]] = None) -> List[RunResult]:
-        """Run the whole campaign sequentially.
+    def run(
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+        parallel: bool = False,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> List[RunResult]:
+        """Run the whole campaign.
 
         Args:
             progress: Optional callback ``(completed, total)`` invoked after
-                every run.
+                every run (sequential) or chunk of runs (parallel).
+            parallel: Run on a process pool.  Results are bit-identical to
+                a sequential run because every cell's seed is derived from
+                ``(master_seed, cell index)`` alone.
+            workers: Worker process count; a value > 1 implies
+                ``parallel=True`` (default: one worker per CPU when
+                parallel).
+            chunk_size: Cells per dispatched chunk (parallel only).
         """
+        if parallel or (workers is not None and workers > 1):
+            from repro.injection.executor import ParallelCampaignRunner
+
+            runner = ParallelCampaignRunner(self, workers=workers, chunk_size=chunk_size)
+            return runner.run(progress=progress)
         results: List[RunResult] = []
         total = self.config.total_runs
         for index, cell in enumerate(self.cells(), start=1):
@@ -134,7 +152,9 @@ class Campaign:
 
 
 def run_campaign(
-    config: CampaignConfig, strategy_factory: Optional[StrategyFactory] = None
+    config: CampaignConfig,
+    strategy_factory: Optional[StrategyFactory] = None,
+    workers: Optional[int] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: build and run a campaign."""
-    return Campaign(config, strategy_factory).run()
+    return Campaign(config, strategy_factory).run(workers=workers)

@@ -125,6 +125,11 @@ class Simulation:
 
         driver_engaged = False
         collision_time: Optional[float] = None
+        # The lead gap/speed for the driver model: seeded from the initial
+        # world state, then carried forward from each WorldStepResult (the
+        # post-step observation of step k is exactly the pre-step
+        # observation of step k+1), so it is computed once per step.
+        lead_gap, lead_speed = self.world.lead_observation()
 
         for _ in range(config.max_steps):
             time = self.world.time
@@ -136,10 +141,6 @@ class Simulation:
                 self.openpilot.step(time, car_state)
             executed_command = self.world.decode_actuator_command()
 
-            lead_gap = lead_speed = None
-            if self.world.lead is not None:
-                lead_gap = self.world.lead.rear_s - self.world.ego.front_s
-                lead_speed = self.world.lead.state.speed
             decision = self.driver.update(
                 time=time,
                 observed_command=executed_command,
@@ -161,7 +162,11 @@ class Simulation:
                         self.attack_engine.notify_driver_engaged()
                 executed_command = decision.command
 
-            step_result = self.world.step(executed_command if driver_engaged else None)
+            # ``executed_command`` was just decoded from the same bus state
+            # ``world.step(None)`` would decode from, so pass it through and
+            # save the second per-step command decode.
+            step_result = self.world.step(executed_command)
+            lead_gap, lead_speed = step_result.lead_gap, step_result.lead_speed
 
             new_hazards = self.hazard_monitor.check(self.world)
             for event in new_hazards:

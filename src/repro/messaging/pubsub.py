@@ -52,16 +52,26 @@ class SubMaster:
     def services(self) -> Iterable[str]:
         return self._subs.keys()
 
-    def update(self) -> None:
-        """Refresh the ``updated``/``valid`` bookkeeping from the bus."""
+    def update(self) -> int:
+        """Refresh the ``updated``/``valid`` bookkeeping from the bus.
+
+        Returns the number of services that received a new message since
+        the previous update, so hot callers (e.g. the eavesdropper) don't
+        need a second pass over ``updated`` to count arrivals.
+        """
+        fresh = 0
         for name, sub in self._subs.items():
-            self.updated[name] = sub.updated
+            updated = sub.updated
+            self.updated[name] = updated
             event = sub.latest
             if event is not None:
                 self.valid[name] = event.valid
-                if sub.updated:
+                if updated:
                     self.last_recv_time[name] = event.mono_time
-            sub.clear_updated()
+            if updated:
+                fresh += 1
+                sub.updated = False
+        return fresh
 
     def __getitem__(self, service: str):
         event = self._subs[service].latest

@@ -65,14 +65,15 @@ class LeadVehicle:
         self.speed_change_start = speed_change_start
         self.length = length
         self.width = width
+        self._half_length = length / 2.0
 
     @property
     def rear_s(self) -> float:
-        return self.state.s - self.length / 2.0
+        return self.state.s - self._half_length
 
     @property
     def front_s(self) -> float:
-        return self.state.s + self.length / 2.0
+        return self.state.s + self._half_length
 
     def step(self, time: float, dt: float = DT) -> ActorState:
         """Advance the scripted behaviour by one period."""
@@ -118,11 +119,12 @@ class FollowerVehicle:
         self.desired_headway = desired_headway
         self.length = length
         self.width = width
+        self._half_length = length / 2.0
         self._pending_gap_history = []  # (time, gap, ego_speed)
 
     @property
     def front_s(self) -> float:
-        return self.state.s + self.length / 2.0
+        return self.state.s + self._half_length
 
     def step(self, time: float, ego_rear_s: float, ego_speed: float, dt: float = DT) -> ActorState:
         """Advance the follower towards the ego vehicle's rear bumper."""

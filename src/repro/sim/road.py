@@ -55,6 +55,15 @@ class Road:
 
     def __init__(self, spec: RoadSpec = RoadSpec()):
         self.spec = spec
+        # The lateral landmarks are constants of the road; they are read on
+        # every step by the lane/collision monitors, so they are plain
+        # attributes rather than recomputed properties.
+        self.left_lane_line = spec.lane_width / 2.0
+        self.right_lane_line = -spec.lane_width / 2.0
+        self.right_guardrail = self.right_lane_line - spec.right_shoulder
+        self.left_road_edge = (
+            self.left_lane_line + spec.num_left_lanes * spec.lane_width + spec.left_shoulder
+        )
 
     def curvature(self, s: float) -> float:
         """Road centreline curvature at arc length ``s`` (1/m, + = left)."""
@@ -68,27 +77,9 @@ class Road:
         # the lateral controller unrealistically.
         return spec.curvature_max * 0.5 * (1.0 - math.cos(math.pi * progress))
 
-    # Lateral landmarks (offsets from the ego lane centreline, + = left).
-
-    @property
-    def left_lane_line(self) -> float:
-        """Offset of the ego lane's left line."""
-        return self.spec.lane_width / 2.0
-
-    @property
-    def right_lane_line(self) -> float:
-        """Offset of the ego lane's right line."""
-        return -self.spec.lane_width / 2.0
-
-    @property
-    def right_guardrail(self) -> float:
-        """Offset of the right guardrail (a collision boundary)."""
-        return self.right_lane_line - self.spec.right_shoulder
-
-    @property
-    def left_road_edge(self) -> float:
-        """Offset of the left road edge / barrier (a collision boundary)."""
-        return self.left_lane_line + self.spec.num_left_lanes * self.spec.lane_width + self.spec.left_shoulder
+    # Lateral landmarks (offsets from the ego lane centreline, + = left)
+    # are set as attributes in ``__init__``: left_lane_line,
+    # right_lane_line, right_guardrail, left_road_edge.
 
     def heading(self, s: float) -> float:
         """Heading of the road tangent at ``s`` relative to the start (rad).

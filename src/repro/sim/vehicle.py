@@ -12,7 +12,7 @@ import math
 from dataclasses import dataclass, field
 
 from repro.sim.road import Road
-from repro.sim.units import DT, clamp, deg_to_rad
+from repro.sim.units import DT, deg_to_rad
 
 
 @dataclass(frozen=True)
@@ -82,28 +82,32 @@ class EgoVehicle:
         self.road = road
         self.params = params
         self.state = VehicleState(s=initial_s, d=initial_d, speed=initial_speed)
+        # Precomputed half-dimensions: the geometry properties run several
+        # times per 10 ms step (collision, lane and hazard monitors).
+        self._half_length = params.length / 2.0
+        self._half_width = params.width / 2.0
 
     # -- geometry helpers -------------------------------------------------
 
     @property
     def front_s(self) -> float:
         """Arc length of the front bumper."""
-        return self.state.s + self.params.length / 2.0
+        return self.state.s + self._half_length
 
     @property
     def rear_s(self) -> float:
         """Arc length of the rear bumper."""
-        return self.state.s - self.params.length / 2.0
+        return self.state.s - self._half_length
 
     @property
     def left_edge(self) -> float:
         """Lateral offset of the left side of the body."""
-        return self.state.d + self.params.width / 2.0
+        return self.state.d + self._half_width
 
     @property
     def right_edge(self) -> float:
         """Lateral offset of the right side of the body."""
-        return self.state.d - self.params.width / 2.0
+        return self.state.d - self._half_width
 
     # -- dynamics ---------------------------------------------------------
 
@@ -128,10 +132,13 @@ class EgoVehicle:
         state = self.state
 
         # Longitudinal: first-order lag towards the net requested accel,
-        # clipped to the physically achievable envelope.
-        accel_target = clamp(
-            command.net_accel, params.max_decel_physical, params.max_accel_physical
-        )
+        # clipped to the physically achievable envelope.  (The clamps are
+        # inlined — this runs 100 times per simulated second.)
+        accel_target = command.accel - command.brake
+        if accel_target > params.max_accel_physical:
+            accel_target = params.max_accel_physical
+        elif accel_target < params.max_decel_physical:
+            accel_target = params.max_decel_physical
         alpha = dt / (params.accel_time_constant + dt)
         state.accel += alpha * (accel_target - state.accel)
         new_speed = state.speed + state.accel * dt
@@ -141,15 +148,19 @@ class EgoVehicle:
         state.speed = new_speed
 
         # Steering: slew-rate limited first-order lag towards the command.
-        steer_cmd = clamp(
-            command.steering_angle_deg,
-            -params.max_steering_wheel_deg,
-            params.max_steering_wheel_deg,
-        )
+        steer_cmd = command.steering_angle_deg
+        if steer_cmd > params.max_steering_wheel_deg:
+            steer_cmd = params.max_steering_wheel_deg
+        elif steer_cmd < -params.max_steering_wheel_deg:
+            steer_cmd = -params.max_steering_wheel_deg
         beta = dt / (params.steer_time_constant + dt)
         desired_change = beta * (steer_cmd - state.steering_wheel_deg)
         max_change = params.max_steer_rate_deg_s * dt
-        state.steering_wheel_deg += clamp(desired_change, -max_change, max_change)
+        if desired_change > max_change:
+            desired_change = max_change
+        elif desired_change < -max_change:
+            desired_change = -max_change
+        state.steering_wheel_deg += desired_change
 
         # Kinematic bicycle in the Frenet frame.
         road_wheel_angle = deg_to_rad(state.steering_wheel_deg / params.steering_ratio)

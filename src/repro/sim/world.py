@@ -21,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.can.bus import CANBus
+from repro.can.frame import CANFrame
 from repro.can.honda import ADDR, HONDA_DBC
 from repro.messaging.bus import MessageBus
 from repro.messaging.messages import CarState
@@ -129,6 +130,17 @@ class World:
         self._can_counter = 0
         self._last_command = ActuatorCommand()
 
+        # Hot-path caches: resolve the arbitration ids and compiled codec
+        # plans once instead of a dict lookup per call.
+        self._addr_powertrain = ADDR["POWERTRAIN_DATA"]
+        self._addr_steering_sensors = ADDR["STEERING_SENSORS"]
+        self._addr_steering_control = ADDR["STEERING_CONTROL"]
+        self._addr_acc_control = ADDR["ACC_CONTROL"]
+        self._plan_powertrain = HONDA_DBC.plan_by_address(self._addr_powertrain)
+        self._plan_steering_sensors = HONDA_DBC.plan_by_address(self._addr_steering_sensors)
+        self._plan_steering_control = HONDA_DBC.plan_by_address(self._addr_steering_control)
+        self._plan_acc_control = HONDA_DBC.plan_by_address(self._addr_acc_control)
+
     def disturbance_curvature(self, time: float) -> float:
         """Environmental lateral disturbance (road crown / crosswind), 1/m."""
         if self.config.disturbance_amplitude == 0.0:
@@ -157,27 +169,31 @@ class World:
         state = self.ego.state
         self._can_counter = (self._can_counter + 1) & 0x3
         self.can_bus.send(
-            HONDA_DBC.encode(
-                "POWERTRAIN_DATA",
-                {
-                    "XMISSION_SPEED": state.speed,
-                    "ACCEL_MEASURED": state.accel,
-                    "PEDAL_GAS": max(0.0, self._last_command.accel / 4.0),
-                    "BRAKE_PRESSED": 1.0 if self._last_command.brake > 0.1 else 0.0,
-                    "GAS_PRESSED": 0.0,
-                },
-                counter=self._can_counter,
+            CANFrame(
+                self._addr_powertrain,
+                self._plan_powertrain.encode(
+                    {
+                        "XMISSION_SPEED": state.speed,
+                        "ACCEL_MEASURED": state.accel,
+                        "PEDAL_GAS": max(0.0, self._last_command.accel / 4.0),
+                        "BRAKE_PRESSED": 1.0 if self._last_command.brake > 0.1 else 0.0,
+                        "GAS_PRESSED": 0.0,
+                    },
+                    counter=self._can_counter,
+                ),
                 timestamp=self.time,
             )
         )
         self.can_bus.send(
-            HONDA_DBC.encode(
-                "STEERING_SENSORS",
-                {
-                    "STEER_ANGLE": state.steering_wheel_deg,
-                    "STEER_ANGLE_RATE": 0.0,
-                },
-                counter=self._can_counter,
+            CANFrame(
+                self._addr_steering_sensors,
+                self._plan_steering_sensors.encode(
+                    {
+                        "STEER_ANGLE": state.steering_wheel_deg,
+                        "STEER_ANGLE_RATE": 0.0,
+                    },
+                    counter=self._can_counter,
+                ),
                 timestamp=self.time,
             )
         )
@@ -187,14 +203,16 @@ class World:
         speed = self.ego.state.speed
         accel = self.ego.state.accel
         steer = self.ego.state.steering_wheel_deg
-        powertrain = self.can_bus.latest(ADDR["POWERTRAIN_DATA"])
-        sensors = self.can_bus.latest(ADDR["STEERING_SENSORS"])
+        powertrain = self.can_bus.latest(self._addr_powertrain)
+        sensors = self.can_bus.latest(self._addr_steering_sensors)
         if powertrain is not None:
-            decoded = HONDA_DBC.decode(powertrain)
+            decoded = self._plan_powertrain.decode(
+                powertrain, signals=("XMISSION_SPEED", "ACCEL_MEASURED")
+            )
             speed = decoded["XMISSION_SPEED"]
             accel = decoded["ACCEL_MEASURED"]
         if sensors is not None:
-            steer = HONDA_DBC.decode(sensors)["STEER_ANGLE"]
+            steer = self._plan_steering_sensors.decode_signal(sensors, "STEER_ANGLE")
         return CarState(
             v_ego=speed,
             a_ego=accel,
@@ -214,20 +232,23 @@ class World:
         If the ADAS has not yet sent a command (first cycle), the previous
         command is held, which matches real actuator behaviour.
         """
-        steering_frame = self.can_bus.latest(ADDR["STEERING_CONTROL"])
-        acc_frame = self.can_bus.latest(ADDR["ACC_CONTROL"])
+        steering_frame = self.can_bus.latest(self._addr_steering_control)
+        acc_frame = self.can_bus.latest(self._addr_acc_control)
         command = ActuatorCommand(
             accel=self._last_command.accel,
             brake=self._last_command.brake,
             steering_angle_deg=self._last_command.steering_angle_deg,
         )
         if acc_frame is not None:
-            decoded = HONDA_DBC.decode(acc_frame)
+            decoded = self._plan_acc_control.decode(
+                acc_frame, signals=("ACCEL_COMMAND", "BRAKE_COMMAND")
+            )
             command.accel = max(0.0, decoded["ACCEL_COMMAND"])
             command.brake = max(0.0, decoded["BRAKE_COMMAND"])
         if steering_frame is not None:
-            decoded = HONDA_DBC.decode(steering_frame)
-            command.steering_angle_deg = decoded["STEER_ANGLE_CMD"]
+            command.steering_angle_deg = self._plan_steering_control.decode_signal(
+                steering_frame, "STEER_ANGLE_CMD"
+            )
         return command
 
     def step(self, command: Optional[ActuatorCommand] = None) -> WorldStepResult:
@@ -268,11 +289,18 @@ class World:
                 )
             )
 
-        lead_gap = None
-        lead_speed = None
-        if self.lead is not None:
-            lead_gap = self.lead.rear_s - self.ego.front_s
-            lead_speed = self.lead.state.speed
+        lead_gap, lead_speed = self.lead_observation()
         return WorldStepResult(
             time=self.time, collision=collision, lead_gap=lead_gap, lead_speed=lead_speed
         )
+
+    def lead_observation(self) -> "tuple[Optional[float], Optional[float]]":
+        """Ground-truth (bumper-to-bumper gap, lead speed), or ``(None, None)``.
+
+        This is the single place the lead gap is computed; the simulation
+        loop reuses the value carried by :class:`WorldStepResult` instead
+        of recomputing it every step.
+        """
+        if self.lead is None:
+            return None, None
+        return self.lead.rear_s - self.ego.front_s, self.lead.state.speed

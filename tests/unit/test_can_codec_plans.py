@@ -1,0 +1,205 @@
+"""Equivalence of the compiled codec plans against the reference codec.
+
+The compiled :class:`~repro.can.dbc.MessagePlan` replaces the per-call
+bit-twiddling of ``_pack_field``/``_unpack_field`` with precompiled
+constants, a single int conversion and a decode memo.  These tests pin
+the contract that made that optimisation safe: for every message kind the
+plans must produce byte-identical frames and identical physical values to
+the reference implementation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.can.checksum import apply_checksum, honda_checksum, verify_checksum
+from repro.can.dbc import DBC, MessageDef, Signal, _pack_field, _unpack_field
+from repro.can.frame import CANFrame
+from repro.can.honda import HONDA_DBC
+
+
+def reference_encode(dbc: DBC, name: str, values, counter: int = 0) -> bytes:
+    """The seed implementation of DBC.encode (loop of _pack_field calls)."""
+    msg = dbc.message_by_name(name)
+    data = bytearray(msg.length)
+    for sig_name, sig in msg.signals.items():
+        if sig_name == "CHECKSUM":
+            continue
+        if sig_name == "COUNTER":
+            _pack_field(data, sig.msb_offset, sig.size, counter & ((1 << sig.size) - 1))
+            continue
+        if sig_name in values:
+            _pack_field(data, sig.msb_offset, sig.size, sig.to_raw(values[sig_name]))
+    if msg.checksummed:
+        apply_checksum(msg.address, data)
+    return bytes(data)
+
+
+def reference_decode(dbc: DBC, frame: CANFrame) -> dict:
+    """The seed implementation of DBC.decode (loop of _unpack_field calls)."""
+    msg = dbc.message_by_address(frame.address)
+    return {
+        sig_name: sig.to_physical(_unpack_field(frame.data, sig.msb_offset, sig.size))
+        for sig_name, sig in msg.signals.items()
+    }
+
+
+#: A DBC exercising every signal shape: signed, unsigned, clamped,
+#: checksummed and checksum-free, sub-byte and multi-byte fields.
+MIXED_DBC = DBC(
+    "mixed",
+    [
+        MessageDef(
+            "SIGNED_CHECKSUMMED",
+            0x101,
+            6,
+            {
+                "S16": Signal("S16", 0, 16, factor=0.01, is_signed=True),
+                "S12": Signal("S12", 16, 12, factor=1.0 / 2047.0, is_signed=True),
+                "FLAG": Signal("FLAG", 28, 1),
+                "COUNTER": Signal("COUNTER", 32, 2),
+                "CHECKSUM": Signal("CHECKSUM", 44, 4),
+            },
+        ),
+        MessageDef(
+            "CLAMPED_PLAIN",
+            0x102,
+            4,
+            {
+                "CLAMPED": Signal("CLAMPED", 0, 16, factor=0.1, minimum=-5.0, maximum=5.0),
+                "U7": Signal("U7", 16, 7),
+                "S9": Signal("S9", 23, 9, factor=0.5, offset=-10.0, is_signed=True),
+            },
+            checksummed=False,
+        ),
+    ],
+)
+
+
+def _random_values(msg: MessageDef, rng: np.random.Generator) -> dict:
+    values = {}
+    for name, sig in msg.signals.items():
+        if name in ("COUNTER", "CHECKSUM"):
+            continue
+        span = (1 << sig.size) * abs(sig.factor)
+        values[name] = float(rng.uniform(-1.5 * span, 1.5 * span)) + sig.offset
+    return values
+
+
+class TestEncodeEquivalence:
+    @pytest.mark.parametrize("dbc", [HONDA_DBC, MIXED_DBC], ids=["honda", "mixed"])
+    def test_random_values_byte_identical(self, dbc):
+        rng = np.random.default_rng(1234)
+        for msg in (dbc.message_by_address(addr) for addr in dbc.addresses()):
+            for trial in range(200):
+                values = _random_values(msg, rng)
+                counter = trial & 0x3
+                compiled = dbc.encode(msg.name, values, counter=counter)
+                reference = reference_encode(dbc, msg.name, values, counter=counter)
+                assert compiled.data == reference, (msg.name, values)
+
+    def test_partial_value_dicts(self):
+        for values in ({}, {"STEER_ANGLE_CMD": -12.3}, {"STEER_TORQUE": 0.4}):
+            compiled = HONDA_DBC.encode("STEERING_CONTROL", values, counter=2)
+            assert compiled.data == reference_encode(
+                HONDA_DBC, "STEERING_CONTROL", values, counter=2
+            )
+
+    def test_saturating_values_byte_identical(self):
+        for extreme in (-1e9, -1.0, 0.0, 1.0, 1e9):
+            values = {"S16": extreme, "S12": extreme, "FLAG": extreme}
+            compiled = MIXED_DBC.encode("SIGNED_CHECKSUMMED", values)
+            assert compiled.data == reference_encode(MIXED_DBC, "SIGNED_CHECKSUMMED", values)
+
+    def test_encoded_checksum_still_valid(self):
+        frame = MIXED_DBC.encode("SIGNED_CHECKSUMMED", {"S16": -3.33, "S12": 0.25})
+        assert verify_checksum(frame.address, frame.data)
+
+
+class TestDecodeEquivalence:
+    @pytest.mark.parametrize("dbc", [HONDA_DBC, MIXED_DBC], ids=["honda", "mixed"])
+    def test_random_payload_round_trip(self, dbc):
+        rng = np.random.default_rng(99)
+        for msg in (dbc.message_by_address(addr) for addr in dbc.addresses()):
+            for _ in range(200):
+                payload = bytearray(rng.integers(0, 256, size=msg.length, dtype=np.uint8))
+                if msg.checksummed:
+                    apply_checksum(msg.address, payload)
+                frame = CANFrame(msg.address, bytes(payload))
+                assert dbc.decode(frame) == reference_decode(dbc, frame)
+
+    def test_subset_decode_matches_full_decode(self):
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 1.25, "BRAKE_COMMAND": 0.5})
+        full = HONDA_DBC.decode(frame)
+        subset = HONDA_DBC.decode(frame, signals=("ACCEL_COMMAND", "BRAKE_COMMAND"))
+        assert subset == {
+            "ACCEL_COMMAND": full["ACCEL_COMMAND"],
+            "BRAKE_COMMAND": full["BRAKE_COMMAND"],
+        }
+
+    def test_decode_signal_matches_full_decode(self):
+        frame = HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": -7.77}, counter=3)
+        assert HONDA_DBC.decode_signal(frame, "STEER_ANGLE_CMD") == HONDA_DBC.decode(frame)[
+            "STEER_ANGLE_CMD"
+        ]
+
+    def test_subset_decode_unknown_signal_raises(self):
+        frame = HONDA_DBC.encode("STEERING_CONTROL", {})
+        with pytest.raises(KeyError, match="no signal named"):
+            HONDA_DBC.decode(frame, signals=("NOPE",))
+        with pytest.raises(KeyError, match="no signal named"):
+            HONDA_DBC.decode_signal(frame, "NOPE")
+
+    def test_decode_returns_fresh_dict(self):
+        """Callers mutate decode results (can_tamper does); the memo must
+        never leak a shared dict."""
+        frame = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 1.0})
+        first = HONDA_DBC.decode(frame)
+        first["ACCEL_COMMAND"] = 999.0
+        assert HONDA_DBC.decode(frame)["ACCEL_COMMAND"] != 999.0
+
+
+class TestDecodeMemo:
+    def test_memo_hit_does_not_skip_checksum_of_new_data(self):
+        good = HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": 3.0})
+        corrupted = good.with_data(bytes([good.data[0] ^ 0xFF]) + good.data[1:])
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            HONDA_DBC.decode(corrupted)
+        # And the good frame still decodes after the failed attempt.
+        assert HONDA_DBC.decode(good)["STEER_ANGLE_CMD"] == pytest.approx(3.0, abs=0.01)
+
+    def test_check_after_uncheck_verifies(self):
+        """check=False then check=True on the same payload must verify."""
+        good = HONDA_DBC.encode("STEERING_CONTROL", {"STEER_ANGLE_CMD": 3.0})
+        bad = good.with_data(good.data[:-1] + bytes([good.data[-1] ^ 0x01]))
+        assert HONDA_DBC.decode(bad, check=False)  # tolerated
+        with pytest.raises(ValueError, match="checksum mismatch"):
+            HONDA_DBC.decode(bad, check=True)
+
+    def test_equal_payload_different_frame_object_hits_memo(self):
+        frame_a = HONDA_DBC.encode("ACC_CONTROL", {"ACCEL_COMMAND": 1.0})
+        frame_b = CANFrame(frame_a.address, bytes(frame_a.data))
+        assert HONDA_DBC.decode(frame_a) == HONDA_DBC.decode(frame_b)
+
+    def test_wrong_length_frame_rejected(self):
+        frame = CANFrame(HONDA_DBC.message_by_name("ACC_CONTROL").address, b"\x00\x00")
+        with pytest.raises(ValueError, match="expects 8 bytes"):
+            HONDA_DBC.decode(frame)
+
+
+class TestChecksumFastPath:
+    def test_table_checksum_matches_definition(self):
+        rng = np.random.default_rng(7)
+        for _ in range(500):
+            address = int(rng.integers(0, 0x800))
+            data = bytes(rng.integers(0, 256, size=int(rng.integers(1, 9)), dtype=np.uint8))
+            checksum = 0
+            remainder = address
+            while remainder > 0:
+                checksum += remainder & 0xF
+                remainder >>= 4
+            for i, byte in enumerate(data):
+                if i == len(data) - 1:
+                    checksum += byte >> 4
+                else:
+                    checksum += (byte >> 4) + (byte & 0xF)
+            assert honda_checksum(address, data) == (8 - checksum) & 0xF

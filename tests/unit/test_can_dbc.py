@@ -86,6 +86,25 @@ class TestDBCEncodeDecode:
         with pytest.raises(KeyError):
             HONDA_DBC.encode("STEERING_CONTROL", {"NOT_A_SIGNAL": 1.0})
 
+    def test_unknown_signal_rejected_before_any_packing(self):
+        """Unknown keys are reported up front — with the offending names in
+        the message — before any signal value is even read."""
+        reads = []
+
+        class RecordingDict(dict):
+            def __getitem__(self, key):
+                reads.append(key)
+                return dict.__getitem__(self, key)
+
+        values = RecordingDict(
+            {"STEER_ANGLE_CMD": 1.0, "BOGUS_A": 2.0, "BOGUS_B": 3.0}
+        )
+        with pytest.raises(KeyError) as excinfo:
+            HONDA_DBC.encode("STEERING_CONTROL", values)
+        assert "unknown signals for message 'STEERING_CONTROL'" in str(excinfo.value)
+        assert "BOGUS_A" in str(excinfo.value) and "BOGUS_B" in str(excinfo.value)
+        assert reads == []
+
     def test_unknown_message_rejected(self):
         with pytest.raises(KeyError):
             HONDA_DBC.encode("NOT_A_MESSAGE", {})
