@@ -15,6 +15,8 @@ import json
 import os
 import time
 
+import pytest
+
 from repro.injection.campaign import Campaign, CampaignConfig
 from repro.injection.engine import SimulationConfig, run_simulation
 
@@ -131,3 +133,41 @@ def test_bench_campaign_throughput(benchmark):
         f"{total / parallel_elapsed:.2f} runs/s with 4 workers "
         f"(seed: {SEED_BASELINE['campaign_runs_per_second']:.2f})"
     )
+
+
+def test_bench_campaign_scaling(benchmark):
+    """Parallel executor scaling curve: campaign runs/s at workers = 1/2/4.
+
+    Records the curve into ``BENCH_throughput.json`` (the open ROADMAP
+    item); single-core containers cannot show parallel scaling, so the
+    case skips there rather than recording a misleading flat curve.
+    Results for every worker count must be bit-identical.
+    """
+    if (os.cpu_count() or 1) < 2:
+        pytest.skip("scaling curve needs a multi-core machine")
+
+    config = _campaign_config(max_steps=2500)
+    total = config.total_runs
+    scaling = {}
+    baseline = None
+    for workers in (1, 2, 4):
+        def run_with_workers(w=workers):
+            return Campaign(config).run(workers=w, parallel=w > 1)
+
+        if workers == 4:
+            start = time.perf_counter()
+            results = benchmark.pedantic(run_with_workers, rounds=1, iterations=1)
+            elapsed = time.perf_counter() - start
+        else:
+            start = time.perf_counter()
+            results = run_with_workers()
+            elapsed = time.perf_counter() - start
+        if baseline is None:
+            baseline = results
+        assert results == baseline
+        scaling[str(workers)] = round(total / elapsed, 2)
+
+    _results["campaign_scaling_total_runs"] = total
+    _results["campaign_scaling_runs_per_second"] = scaling
+    _write_results()
+    print(f"\ncampaign scaling (runs/s by workers): {scaling}")

@@ -22,7 +22,9 @@ class EavesdroppedData:
     """The raw state information the attacker has collected so far.
 
     A snapshot is produced on every attacker control cycle and consumed
-    immediately by the state inference; treat instances as immutable.
+    immediately by the state inference; consumers must not retain or
+    mutate instances (the eavesdropper reuses the previous snapshot,
+    refreshing only ``time``, on cycles where no new message arrived).
     """
 
     time: float
@@ -51,10 +53,24 @@ class Eavesdropper:
     def __init__(self, message_bus: MessageBus):
         self._sub_master = SubMaster(message_bus, list(EAVESDROPPED_SERVICES))
         self.messages_seen = 0
+        self._last_snapshot: Optional[EavesdroppedData] = None
 
     def snapshot(self, time: float) -> EavesdroppedData:
-        """Return the attacker's current view of the vehicle state."""
-        self.messages_seen += self._sub_master.update()
+        """Return the attacker's current view of the vehicle state.
+
+        The attacker polls at the 100 Hz control rate but the sensors
+        publish at 10–20 Hz, so most polls deliver no new message; in that
+        case only the timestamp of the previous snapshot has changed and
+        the object is updated in place instead of being rebuilt (snapshots
+        are consumed immediately by the state inference and never
+        retained, see :class:`EavesdroppedData`).
+        """
+        fresh = self._sub_master.update()
+        self.messages_seen += fresh
+        last = self._last_snapshot
+        if fresh == 0 and last is not None:
+            last.time = time
+            return last
 
         gps = self._sub_master["gpsLocationExternal"]
         model = self._sub_master["modelV2"]
@@ -77,7 +93,7 @@ class Eavesdropper:
             lead_distance = radar.lead_one.d_rel
             lead_relative_speed = radar.lead_one.v_rel
 
-        return EavesdroppedData(
+        snapshot = EavesdroppedData(
             time=time,
             v_ego=v_ego,
             lateral_offset=lateral_offset,
@@ -88,6 +104,8 @@ class Eavesdropper:
             lead_distance=lead_distance,
             lead_relative_speed=lead_relative_speed,
         )
+        self._last_snapshot = snapshot
+        return snapshot
 
     def close(self) -> None:
         """Unsubscribe from all services."""

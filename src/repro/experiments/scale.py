@@ -7,19 +7,26 @@ feasible but slow for routine benchmarking.  :class:`ExperimentScale`
 captures the grid dimensions; the default is a scaled-down grid that
 preserves every axis (all scenarios, all attack types, several initial
 distances and repetitions) while finishing quickly.
+
+Scenario entries may be any catalog name (see
+:data:`repro.scenarios.CATALOG`) or a fully built
+:class:`~repro.sim.scenarios.Scenario`; :meth:`ExperimentScale.extended`
+sweeps the whole catalog instead of only the paper's S1–S4.
 """
 
 import os
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Optional, Tuple, Union
+
+from repro.sim.scenarios import Scenario
 
 
 @dataclass(frozen=True)
 class ExperimentScale:
     """Grid dimensions for the experiment harness."""
 
-    scenarios: Tuple[str, ...] = ("S1", "S2", "S3", "S4")
-    initial_distances: Tuple[float, ...] = (50.0, 70.0)
+    scenarios: Tuple[Union[str, Scenario], ...] = ("S1", "S2", "S3", "S4")
+    initial_distances: Tuple[Optional[float], ...] = (50.0, 70.0)
     repetitions: int = 2
     random_st_dur_repetitions: int = 4   # the paper uses 10x for this baseline
     master_seed: int = 2022
@@ -45,8 +52,31 @@ class ExperimentScale:
         )
 
     @staticmethod
-    def from_environment(default: "ExperimentScale" = None) -> "ExperimentScale":
-        """Pick the scale from the ``REPRO_FULL_SCALE`` environment variable."""
+    def extended(repetitions: int = 2) -> "ExperimentScale":
+        """Every catalog scenario at its own initial gap (beyond the paper).
+
+        The ``None`` distance keeps each scenario's catalog gap, which is
+        part of the scenario design for multi-actor scripts (cut-ins,
+        traffic queues) where the paper's 50/70/100 m sweep makes no sense.
+        """
+        from repro.scenarios.catalog import CATALOG
+
+        return ExperimentScale(
+            scenarios=CATALOG.names(),
+            initial_distances=(None,),
+            repetitions=repetitions,
+            random_st_dur_repetitions=2 * repetitions,
+        )
+
+    @staticmethod
+    def from_environment(default: Optional["ExperimentScale"] = None) -> "ExperimentScale":
+        """Pick the scale from the ``REPRO_FULL_SCALE`` environment variable.
+
+        Truthy values (``1``/``true``/``yes``, case-insensitive) select the
+        paper-sized grid; anything else — including unset, empty, and
+        unexpected values such as ``"2"`` or ``"banana"`` — falls back to
+        ``default`` (or the laptop-sized grid when ``default`` is ``None``).
+        """
         if os.environ.get("REPRO_FULL_SCALE", "").lower() in ("1", "true", "yes"):
             return ExperimentScale.full()
         return default or ExperimentScale()

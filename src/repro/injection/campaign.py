@@ -9,7 +9,7 @@ records for aggregation.
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -17,9 +17,13 @@ from repro.analysis.metrics import RunResult
 from repro.core.attack_types import AttackType
 from repro.core.strategies import AttackStrategy, strategy_by_name
 from repro.injection.engine import SimulationConfig, run_simulation
-from repro.sim.scenarios import INITIAL_DISTANCES
+from repro.sim.scenarios import INITIAL_DISTANCES, Scenario
 
 StrategyFactory = Callable[[], AttackStrategy]
+
+#: A grid scenario: a name resolved through the catalog, or a fully built
+#: spec (e.g. drawn from :class:`repro.scenarios.ScenarioSampler`).
+ScenarioLike = Union[str, Scenario]
 
 ALL_ATTACK_TYPES: Tuple[AttackType, ...] = tuple(AttackType)
 
@@ -32,8 +36,11 @@ class CampaignConfig:
         strategy_name: Table III strategy name (used for seeding and in
             the results); the actual strategy object comes from
             ``strategy_factory`` or :func:`strategy_by_name`.
-        scenarios: Scenario names to include.
-        initial_distances: Initial gaps (m) to include.
+        scenarios: Scenarios to include: catalog names and/or fully built
+            :class:`~repro.sim.scenarios.Scenario` objects (e.g. sampled
+            parametric variants).
+        initial_distances: Initial gaps (m) to include; a ``None`` entry
+            keeps each scenario's own gap.
         attack_types: Attack types to include (``()`` for attack-free runs).
         repetitions: Repetitions per grid cell.
         driver_enabled: Whether the simulated driver is in the loop.
@@ -42,8 +49,8 @@ class CampaignConfig:
     """
 
     strategy_name: str = "Context-Aware"
-    scenarios: Sequence[str] = ("S1", "S2", "S3", "S4")
-    initial_distances: Sequence[float] = INITIAL_DISTANCES
+    scenarios: Sequence[ScenarioLike] = ("S1", "S2", "S3", "S4")
+    initial_distances: Sequence[Optional[float]] = INITIAL_DISTANCES
     attack_types: Sequence[AttackType] = ALL_ATTACK_TYPES
     repetitions: int = 20
     driver_enabled: bool = True
@@ -60,8 +67,8 @@ class CampaignConfig:
 class CampaignCell:
     """One cell of the campaign grid."""
 
-    scenario: str
-    initial_distance: float
+    scenario: ScenarioLike
+    initial_distance: Optional[float]
     attack_type: Optional[AttackType]
     repetition: int
     seed: int

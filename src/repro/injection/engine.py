@@ -33,9 +33,15 @@ class SimulationConfig:
     """Configuration of one simulation run.
 
     Attributes:
-        scenario: Scenario name (``"S1"``..``"S4"``) or a fully built
-            :class:`~repro.sim.scenarios.Scenario`.
-        initial_distance: Initial gap to the lead vehicle, m.
+        scenario: A scenario name (the paper's ``"S1"``..``"S4"`` or any
+            name registered in :data:`repro.scenarios.CATALOG`) or a fully
+            built :class:`~repro.sim.scenarios.Scenario`.
+        initial_distance: Initial gap to the lead vehicle, m.  The default
+            ``None`` keeps the scenario's own gap — for the paper's S1–S4
+            that is 70 m, and for catalog/sampled scenarios the gap is
+            part of the scenario design (multi-actor scripts are tuned to
+            it), so only pass a distance when sweeping that axis
+            deliberately.
         seed: Seed for every stochastic component of this run.
         attack_type: Attack type to inject, or ``None`` for an attack-free
             run.
@@ -50,7 +56,7 @@ class SimulationConfig:
     """
 
     scenario: Union[str, Scenario] = "S1"
-    initial_distance: float = 70.0
+    initial_distance: Optional[float] = None
     seed: int = 0
     attack_type: Optional[AttackType] = None
     driver_enabled: bool = True
@@ -63,6 +69,8 @@ class SimulationConfig:
 
     def build_scenario(self) -> Scenario:
         if isinstance(self.scenario, Scenario):
+            if self.initial_distance is None:
+                return self.scenario
             return self.scenario.with_initial_distance(self.initial_distance)
         return build_scenario(self.scenario, self.initial_distance)
 
@@ -115,7 +123,7 @@ class Simulation:
         scenario = self.world.config.scenario
         result = RunResult(
             scenario=scenario.name,
-            initial_distance=config.initial_distance,
+            initial_distance=scenario.initial_distance,
             attack_type=config.attack_type.value if config.attack_type else None,
             strategy=self.strategy.name,
             seed=config.seed,

@@ -1,0 +1,285 @@
+"""The named scenario catalog.
+
+Preloads the paper's S1–S4 plus a set of richer multi-actor and
+road-geometry scenarios.  Every catalog scenario is designed to run
+attack-free to completion with **no hazard flagged** (pinned by
+``tests/integration/test_scenario_catalog_runs.py``), so that hazards
+observed in attack campaigns are attributable to the attack, not the
+traffic script.
+
+Catalog names resolve everywhere a scenario name is accepted::
+
+    run_simulation(SimulationConfig(scenario="cut-in-short-gap"))
+    CampaignConfig(scenarios=("S1", "lead-hard-brake", "cut-out-reveal"),
+                   initial_distances=(None,))   # None = each scenario's own gap
+
+The hazard-free guarantee holds at each scenario's *own* gap (multi-actor
+scripts are tuned to it); sweeping ``initial_distances`` over catalog
+scenarios deliberately changes the scenario design.
+"""
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.sim.actors import LaneChange, ManeuverPhase
+from repro.sim.road import RoadSpec
+from repro.sim.scenarios import SCENARIOS, ActorSpec, ScenarioSpec
+from repro.sim.units import mph_to_ms
+
+
+class ScenarioCatalog:
+    """Registry of named scenarios.
+
+    Scenarios register under their ``spec.name``; lookups are exact.
+    Iteration preserves registration order (paper scenarios first).
+    """
+
+    def __init__(self):
+        self._specs: Dict[str, ScenarioSpec] = {}
+
+    def register(self, spec: ScenarioSpec, replace_existing: bool = False) -> ScenarioSpec:
+        """Add ``spec`` to the catalog and return it."""
+        if not replace_existing and spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look up a scenario by exact name."""
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs))
+            raise KeyError(
+                f"unknown scenario {name!r}; known scenarios: {known}"
+            ) from None
+
+    def build(self, name: str, initial_distance: Optional[float] = None) -> ScenarioSpec:
+        """Look up ``name``, optionally overriding the initial lead gap."""
+        spec = self.get(name)
+        if initial_distance is None:
+            return spec
+        return spec.with_initial_distance(initial_distance)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def table_rows(self) -> List[Tuple[str, str, str, str]]:
+        """(name, actors, maneuver, road) rows for the README catalog table."""
+        rows = []
+        for spec in self:
+            actors = ", ".join(spec.actor_kinds()) or "none"
+            road = spec.road
+            if road.curvature_max == 0.0:
+                geometry = "straight"
+            else:
+                geometry = (
+                    f"left curve k={road.curvature_max:g}/m from s={road.curve_start:g} m"
+                )
+            rows.append((spec.name, actors, spec.description, geometry))
+        return rows
+
+
+_EGO_SPEED = mph_to_ms(60.0)
+
+
+def _default_catalog() -> ScenarioCatalog:
+    catalog = ScenarioCatalog()
+    for spec in SCENARIOS.values():
+        catalog.register(spec)
+
+    catalog.register(
+        ScenarioSpec(
+            name="lead-hard-brake",
+            description="Lead brakes hard from 50 mph to a crawl (clear rear)",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(50.0),
+            lead_profile=(ManeuverPhase(start_time=12.0, target_speed=2.0, rate=4.0),),
+            initial_distance=110.0,
+            with_follower=False,
+            tags=("longitudinal", "emergency"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="stop-and-go",
+            description="Lead cycles between 35 mph and a crawl (traffic wave)",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(35.0),
+            lead_profile=(
+                ManeuverPhase(start_time=8.0, target_speed=1.5, rate=2.0),
+                ManeuverPhase(start_time=20.0, target_speed=mph_to_ms(35.0), rate=1.5),
+                ManeuverPhase(start_time=32.0, target_speed=1.5, rate=2.0),
+                ManeuverPhase(start_time=44.0, target_speed=mph_to_ms(35.0), rate=1.5),
+            ),
+            initial_distance=80.0,
+            tags=("longitudinal", "traffic-wave"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="cut-in-short-gap",
+            description="Vehicle cuts in 30 m ahead, then slows to 55 mph",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(65.0),
+            initial_distance=110.0,
+            actors=(
+                ActorSpec(
+                    kind="cut_in",
+                    initial_gap=30.0,
+                    initial_speed=mph_to_ms(63.0),
+                    lane=1,
+                    profile=(
+                        ManeuverPhase(start_time=14.0, target_speed=mph_to_ms(55.0), rate=1.0),
+                    ),
+                    lane_change=LaneChange(start_time=8.0, target_d=0.0, duration=3.0),
+                ),
+            ),
+            tags=("multi-actor", "cut-in"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="cut-out-reveal",
+            description="Lead cuts out to the left lane, revealing a slower vehicle",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(58.0),
+            lead_lane_change=LaneChange(start_time=8.0, target_d=3.6, duration=3.0),
+            initial_distance=45.0,
+            actors=(
+                ActorSpec(
+                    kind="slow_traffic",
+                    initial_gap=150.0,
+                    initial_speed=mph_to_ms(45.0),
+                    lane=0,
+                ),
+            ),
+            tags=("multi-actor", "cut-out"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="curved-road-cruise",
+            description="Lead cruises at 50 mph on an early, sharper left curve",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(50.0),
+            road=RoadSpec(curve_start=60.0, curve_transition=140.0, curvature_max=0.0035),
+            tags=("road-geometry",),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="oscillating-lead",
+            description="Lead oscillates between 35 mph and 55 mph",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(45.0),
+            lead_profile=(
+                ManeuverPhase(start_time=6.0, target_speed=mph_to_ms(35.0), rate=1.2),
+                ManeuverPhase(start_time=16.0, target_speed=mph_to_ms(55.0), rate=1.2),
+                ManeuverPhase(start_time=26.0, target_speed=mph_to_ms(35.0), rate=1.2),
+                ManeuverPhase(start_time=36.0, target_speed=mph_to_ms(55.0), rate=1.2),
+            ),
+            initial_distance=85.0,
+            tags=("longitudinal",),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="tailgating-follower",
+            description="Lead slows 50 to 35 mph while a tailgater sits 12 m behind",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(50.0),
+            lead_profile=(
+                ManeuverPhase(start_time=12.0, target_speed=mph_to_ms(35.0), rate=1.0),
+            ),
+            follower_gap=12.0,
+            follower_speed=_EGO_SPEED,
+            follower_headway=0.6,
+            follower_reaction_delay=0.8,
+            tags=("multi-actor", "tailgater"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="traffic-jam-approach",
+            description="Ego approaches a creeping traffic queue from 60 mph",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(15.0),
+            lead_profile=(ManeuverPhase(start_time=14.0, target_speed=2.0, rate=1.0),),
+            initial_distance=130.0,
+            actors=(
+                ActorSpec(
+                    kind="queue",
+                    initial_gap=180.0,
+                    initial_speed=mph_to_ms(10.0),
+                    lane=0,
+                ),
+            ),
+            tags=("multi-actor", "traffic-wave"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="curve-hard-brake",
+            description="Lead brakes from 50 mph to 10 mph inside the curve",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(50.0),
+            lead_profile=(
+                ManeuverPhase(start_time=14.0, target_speed=mph_to_ms(10.0), rate=3.0),
+            ),
+            initial_distance=95.0,
+            road=RoadSpec(curve_start=80.0, curve_transition=160.0, curvature_max=0.003),
+            tags=("road-geometry", "emergency"),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="aggressive-lead",
+            description="Lead speeds up to 60 mph, brakes to 30 mph, recovers to 50 mph",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            lead_initial_speed=mph_to_ms(40.0),
+            lead_profile=(
+                ManeuverPhase(start_time=8.0, target_speed=mph_to_ms(60.0), rate=1.5),
+                ManeuverPhase(start_time=20.0, target_speed=mph_to_ms(30.0), rate=3.0),
+                ManeuverPhase(start_time=32.0, target_speed=mph_to_ms(50.0), rate=1.5),
+            ),
+            initial_distance=75.0,
+            tags=("longitudinal",),
+        )
+    )
+    catalog.register(
+        ScenarioSpec(
+            name="open-road-cruise",
+            description="No lead vehicle: pure lane keeping through the curve",
+            ego_initial_speed=_EGO_SPEED,
+            cruise_speed=_EGO_SPEED,
+            with_lead=False,
+            tags=("no-lead", "road-geometry"),
+        )
+    )
+    return catalog
+
+
+#: The process-wide default catalog.
+CATALOG = _default_catalog()
+
+#: The paper's fixed evaluation scenarios (Section IV-A).
+PAPER_SCENARIOS: Tuple[str, ...] = ("S1", "S2", "S3", "S4")

@@ -1,0 +1,254 @@
+"""Parametric scenario families and the seeded scenario sampler.
+
+A :class:`ScenarioFamily` is a scenario *template* with named uniform
+parameter ranges; :class:`ScenarioSampler` draws concrete
+:class:`~repro.sim.scenarios.ScenarioSpec` variants from the families.
+
+Determinism contract (mirrors the campaign executor's): variant ``index``
+under ``master_seed`` is produced from ``SeedSequence([master_seed,
+index])`` alone — never from sampler call order — so any variant can be
+regenerated in isolation and a sampled campaign run through the parallel
+executor is bit-identical to its sequential run.
+"""
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.actors import LaneChange, ManeuverPhase
+from repro.sim.road import RoadSpec
+from repro.sim.scenarios import ActorSpec, ScenarioSpec
+from repro.sim.units import mph_to_ms
+
+
+@dataclass(frozen=True)
+class ParamRange:
+    """A closed uniform sampling range for one scenario parameter."""
+
+    low: float
+    high: float
+
+    def __post_init__(self):
+        if self.high < self.low:
+            raise ValueError("ParamRange requires high >= low")
+
+
+#: A family builder maps (variant name, drawn parameters) to a spec.
+FamilyBuilder = Callable[[str, Dict[str, float]], ScenarioSpec]
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A parametric scenario template.
+
+    Attributes:
+        name: Family name; variants are named ``"<name>[<index>]"``.
+        description: Human-readable summary of the family.
+        parameters: Parameter name -> uniform range.  Parameters are drawn
+            in sorted-name order, so the mapping's insertion order does not
+            affect determinism.
+        build: Builder producing the concrete spec from drawn parameters.
+    """
+
+    name: str
+    description: str
+    parameters: Mapping[str, ParamRange]
+    build: FamilyBuilder
+
+
+_EGO_SPEED = mph_to_ms(60.0)
+
+
+def _build_hard_brake(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Lead brakes from {p['lead_mph']:.0f} mph to {p['floor_mph']:.0f} mph "
+            f"at {p['rate']:.1f} m/s^2 (gap {p['gap']:.0f} m)"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(p["lead_mph"]),
+        lead_profile=(
+            ManeuverPhase(
+                start_time=p["start"],
+                target_speed=mph_to_ms(p["floor_mph"]),
+                rate=p["rate"],
+            ),
+        ),
+        initial_distance=p["gap"],
+        family="hard-brake",
+        tags=("sampled", "longitudinal"),
+    )
+
+
+def _build_cut_in(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Cut-in {p['merge_gap']:.0f} m ahead at t={p['merge_time']:.1f} s "
+            f"({p['speed_delta_mph']:+.1f} mph vs ego)"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        # The scenario lead pulls away at 70 mph, so the merging vehicle
+        # (<= 66 mph) never reaches it; scripted actors do not interact.
+        lead_initial_speed=mph_to_ms(70.0),
+        initial_distance=120.0,
+        actors=(
+            ActorSpec(
+                kind="cut_in",
+                initial_gap=p["merge_gap"],
+                initial_speed=mph_to_ms(60.0 + p["speed_delta_mph"]),
+                lane=1,
+                lane_change=LaneChange(
+                    start_time=p["merge_time"],
+                    target_d=0.0,
+                    duration=p["duration"],
+                ),
+            ),
+        ),
+        family="cut-in",
+        tags=("sampled", "multi-actor", "cut-in"),
+    )
+
+
+def _build_curve(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Lead cruises at {p['lead_mph']:.0f} mph; curve k={p['curvature']:.4f}/m "
+            f"from s={p['curve_start']:.0f} m"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(p["lead_mph"]),
+        road=RoadSpec(
+            curve_start=p["curve_start"],
+            curve_transition=p["transition"],
+            curvature_max=p["curvature"],
+        ),
+        family="curved-road",
+        tags=("sampled", "road-geometry"),
+    )
+
+
+def _build_oscillating(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    low = mph_to_ms(p["base_mph"] - p["amplitude_mph"])
+    high = mph_to_ms(p["base_mph"] + p["amplitude_mph"])
+    period = p["period"]
+    phases = tuple(
+        ManeuverPhase(
+            start_time=6.0 + cycle * period,
+            target_speed=low if cycle % 2 == 0 else high,
+            rate=p["rate"],
+        )
+        for cycle in range(4)
+    )
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Lead oscillates {p['base_mph']:.0f}±{p['amplitude_mph']:.0f} mph "
+            f"every {period:.1f} s"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(p["base_mph"]),
+        lead_profile=phases,
+        initial_distance=85.0,
+        family="oscillating-lead",
+        tags=("sampled", "longitudinal"),
+    )
+
+
+DEFAULT_FAMILIES: Tuple[ScenarioFamily, ...] = (
+    ScenarioFamily(
+        name="hard-brake",
+        description="Lead decelerates sharply to a configurable floor speed",
+        parameters={
+            "gap": ParamRange(55.0, 110.0),
+            "lead_mph": ParamRange(38.0, 58.0),
+            "floor_mph": ParamRange(0.0, 12.0),
+            "rate": ParamRange(2.0, 4.5),
+            "start": ParamRange(8.0, 16.0),
+        },
+        build=_build_hard_brake,
+    ),
+    ScenarioFamily(
+        name="cut-in",
+        description="Vehicle merges from the left lane inside the ACC gap",
+        parameters={
+            "merge_gap": ParamRange(26.0, 45.0),
+            "merge_time": ParamRange(6.0, 12.0),
+            "speed_delta_mph": ParamRange(0.0, 6.0),
+            "duration": ParamRange(2.5, 4.0),
+        },
+        build=_build_cut_in,
+    ),
+    ScenarioFamily(
+        name="curved-road",
+        description="Curve onset/radius sweep with a cruising lead",
+        parameters={
+            "curve_start": ParamRange(50.0, 180.0),
+            "curvature": ParamRange(0.0015, 0.004),
+            "transition": ParamRange(90.0, 220.0),
+            "lead_mph": ParamRange(40.0, 55.0),
+        },
+        build=_build_curve,
+    ),
+    ScenarioFamily(
+        name="oscillating-lead",
+        description="Lead speed oscillation amplitude/period sweep",
+        parameters={
+            "base_mph": ParamRange(40.0, 48.0),
+            "amplitude_mph": ParamRange(4.0, 9.0),
+            "period": ParamRange(8.0, 14.0),
+            "rate": ParamRange(1.0, 2.0),
+        },
+        build=_build_oscillating,
+    ),
+)
+
+
+class ScenarioSampler:
+    """Draws parametric scenario variants deterministically.
+
+    Variant ``index`` uses family ``index % len(families)`` and draws its
+    parameters from ``SeedSequence([master_seed, index])``, so samples are
+    independent of call order and safe to regenerate anywhere (including
+    inside parallel-campaign worker processes).
+    """
+
+    def __init__(
+        self,
+        families: Sequence[ScenarioFamily] = DEFAULT_FAMILIES,
+        master_seed: int = 2022,
+    ):
+        if not families:
+            raise ValueError("ScenarioSampler needs at least one family")
+        self.families = tuple(families)
+        self.master_seed = master_seed
+
+    def sample(self, index: int) -> ScenarioSpec:
+        """Build the ``index``-th variant (stable under the master seed)."""
+        if index < 0:
+            raise ValueError("sample index must be non-negative")
+        family = self.families[index % len(self.families)]
+        rng = np.random.default_rng(np.random.SeedSequence([self.master_seed, index]))
+        params = {
+            key: float(rng.uniform(bounds.low, bounds.high))
+            for key, bounds in sorted(family.parameters.items())
+        }
+        return family.build(f"{family.name}[{index}]", params)
+
+    def take(self, count: int, start: int = 0) -> List[ScenarioSpec]:
+        """Build variants ``start .. start + count - 1``."""
+        return [self.sample(index) for index in range(start, start + count)]
+
+    def __iter__(self) -> Iterator[ScenarioSpec]:
+        """Yield variants 0, 1, 2, ... without bound."""
+        index = 0
+        while True:
+            yield self.sample(index)
+            index += 1

@@ -9,10 +9,23 @@ and curvature.  The simulator runs at the paper's 100 Hz control rate
 
 from repro.sim.road import Road, RoadSpec
 from repro.sim.vehicle import EgoVehicle, VehicleParams, ActuatorCommand
-from repro.sim.actors import LeadVehicle, FollowerVehicle, LeadBehavior
+from repro.sim.actors import (
+    FollowerVehicle,
+    LaneChange,
+    LeadBehavior,
+    LeadVehicle,
+    ManeuverPhase,
+    ScriptedVehicle,
+)
 from repro.sim.sensors import GpsSensor, RadarSensor, CameraModel, SensorNoise
 from repro.sim.collision import CollisionDetector, LaneMonitor
-from repro.sim.scenarios import Scenario, SCENARIOS, build_scenario
+from repro.sim.scenarios import (
+    ActorSpec,
+    Scenario,
+    ScenarioSpec,
+    SCENARIOS,
+    build_scenario,
+)
 from repro.sim.world import World, WorldConfig
 
 __all__ = [
@@ -24,6 +37,9 @@ __all__ = [
     "LeadVehicle",
     "FollowerVehicle",
     "LeadBehavior",
+    "ScriptedVehicle",
+    "ManeuverPhase",
+    "LaneChange",
     "GpsSensor",
     "RadarSensor",
     "CameraModel",
@@ -31,6 +47,8 @@ __all__ = [
     "CollisionDetector",
     "LaneMonitor",
     "Scenario",
+    "ScenarioSpec",
+    "ActorSpec",
     "SCENARIOS",
     "build_scenario",
     "World",

@@ -1,24 +1,79 @@
-"""Other traffic participants: the lead vehicle and a following vehicle.
+"""Other traffic participants: scripted vehicles, the lead, and a follower.
 
-The lead vehicle realises the four scripted behaviours of the paper's
-driving scenarios (S1–S4); the follower exists to detect rear-end
-collisions (accident A2) when the ego vehicle is forced to a stop in the
-travel lane by a Deceleration attack.
+Scripted actors are lane-following point masses driven by a *piecewise
+maneuver profile*: an ordered sequence of :class:`ManeuverPhase` entries,
+each of which holds or tracks a target speed at a constant rate from its
+start time, plus an optional scripted :class:`LaneChange`.  The profile
+generalises the paper's four single-transition behaviours (S1–S4) to
+arbitrary maneuvers — stop-and-go waves, oscillating leads, hard brakes,
+cut-ins and cut-outs — used by the scenario catalog in
+:mod:`repro.scenarios`.
+
+:class:`LeadVehicle` keeps its original enum-based constructor
+(:class:`LeadBehavior`) as a thin wrapper that compiles the behaviour into
+an equivalent one-phase profile; the integration arithmetic is unchanged,
+so well-formed legacy configurations (initial speed at or on the approach
+side of the target, as in S1–S4) step bit-identically.  The one
+divergence is the degenerate case of a target on the wrong side of the
+initial speed (e.g. DECELERATE towards a *higher* speed), which the old
+code snapped to the target instantly and the profile now ramps to at the
+phase rate.  The follower exists to detect
+rear-end collisions (accident A2) when the ego vehicle is forced to a
+stop in the travel lane by a Deceleration attack.
 """
 
+import math
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 from repro.sim.units import DT, clamp
 
 
 class LeadBehavior(Enum):
-    """Longitudinal behaviour profile of the lead vehicle."""
+    """Longitudinal behaviour profile of the lead vehicle (legacy S1–S4)."""
 
     CRUISE = "cruise"
     DECELERATE = "decelerate"
     ACCELERATE = "accelerate"
+
+
+@dataclass(frozen=True)
+class ManeuverPhase:
+    """One piece of a piecewise longitudinal maneuver profile.
+
+    From ``start_time`` on (until the next phase begins) the actor tracks
+    ``target_speed`` at ``rate`` m/s^2, holding its current speed when
+    ``target_speed`` is ``None`` or once the target is reached.
+    """
+
+    start_time: float
+    target_speed: Optional[float] = None
+    rate: float = 1.0
+
+    def __post_init__(self):
+        if self.rate <= 0:
+            raise ValueError("phase rate must be positive")
+        if self.target_speed is not None and self.target_speed < 0:
+            raise ValueError("phase target_speed must be non-negative")
+
+
+@dataclass(frozen=True)
+class LaneChange:
+    """A scripted lateral move to a new lane offset.
+
+    The lateral offset ramps from its value at ``start_time`` to
+    ``target_d`` over ``duration`` seconds along a smooth cosine blend
+    (zero lateral speed at both ends).
+    """
+
+    start_time: float
+    target_d: float
+    duration: float = 3.0
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError("lane change duration must be positive")
 
 
 @dataclass
@@ -31,8 +86,131 @@ class ActorState:
     accel: float = 0.0
 
 
-class LeadVehicle:
-    """Scripted lead vehicle travelling along the ego lane centreline."""
+class ScriptedVehicle:
+    """A scripted traffic vehicle driven by a piecewise maneuver profile.
+
+    Args:
+        initial_s: Initial arc-length position of the vehicle centre.
+        initial_speed: Initial speed, m/s.
+        profile: Ordered :class:`ManeuverPhase` sequence (empty = cruise).
+        initial_d: Initial lateral offset from the ego lane centreline, m
+            (+ left; one lane to the left is ``+lane_width``).
+        lane_change: Optional scripted lateral maneuver.
+        length / width: Body dimensions, m.
+        kind: Free-form role label (``"lead"``, ``"cut_in"``, ...), used in
+            logs and scenario tables only.
+    """
+
+    def __init__(
+        self,
+        initial_s: float,
+        initial_speed: float,
+        profile: Sequence[ManeuverPhase] = (),
+        initial_d: float = 0.0,
+        lane_change: Optional[LaneChange] = None,
+        length: float = 4.6,
+        width: float = 1.8,
+        kind: str = "traffic",
+    ):
+        phases = tuple(profile)
+        for earlier, later in zip(phases, phases[1:]):
+            if later.start_time < earlier.start_time:
+                raise ValueError("maneuver phases must be ordered by start_time")
+        self.state = ActorState(s=initial_s, d=initial_d, speed=initial_speed)
+        self.profile: Tuple[ManeuverPhase, ...] = phases
+        self.lane_change = lane_change
+        self.length = length
+        self.width = width
+        self.kind = kind
+        self._half_length = length / 2.0
+        self._lane_change_from: Optional[float] = None
+        # Index of the first phase that has not started yet; advances
+        # monotonically, so the per-step phase lookup is O(1).
+        self._phase_index = 0
+
+    @property
+    def rear_s(self) -> float:
+        return self.state.s - self._half_length
+
+    @property
+    def front_s(self) -> float:
+        return self.state.s + self._half_length
+
+    def _active_phase(self, time: float) -> Optional[ManeuverPhase]:
+        """The latest phase whose start time has passed, if any."""
+        profile = self.profile
+        index = self._phase_index
+        while index < len(profile) and time >= profile[index].start_time:
+            index += 1
+        self._phase_index = index
+        return profile[index - 1] if index > 0 else None
+
+    def step(self, time: float, dt: float = DT) -> ActorState:
+        """Advance the scripted maneuver by one control period."""
+        state = self.state
+        phase = self._active_phase(time)
+        target = phase.target_speed if phase is not None else None
+        accel = 0.0
+        if target is not None:
+            if state.speed > target:
+                accel = -phase.rate
+            elif state.speed < target:
+                accel = phase.rate
+        state.accel = accel
+        state.speed = max(0.0, state.speed + accel * dt)
+        if accel < 0.0:
+            state.speed = max(state.speed, target)
+        elif accel > 0.0:
+            state.speed = min(state.speed, target)
+        state.s += state.speed * dt
+
+        lane_change = self.lane_change
+        if lane_change is not None and time >= lane_change.start_time:
+            if self._lane_change_from is None:
+                self._lane_change_from = state.d
+            progress = (time - lane_change.start_time) / lane_change.duration
+            if progress >= 1.0:
+                state.d = lane_change.target_d
+            else:
+                blend = 0.5 * (1.0 - math.cos(math.pi * progress))
+                origin = self._lane_change_from
+                state.d = origin + (lane_change.target_d - origin) * blend
+        return state
+
+
+def behavior_profile(
+    behavior: LeadBehavior,
+    target_speed: Optional[float],
+    speed_change_rate: float = 1.0,
+    speed_change_start: float = 10.0,
+) -> Tuple[ManeuverPhase, ...]:
+    """Compile a legacy :class:`LeadBehavior` into a maneuver profile."""
+    if behavior is LeadBehavior.CRUISE:
+        return ()
+    if target_speed is None:
+        raise ValueError("target_speed is required for non-cruise behaviours")
+    return (
+        ManeuverPhase(
+            start_time=speed_change_start,
+            target_speed=target_speed,
+            rate=abs(speed_change_rate),
+        ),
+    )
+
+
+class LeadVehicle(ScriptedVehicle):
+    """Scripted lead vehicle travelling along the ego lane centreline.
+
+    The legacy constructor (behaviour enum, single speed transition) is
+    kept; it compiles into an equivalent one-phase maneuver profile.  Pass
+    ``profile`` explicitly for multi-phase maneuvers.
+
+    The legacy attributes (``behavior``, ``target_speed``,
+    ``speed_change_rate``, ``speed_change_start``) are construction-time
+    inputs kept for inspection only: the maneuver is compiled into
+    ``profile`` once, so mutating them mid-run has no effect on the
+    scripted motion.
+    """
 
     def __init__(
         self,
@@ -44,6 +222,8 @@ class LeadVehicle:
         speed_change_start: float = 10.0,
         length: float = 4.6,
         width: float = 1.8,
+        profile: Optional[Sequence[ManeuverPhase]] = None,
+        lane_change: Optional[LaneChange] = None,
     ):
         """Create a lead vehicle.
 
@@ -55,43 +235,27 @@ class LeadVehicle:
             speed_change_rate: Magnitude of the speed change, m/s^2.
             speed_change_start: Simulation time at which the change starts.
             length / width: Body dimensions, m.
+            profile: Piecewise maneuver profile; when given it replaces the
+                ``behavior``/``target_speed`` single-transition script.
+            lane_change: Optional scripted lateral maneuver (cut-out).
         """
-        if behavior is not LeadBehavior.CRUISE and target_speed is None:
-            raise ValueError("target_speed is required for non-cruise behaviours")
-        self.state = ActorState(s=initial_s, d=0.0, speed=initial_speed)
+        if profile is None:
+            profile = behavior_profile(
+                behavior, target_speed, speed_change_rate, speed_change_start
+            )
+        super().__init__(
+            initial_s=initial_s,
+            initial_speed=initial_speed,
+            profile=profile,
+            lane_change=lane_change,
+            length=length,
+            width=width,
+            kind="lead",
+        )
         self.behavior = behavior
         self.target_speed = initial_speed if target_speed is None else target_speed
         self.speed_change_rate = abs(speed_change_rate)
         self.speed_change_start = speed_change_start
-        self.length = length
-        self.width = width
-        self._half_length = length / 2.0
-
-    @property
-    def rear_s(self) -> float:
-        return self.state.s - self._half_length
-
-    @property
-    def front_s(self) -> float:
-        return self.state.s + self._half_length
-
-    def step(self, time: float, dt: float = DT) -> ActorState:
-        """Advance the scripted behaviour by one period."""
-        state = self.state
-        accel = 0.0
-        if self.behavior is not LeadBehavior.CRUISE and time >= self.speed_change_start:
-            if self.behavior is LeadBehavior.DECELERATE and state.speed > self.target_speed:
-                accel = -self.speed_change_rate
-            elif self.behavior is LeadBehavior.ACCELERATE and state.speed < self.target_speed:
-                accel = self.speed_change_rate
-        state.accel = accel
-        state.speed = max(0.0, state.speed + accel * dt)
-        if self.behavior is LeadBehavior.DECELERATE:
-            state.speed = max(state.speed, self.target_speed)
-        elif self.behavior is LeadBehavior.ACCELERATE:
-            state.speed = min(state.speed, self.target_speed)
-        state.s += state.speed * dt
-        return state
 
 
 class FollowerVehicle:

@@ -14,9 +14,9 @@ occur even without attacks (Observation 1).
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
-from repro.sim.actors import FollowerVehicle, LeadVehicle
+from repro.sim.actors import FollowerVehicle, LeadVehicle, ScriptedVehicle
 from repro.sim.road import Road
 from repro.sim.vehicle import EgoVehicle
 
@@ -66,9 +66,24 @@ class CollisionDetector:
         ego: EgoVehicle,
         lead: Optional[LeadVehicle] = None,
         follower: Optional[FollowerVehicle] = None,
+        others: Sequence[ScriptedVehicle] = (),
     ) -> Optional[CollisionEvent]:
-        """Check for a new collision at ``time``; records and returns it."""
+        """Check for a new collision at ``time``; records and returns it.
+
+        ``others`` are further scripted vehicles (cut-in/cut-out traffic);
+        hitting one is classified A3 when it sits outside the ego lane
+        (neighbouring-lane traffic) and A1 when it blocks the ego lane.
+        ``lead`` entries in ``others`` are skipped, so callers may pass a
+        precomputed all-vehicles list every step.
+        """
         event = self._check_lead(time, ego, lead)
+        if event is None:
+            for other in others:
+                if other is lead:
+                    continue
+                event = self._check_other(time, ego, other)
+                if event is not None:
+                    break
         if event is None:
             event = self._check_roadside(time, ego)
         if event is None:
@@ -77,20 +92,44 @@ class CollisionDetector:
             self.events.append(event)
         return event
 
+    @staticmethod
+    def _bodies_overlap(ego: EgoVehicle, other: ScriptedVehicle) -> bool:
+        """Body-overlap predicate shared by every vehicle-vehicle check."""
+        return (
+            ego.front_s >= other.rear_s
+            and ego.rear_s <= other.front_s
+            and abs(ego.state.d - other.state.d) < (ego.params.width + other.width) / 2.0
+        )
+
     def _check_lead(
         self, time: float, ego: EgoVehicle, lead: Optional[LeadVehicle]
     ) -> Optional[CollisionEvent]:
-        if lead is None:
+        if lead is None or not self._bodies_overlap(ego, lead):
             return None
-        longitudinal_overlap = ego.front_s >= lead.rear_s and ego.rear_s <= lead.front_s
-        lateral_overlap = abs(ego.state.d - lead.state.d) < (ego.params.width + lead.width) / 2.0
-        if longitudinal_overlap and lateral_overlap:
-            return CollisionEvent(
-                AccidentType.LEAD_COLLISION,
-                time,
-                f"ego front bumper reached lead vehicle at s={ego.front_s:.1f} m",
-            )
-        return None
+        return CollisionEvent(
+            AccidentType.LEAD_COLLISION,
+            time,
+            f"ego front bumper reached lead vehicle at s={ego.front_s:.1f} m",
+        )
+
+    def _check_other(
+        self, time: float, ego: EgoVehicle, other: ScriptedVehicle
+    ) -> Optional[CollisionEvent]:
+        if not self._bodies_overlap(ego, other):
+            return None
+        # A vehicle counts as blocking the ego lane (A1) as soon as its
+        # body overlaps the lane — mid-merge cut-ins included — not only
+        # once its centre has crossed the lane line.
+        blocks_lane = (
+            abs(other.state.d) <= (self.road.spec.lane_width + other.width) / 2.0
+        )
+        accident = AccidentType.LEAD_COLLISION if blocks_lane else AccidentType.ROADSIDE_COLLISION
+        return CollisionEvent(
+            accident,
+            time,
+            f"ego collided with {other.kind} vehicle at s={ego.front_s:.1f} m "
+            f"(d={other.state.d:.2f} m)",
+        )
 
     def _check_roadside(self, time: float, ego: EgoVehicle) -> Optional[CollisionEvent]:
         if ego.right_edge <= self.road.right_guardrail:

@@ -1,7 +1,14 @@
-"""Driving scenarios S1–S4 from the paper's evaluation (Section IV-A).
+"""Declarative scenario specifications, and the paper's S1–S4.
 
-All four scenarios start with the ego vehicle cruising at 60 mph and a
-lead vehicle 50, 70 or 100 m ahead:
+This module owns the :class:`ScenarioSpec` data structure (the legacy name
+:class:`Scenario` is an alias) and the four fixed scenarios of the paper's
+evaluation (Section IV-A).  Everything *around* the specs — the named
+scenario catalog, parametric scenario families and the seeded sampler —
+lives in :mod:`repro.scenarios`; :func:`build_scenario` resolves any name
+registered there, so the legacy entry point reaches the whole catalog.
+
+All four paper scenarios start with the ego vehicle cruising at 60 mph and
+a lead vehicle 50, 70 or 100 m ahead:
 
 * **S1** — lead cruises at 35 mph.
 * **S2** — lead cruises at 50 mph.
@@ -12,25 +19,64 @@ lead vehicle 50, 70 or 100 m ahead:
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.sim.actors import LeadBehavior
+from repro.sim.actors import LaneChange, LeadBehavior, ManeuverPhase, behavior_profile
 from repro.sim.road import RoadSpec
 from repro.sim.units import mph_to_ms
 
 
 @dataclass(frozen=True)
-class Scenario:
+class ActorSpec:
+    """Declarative description of one scripted traffic vehicle.
+
+    Attributes:
+        kind: Role label (``"cut_in"``, ``"cut_out"``, ``"traffic"``, ...),
+            used in logs and the scenario-catalog table.
+        initial_gap: Bumper-to-bumper distance from the ego front bumper to
+            this vehicle's rear bumper at t=0, m (ahead of the ego).
+        initial_speed: Initial speed, m/s.
+        lane: Starting lane: 0 = ego lane, +1 = first lane to the left.
+        profile: Piecewise longitudinal maneuver profile.
+        lane_change: Optional scripted lateral maneuver (``target_d`` in
+            metres from the ego lane centreline, + left).
+        length / width: Body dimensions, m.
+    """
+
+    kind: str
+    initial_gap: float
+    initial_speed: float
+    lane: int = 0
+    profile: Tuple[ManeuverPhase, ...] = ()
+    lane_change: Optional[LaneChange] = None
+    length: float = 4.6
+    width: float = 1.8
+
+    def __post_init__(self):
+        if self.initial_gap <= 0:
+            raise ValueError("actor initial_gap must be positive (ahead of the ego)")
+        if self.initial_speed < 0:
+            raise ValueError("actor initial_speed must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
     """A fully parameterised driving scenario.
 
     Speeds are stored in m/s; use :func:`repro.sim.units.mph_to_ms` when
     constructing scenarios from the paper's mph figures.
+
+    The single-transition lead fields (``lead_behavior``,
+    ``lead_target_speed``, ...) describe the paper's S1–S4 maneuvers; a
+    non-empty ``lead_profile`` replaces them with an arbitrary piecewise
+    maneuver, and ``actors`` adds further scripted traffic (cut-in /
+    cut-out vehicles, stop-and-go traffic, ...).
     """
 
     name: str
     description: str
     ego_initial_speed: float
     cruise_speed: float
-    lead_initial_speed: float
-    lead_behavior: LeadBehavior
+    lead_initial_speed: Optional[float] = None
+    lead_behavior: LeadBehavior = LeadBehavior.CRUISE
     lead_target_speed: Optional[float] = None
     lead_speed_change_rate: float = 1.0
     lead_speed_change_start: float = 10.0
@@ -40,12 +86,62 @@ class Scenario:
     follower_gap: float = 45.0              # m behind the ego vehicle
     follower_speed: float = mph_to_ms(55.0)
     road: RoadSpec = RoadSpec()
+    # -- multi-actor / piecewise extensions (PR 2) -----------------------
+    with_lead: bool = True
+    lead_profile: Tuple[ManeuverPhase, ...] = ()
+    lead_lane_change: Optional[LaneChange] = None
+    actors: Tuple[ActorSpec, ...] = ()
+    follower_headway: float = 1.5           # s, follower's desired time headway
+    follower_reaction_delay: float = 1.2    # s, follower's perception delay
+    family: str = ""                        # parametric family name, "" for fixed scenarios
+    tags: Tuple[str, ...] = ()
 
-    def with_initial_distance(self, distance: float) -> "Scenario":
+    def __post_init__(self):
+        if self.with_lead:
+            if self.lead_initial_speed is None:
+                raise ValueError(
+                    f"scenario {self.name!r}: lead_initial_speed is required "
+                    "when with_lead=True (pass 0.0 explicitly for a stopped lead)"
+                )
+            if self.lead_initial_speed < 0:
+                raise ValueError("lead_initial_speed must be non-negative")
+        elif self.lead_initial_speed is None:
+            # Normalise so that equal no-lead scenarios compare equal.
+            object.__setattr__(self, "lead_initial_speed", 0.0)
+
+    def with_initial_distance(self, distance: float) -> "ScenarioSpec":
         """Return a copy of the scenario with a different initial gap."""
         if distance <= 0:
             raise ValueError("initial distance must be positive")
         return replace(self, initial_distance=distance)
+
+    def variant(self, **overrides) -> "ScenarioSpec":
+        """Return a copy with arbitrary field overrides."""
+        return replace(self, **overrides)
+
+    def lead_phases(self) -> Tuple[ManeuverPhase, ...]:
+        """The effective piecewise maneuver profile of the lead vehicle."""
+        if self.lead_profile:
+            return self.lead_profile
+        return behavior_profile(
+            self.lead_behavior,
+            self.lead_target_speed,
+            self.lead_speed_change_rate,
+            self.lead_speed_change_start,
+        )
+
+    def actor_kinds(self) -> Tuple[str, ...]:
+        """Role labels of every scripted vehicle in the scenario."""
+        kinds = ["lead"] if self.with_lead else []
+        kinds.extend(spec.kind for spec in self.actors)
+        if self.with_follower:
+            kinds.append("follower")
+        return tuple(kinds)
+
+
+#: Backwards-compatible name: scenarios have always been called
+#: ``Scenario`` in configs, tests and examples.
+Scenario = ScenarioSpec
 
 
 _EGO_SPEED = mph_to_ms(60.0)
@@ -95,11 +191,21 @@ SCENARIOS: Dict[str, Scenario] = {
 INITIAL_DISTANCES: Tuple[float, ...] = (50.0, 70.0, 100.0)
 
 
-def build_scenario(name: str, initial_distance: float = 70.0) -> Scenario:
-    """Look up scenario ``name`` (``"S1"``..``"S4"``) with the given gap."""
-    try:
+def build_scenario(name: str, initial_distance: Optional[float] = None) -> Scenario:
+    """Look up a scenario by name, with an optional initial-gap override.
+
+    Resolves S1–S4 and every scenario registered in the catalog
+    (:data:`repro.scenarios.CATALOG`).  The default ``None`` keeps the
+    scenario's own gap (70 m for the paper's S1–S4; catalog scenarios
+    carry gaps their multi-actor scripts are tuned to).
+    """
+    if name in SCENARIOS:
         base = SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(sorted(SCENARIOS))
-        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}") from None
-    return base.with_initial_distance(initial_distance)
+        if initial_distance is None:
+            return base
+        return base.with_initial_distance(initial_distance)
+    # Deferred import: repro.scenarios builds on this module.  The
+    # distance-override semantics live in ScenarioCatalog.build.
+    from repro.scenarios.catalog import CATALOG
+
+    return CATALOG.build(name, initial_distance)

@@ -25,7 +25,7 @@ from repro.can.frame import CANFrame
 from repro.can.honda import ADDR, HONDA_DBC
 from repro.messaging.bus import MessageBus
 from repro.messaging.messages import CarState
-from repro.sim.actors import FollowerVehicle, LeadVehicle
+from repro.sim.actors import FollowerVehicle, LeadVehicle, ScriptedVehicle
 from repro.sim.collision import CollisionDetector, CollisionEvent, LaneMonitor
 from repro.sim.road import Road
 from repro.sim.scenarios import Scenario
@@ -102,19 +102,56 @@ class World:
         # The paper quotes the gap as the distance to the lead vehicle, so
         # position the lead's rear bumper `initial_distance` ahead of the
         # ego front bumper.
-        self.lead: Optional[LeadVehicle] = LeadVehicle(
-            initial_s=self.ego.front_s + scenario.initial_distance + 4.6 / 2.0,
-            initial_speed=scenario.lead_initial_speed,
-            behavior=scenario.lead_behavior,
-            target_speed=scenario.lead_target_speed,
-            speed_change_rate=scenario.lead_speed_change_rate,
-            speed_change_start=scenario.lead_speed_change_start,
+        self.scenario_lead: Optional[LeadVehicle] = None
+        if scenario.with_lead:
+            self.scenario_lead = LeadVehicle(
+                initial_s=self.ego.front_s + scenario.initial_distance + 4.6 / 2.0,
+                initial_speed=scenario.lead_initial_speed,
+                behavior=scenario.lead_behavior,
+                target_speed=scenario.lead_target_speed,
+                speed_change_rate=scenario.lead_speed_change_rate,
+                speed_change_start=scenario.lead_speed_change_start,
+                # lead_phases() is the single place the profile-vs-behavior
+                # precedence is resolved; the behavior args above only feed
+                # the wrapper's legacy attributes.
+                profile=scenario.lead_phases(),
+                lane_change=scenario.lead_lane_change,
+            )
+        # Further scripted traffic (cut-in / cut-out vehicles, queues, ...).
+        lane_width = scenario.road.lane_width
+        self.scripted_actors: List[ScriptedVehicle] = [
+            ScriptedVehicle(
+                initial_s=self.ego.front_s + spec.initial_gap + spec.length / 2.0,
+                initial_speed=spec.initial_speed,
+                profile=spec.profile,
+                initial_d=spec.lane * lane_width,
+                lane_change=spec.lane_change,
+                length=spec.length,
+                width=spec.width,
+                kind=spec.kind,
+            )
+            for spec in scenario.actors
+        ]
+        # Lead selection only runs when an actor can enter or leave the ego
+        # lane; for single-lead scenarios (S1-S4) `self.lead` is pinned to
+        # the scenario lead and the step path is unchanged.
+        self._dynamic_lead = bool(self.scripted_actors) or (
+            scenario.lead_lane_change is not None
         )
+        self._half_lane = lane_width / 2.0
+        # All scripted traffic ahead of the ego, built once: the per-step
+        # lead selection and collision sweep iterate it without allocating.
+        self._traffic: List[ScriptedVehicle] = (
+            [] if self.scenario_lead is None else [self.scenario_lead]
+        ) + self.scripted_actors
+        self.lead: Optional[ScriptedVehicle] = self._select_lead()
         self.follower: Optional[FollowerVehicle] = None
         if scenario.with_follower:
             self.follower = FollowerVehicle(
                 initial_s=self.ego.rear_s - scenario.follower_gap,
                 initial_speed=scenario.follower_speed,
+                reaction_delay=scenario.follower_reaction_delay,
+                desired_headway=scenario.follower_headway,
             )
 
         rng = np.random.default_rng(config.seed)
@@ -140,6 +177,25 @@ class World:
         self._plan_steering_sensors = HONDA_DBC.plan_by_address(self._addr_steering_sensors)
         self._plan_steering_control = HONDA_DBC.plan_by_address(self._addr_steering_control)
         self._plan_acc_control = HONDA_DBC.plan_by_address(self._addr_acc_control)
+
+    def _select_lead(self) -> Optional[ScriptedVehicle]:
+        """The closest scripted vehicle ahead of the ego in the ego lane.
+
+        With no extra actors and a lane-keeping scenario lead this is the
+        scenario lead itself, unconditionally; the dynamic path handles
+        cut-ins becoming the lead and cut-outs revealing a new one.
+        """
+        if not self._dynamic_lead:
+            return self.scenario_lead
+        ego_s = self.ego.state.s
+        best: Optional[ScriptedVehicle] = None
+        for vehicle in self._traffic:
+            state = vehicle.state
+            if state.s < ego_s or abs(state.d) > self._half_lane:
+                continue
+            if best is None or state.s < best.state.s:
+                best = vehicle
+        return best
 
     def disturbance_curvature(self, time: float) -> float:
         """Environmental lateral disturbance (road crown / crosswind), 1/m."""
@@ -265,8 +321,12 @@ class World:
         self._last_command = command
 
         self.ego.step(command, DT, disturbance_curvature=self.disturbance_curvature(self.time))
-        if self.lead is not None:
-            self.lead.step(self.time, DT)
+        if self.scenario_lead is not None:
+            self.scenario_lead.step(self.time, DT)
+        for actor in self.scripted_actors:
+            actor.step(self.time, DT)
+        if self._dynamic_lead:
+            self.lead = self._select_lead()
         if self.follower is not None:
             self.follower.step(self.time, self.ego.rear_s, self.ego.state.speed, DT)
 
@@ -274,7 +334,15 @@ class World:
         self.step_count += 1
 
         self.lane_monitor.check(self.time, self.ego)
-        collision = self.collision_detector.check(self.time, self.ego, self.lead, self.follower)
+        # The detector skips the tracked lead inside `others`, so the
+        # precomputed traffic list is passed as-is (no per-step rebuild).
+        collision = self.collision_detector.check(
+            self.time,
+            self.ego,
+            self.lead,
+            self.follower,
+            others=self._traffic if self._dynamic_lead else (),
+        )
 
         if self.config.record_trajectory and self.step_count % self.config.trajectory_decimation == 0:
             # Cartesian coordinates are filled in lazily by the analysis

@@ -48,3 +48,11 @@ class TestExamples:
         output = capsys.readouterr().out
         assert "Lane invasions" in output
         assert "Figure 7" in output
+
+    def test_scenario_catalog_example_runs(self, capsys):
+        load_example("scenario_catalog.py").main()
+        output = capsys.readouterr().out
+        assert "Scenario catalog" in output
+        assert "cut-in-short-gap" in output
+        assert "Sampled parametric variants" in output
+        assert "hazard-free" in output

@@ -1,8 +1,16 @@
-"""Tests for the lead and follower vehicles."""
+"""Tests for the lead, follower and phase-scripted vehicles."""
 
 import pytest
 
-from repro.sim.actors import FollowerVehicle, LeadBehavior, LeadVehicle
+from repro.sim.actors import (
+    FollowerVehicle,
+    LaneChange,
+    LeadBehavior,
+    LeadVehicle,
+    ManeuverPhase,
+    ScriptedVehicle,
+    behavior_profile,
+)
 
 
 class TestLeadVehicle:
@@ -103,3 +111,122 @@ class TestFollowerVehicle:
                 collided = True
                 break
         assert collided
+
+
+class TestScriptedVehicle:
+    def test_empty_profile_cruises(self):
+        vehicle = ScriptedVehicle(initial_s=10.0, initial_speed=20.0)
+        for step in range(300):
+            vehicle.step(time=step * 0.01)
+        assert vehicle.state.speed == pytest.approx(20.0)
+        assert vehicle.state.s == pytest.approx(10.0 + 20.0 * 3.0, rel=0.01)
+
+    def test_multi_phase_stop_and_go(self):
+        vehicle = ScriptedVehicle(
+            initial_s=0.0,
+            initial_speed=15.0,
+            profile=(
+                ManeuverPhase(start_time=1.0, target_speed=2.0, rate=2.0),
+                ManeuverPhase(start_time=12.0, target_speed=15.0, rate=2.0),
+            ),
+        )
+        speeds = {}
+        for step in range(2200):
+            time = step * 0.01
+            vehicle.step(time)
+            speeds[round(time, 2)] = vehicle.state.speed
+        assert speeds[10.0] == pytest.approx(2.0)      # braked to the crawl
+        assert speeds[21.99] == pytest.approx(15.0)    # recovered
+        assert min(speeds.values()) >= 2.0 - 1e-9
+
+    def test_phases_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            ScriptedVehicle(
+                0.0,
+                10.0,
+                profile=(
+                    ManeuverPhase(start_time=5.0, target_speed=1.0),
+                    ManeuverPhase(start_time=2.0, target_speed=3.0),
+                ),
+            )
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            ManeuverPhase(start_time=0.0, target_speed=1.0, rate=0.0)
+        with pytest.raises(ValueError):
+            ManeuverPhase(start_time=0.0, target_speed=-1.0)
+        with pytest.raises(ValueError):
+            LaneChange(start_time=0.0, target_d=0.0, duration=0.0)
+
+    def test_lane_change_reaches_target_smoothly(self):
+        vehicle = ScriptedVehicle(
+            initial_s=0.0,
+            initial_speed=20.0,
+            initial_d=3.6,
+            lane_change=LaneChange(start_time=2.0, target_d=0.0, duration=3.0),
+        )
+        max_step = 0.0
+        previous_d = vehicle.state.d
+        for step in range(800):
+            time = step * 0.01
+            vehicle.step(time)
+            max_step = max(max_step, abs(vehicle.state.d - previous_d))
+            previous_d = vehicle.state.d
+        assert vehicle.state.d == pytest.approx(0.0, abs=1e-9)
+        # Cosine blend: no lateral jump larger than ~2 cm per 10 ms step.
+        assert max_step < 0.02
+
+    def test_lane_change_holds_before_start(self):
+        vehicle = ScriptedVehicle(
+            0.0, 20.0, initial_d=3.6,
+            lane_change=LaneChange(start_time=5.0, target_d=0.0, duration=2.0),
+        )
+        for step in range(400):
+            vehicle.step(step * 0.01)
+        assert vehicle.state.d == pytest.approx(3.6)
+
+
+class TestBehaviorProfileEquivalence:
+    """The legacy enum construction and an explicit one-phase profile must
+    produce bit-identical trajectories (the S1-S4 compatibility guarantee)."""
+
+    @pytest.mark.parametrize(
+        "behavior,initial,target",
+        [
+            (LeadBehavior.CRUISE, 20.0, None),
+            (LeadBehavior.DECELERATE, 22.352, 15.6464),
+            (LeadBehavior.ACCELERATE, 15.6464, 22.352),
+        ],
+    )
+    def test_enum_and_profile_step_identically(self, behavior, initial, target):
+        legacy = LeadVehicle(
+            initial_s=50.0,
+            initial_speed=initial,
+            behavior=behavior,
+            target_speed=target,
+            speed_change_rate=1.0,
+            speed_change_start=12.0,
+        )
+        phased = ScriptedVehicle(
+            initial_s=50.0,
+            initial_speed=initial,
+            profile=behavior_profile(behavior, target, 1.0, 12.0),
+        )
+        for step in range(5000):
+            time = step * 0.01
+            legacy.step(time)
+            phased.step(time)
+            assert legacy.state.speed == phased.state.speed  # bitwise
+            assert legacy.state.s == phased.state.s
+            assert legacy.state.accel == phased.state.accel
+
+    def test_lead_vehicle_exposes_legacy_attributes(self):
+        lead = LeadVehicle(0.0, 20.0, behavior=LeadBehavior.DECELERATE, target_speed=10.0)
+        assert lead.behavior is LeadBehavior.DECELERATE
+        assert lead.target_speed == 10.0
+        assert lead.kind == "lead"
+        assert len(lead.profile) == 1
+
+    def test_missing_target_speed_still_rejected_via_profile_path(self):
+        with pytest.raises(ValueError):
+            behavior_profile(LeadBehavior.ACCELERATE, None)

@@ -39,6 +39,31 @@ class TestExperimentScale:
         monkeypatch.setenv("REPRO_FULL_SCALE", "0")
         assert ExperimentScale.from_environment().repetitions == ExperimentScale().repetitions
 
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", "2", "banana", "full", " true "])
+    def test_environment_unexpected_values_fall_back_to_default(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL_SCALE", value)
+        assert ExperimentScale.from_environment() == ExperimentScale()
+        custom = ExperimentScale.smoke()
+        assert ExperimentScale.from_environment(custom) is custom
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "TRUE", "Yes"])
+    def test_environment_truthy_values_select_full_scale(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_FULL_SCALE", value)
+        assert ExperimentScale.from_environment() == ExperimentScale.full()
+
+    def test_environment_default_none_is_accepted(self, monkeypatch):
+        # Regression: the parameter is Optional; passing/omitting None must
+        # produce the laptop-sized grid, not a type error downstream.
+        monkeypatch.delenv("REPRO_FULL_SCALE", raising=False)
+        assert ExperimentScale.from_environment(None) == ExperimentScale()
+
+    def test_extended_scale_covers_the_catalog(self):
+        from repro.scenarios import CATALOG
+
+        extended = ExperimentScale.extended()
+        assert set(extended.scenarios) == set(CATALOG.names())
+        assert extended.initial_distances == (None,)
+
 
 def run_result(hazards=None, invasions=0, **kwargs):
     defaults = dict(scenario="S1", initial_distance=70.0, attack_type=None,

@@ -1,0 +1,110 @@
+"""Tests for the scenario catalog (repro.scenarios.catalog)."""
+
+import pickle
+
+import pytest
+
+from repro.scenarios import CATALOG, PAPER_SCENARIOS, ScenarioCatalog, ScenarioSpec
+from repro.sim.scenarios import SCENARIOS, build_scenario
+from repro.sim.units import mph_to_ms
+
+
+class TestCatalogContents:
+    def test_catalog_has_at_least_twelve_scenarios(self):
+        assert len(CATALOG) >= 12
+
+    def test_paper_scenarios_come_first_and_are_the_legacy_objects(self):
+        names = CATALOG.names()
+        assert names[:4] == PAPER_SCENARIOS == ("S1", "S2", "S3", "S4")
+        for name in PAPER_SCENARIOS:
+            # The very same objects: the legacy SCENARIOS table is the
+            # source, so S1-S4 cannot drift from the paper's definitions.
+            assert CATALOG.get(name) is SCENARIOS[name]
+
+    def test_at_least_eight_non_paper_scenarios(self):
+        extra = [spec for spec in CATALOG if spec.name not in PAPER_SCENARIOS]
+        assert len(extra) >= 8
+
+    def test_names_are_unique_and_match_spec_names(self):
+        names = CATALOG.names()
+        assert len(set(names)) == len(names)
+        for spec in CATALOG:
+            assert CATALOG.get(spec.name) is spec
+
+    def test_catalog_covers_multi_actor_and_road_geometry(self):
+        kinds = set()
+        curved = 0
+        for spec in CATALOG:
+            kinds.update(actor.kind for actor in spec.actors)
+            if spec.road.curvature_max != 0.0 and spec.road.curve_start < 150.0:
+                curved += 1
+        assert "cut_in" in kinds
+        assert curved >= 1
+        assert any(spec.lead_lane_change is not None for spec in CATALOG)
+        assert any(not spec.with_lead for spec in CATALOG)
+        assert any(len(spec.lead_phases()) >= 2 for spec in CATALOG)
+
+    def test_specs_are_picklable(self):
+        for spec in CATALOG:
+            clone = pickle.loads(pickle.dumps(spec))
+            assert clone == spec
+
+
+class TestCatalogLookup:
+    def test_get_unknown_raises_keyerror_with_known_names(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            CATALOG.get("S9")
+
+    def test_build_applies_distance_override(self):
+        spec = CATALOG.build("lead-hard-brake", initial_distance=95.0)
+        assert spec.initial_distance == 95.0
+        assert CATALOG.get("lead-hard-brake").initial_distance != 95.0
+
+    def test_build_without_distance_keeps_catalog_gap(self):
+        spec = CATALOG.build("traffic-jam-approach")
+        assert spec is CATALOG.get("traffic-jam-approach")
+
+    def test_legacy_build_scenario_resolves_catalog_names(self):
+        spec = build_scenario("cut-in-short-gap", initial_distance=None)
+        assert spec.name == "cut-in-short-gap"
+        spec = build_scenario("oscillating-lead", 90.0)
+        assert spec.initial_distance == 90.0
+
+    def test_omitted_lead_speed_fails_loudly(self):
+        with pytest.raises(ValueError, match="lead_initial_speed is required"):
+            ScenarioSpec(
+                name="missing-lead-speed",
+                description="",
+                ego_initial_speed=mph_to_ms(60.0),
+                cruise_speed=mph_to_ms(60.0),
+            )
+
+    def test_register_rejects_duplicates(self):
+        catalog = ScenarioCatalog()
+        spec = ScenarioSpec(
+            name="dup",
+            description="",
+            ego_initial_speed=mph_to_ms(60.0),
+            cruise_speed=mph_to_ms(60.0),
+            with_lead=False,
+        )
+        catalog.register(spec)
+        with pytest.raises(ValueError, match="already registered"):
+            catalog.register(spec)
+        catalog.register(spec.variant(description="v2"), replace_existing=True)
+        assert catalog.get("dup").description == "v2"
+
+
+class TestCatalogTable:
+    def test_table_rows_cover_every_scenario(self):
+        rows = CATALOG.table_rows()
+        assert len(rows) == len(CATALOG)
+        names = [row[0] for row in rows]
+        assert names == list(CATALOG.names())
+
+    def test_table_reports_actors_and_geometry(self):
+        rows = {row[0]: row for row in CATALOG.table_rows()}
+        assert "cut_in" in rows["cut-in-short-gap"][1]
+        # The paper's road curves left at s=150 m; the variant starts earlier.
+        assert "s=150" in rows["S1"][3]
+        assert "s=60" in rows["curved-road-cruise"][3]
