@@ -1,0 +1,68 @@
+"""Perf-regression gate for CI.
+
+Compares a freshly measured ``BENCH_throughput.json`` against the
+baseline committed in the repository and fails (exit code 1) when the
+single-run step throughput regressed more than the allowed fraction::
+
+    PYTHONPATH=src python benchmarks/check_regression.py \
+        --baseline /tmp/bench_baseline.json \
+        --current BENCH_throughput.json \
+        --max-regression 0.20
+
+CI runners are noisy, so the gate only guards the single-run steps/s
+number (the campaign rate divides out the same way) with a generous
+threshold: it exists to catch order-of-magnitude mistakes (an accidental
+de-optimisation of the hot loop), not 5 % jitter.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="committed BENCH_throughput.json")
+    parser.add_argument("--current", required=True, help="freshly measured BENCH_throughput.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="maximum allowed fractional drop in single-run steps/s (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as handle:
+        baseline = json.load(handle)
+    with open(args.current) as handle:
+        current = json.load(handle)
+
+    key = "single_run_steps_per_second"
+    try:
+        baseline_rate = float(baseline["measurements"][key])
+    except (KeyError, TypeError, ValueError):
+        print(f"baseline has no {key} measurement; nothing to compare against")
+        return 0
+    try:
+        current_rate = float(current["measurements"][key])
+    except (KeyError, TypeError, ValueError):
+        print(f"current run produced no {key} measurement")
+        return 1
+
+    change = (current_rate - baseline_rate) / baseline_rate
+    print(
+        f"single-run throughput: baseline {baseline_rate:.0f} steps/s, "
+        f"current {current_rate:.0f} steps/s ({change:+.1%})"
+    )
+    if change < -args.max_regression:
+        print(
+            f"FAIL: regression beyond the allowed {args.max_regression:.0%} "
+            "(see benchmarks/test_bench_throughput.py)"
+        )
+        return 1
+    print("OK: within the allowed envelope")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

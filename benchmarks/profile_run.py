@@ -1,0 +1,72 @@
+"""cProfile helper: where does a simulation run spend its time?
+
+Profiles one attack-free and one attacked run through the kernel step
+pipeline and prints the top cumulative functions of each, so the next
+performance PR starts from data instead of guesses::
+
+    PYTHONPATH=src python benchmarks/profile_run.py
+    PYTHONPATH=src python benchmarks/profile_run.py --steps 2000 --top 30
+
+The attacked run uses the paper's S1/70 m with a Context-Aware
+Deceleration attack (driver engagement, corruption and the eavesdropper
+all on the profile).
+"""
+
+import argparse
+import cProfile
+import pstats
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import strategy_by_name
+from repro.injection.engine import SimulationConfig, run_simulation
+
+
+def profile_once(label: str, config: SimulationConfig, strategy_name=None, top: int = 20) -> None:
+    strategy = strategy_by_name(strategy_name) if strategy_name else None
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = run_simulation(config, strategy)
+    profiler.disable()
+    print(f"\n=== {label} ===")
+    print(
+        f"duration {result.duration:.1f} s, hazards {sorted(result.hazards)}, "
+        f"accidents {sorted(result.accidents)}, driver engaged: {result.driver_engaged}"
+    )
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--steps", type=int, default=5000, help="control steps per run")
+    parser.add_argument("--top", type=int, default=20, help="rows of profile output per run")
+    parser.add_argument("--scenario", default="S1", help="scenario name (catalog)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    profile_once(
+        f"attack-free {args.scenario}",
+        SimulationConfig(
+            scenario=args.scenario,
+            initial_distance=70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None,
+            seed=args.seed,
+            max_steps=args.steps,
+        ),
+        top=args.top,
+    )
+    profile_once(
+        f"attacked {args.scenario} (Context-Aware Deceleration)",
+        SimulationConfig(
+            scenario=args.scenario,
+            initial_distance=70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None,
+            seed=args.seed,
+            attack_type=AttackType.DECELERATION,
+            max_steps=args.steps,
+        ),
+        strategy_name="Context-Aware",
+        top=args.top,
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -18,13 +18,20 @@ from repro.sim.units import clamp, rad_to_deg
 from repro.sim.vehicle import VehicleParams
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LateralPlan:
-    """Output of the lateral planner/controller for one control cycle."""
+    """Output of the lateral planner/controller for one control cycle.
 
-    desired_curvature: float        # 1/m, + = left
-    desired_steering_deg: float     # steering wheel angle demanded by the controller
-    output_steering_deg: float      # rate-limited command actually emitted
+    The kernel's step pipeline reuses one instance per simulation
+    (:meth:`LateralPlanner.update_into` overwrites every field each
+    cycle), so the dataclass is mutable with ``slots``; treat instances
+    returned by the public :meth:`LateralPlanner.update` as immutable
+    snapshots.
+    """
+
+    desired_curvature: float = 0.0  # 1/m, + = left
+    desired_steering_deg: float = 0.0  # steering wheel angle demanded by the controller
+    output_steering_deg: float = 0.0   # rate-limited command actually emitted
     saturated: bool = False         # demand persistently exceeds actuation authority
 
 
@@ -61,6 +68,12 @@ class LateralPlanner:
 
     def update(self, car_state: CarState, model: ModelV2) -> LateralPlan:
         """Compute the steering command for the current cycle."""
+        plan = LateralPlan()
+        self.update_into(plan, car_state, model)
+        return plan
+
+    def update_into(self, plan: LateralPlan, car_state: CarState, model: ModelV2) -> LateralPlan:
+        """Compute the plan in place, overwriting every field of ``plan``."""
         params = self.params
 
         # Lateral error: the model reports the vehicle's offset from the lane
@@ -97,11 +110,9 @@ class LateralPlanner:
             self._saturated_count += 1
         else:
             self._saturated_count = 0
-        saturated = self._saturated_count >= params.saturation_frames
 
-        return LateralPlan(
-            desired_curvature=desired_curvature,
-            desired_steering_deg=desired_steering_deg,
-            output_steering_deg=output_steering_deg,
-            saturated=saturated,
-        )
+        plan.desired_curvature = desired_curvature
+        plan.desired_steering_deg = desired_steering_deg
+        plan.output_steering_deg = output_steering_deg
+        plan.saturated = self._saturated_count >= params.saturation_frames
+        return plan

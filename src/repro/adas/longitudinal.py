@@ -17,12 +17,19 @@ from repro.messaging.messages import CarState, RadarState
 from repro.sim.units import clamp
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class LongitudinalPlan:
-    """Output of the longitudinal planner for one control cycle."""
+    """Output of the longitudinal planner for one control cycle.
 
-    desired_accel: float            # m/s^2, after planner limits
-    v_target: float                 # m/s
+    The kernel's step pipeline reuses one instance per simulation
+    (:meth:`LongitudinalPlanner.update_into` overwrites every field each
+    cycle), so the dataclass is mutable with ``slots``; treat instances
+    returned by the public :meth:`LongitudinalPlanner.update` as
+    immutable snapshots.
+    """
+
+    desired_accel: float = 0.0      # m/s^2, after planner limits
+    v_target: float = 0.0           # m/s
     has_lead: bool = False
     lead_distance: float = float("inf")
     lead_speed: float = 0.0
@@ -50,6 +57,14 @@ class LongitudinalPlanner:
 
     def update(self, car_state: CarState, radar: Optional[RadarState]) -> LongitudinalPlan:
         """Compute the longitudinal plan for the current cycle."""
+        plan = LongitudinalPlan()
+        self.update_into(plan, car_state, radar)
+        return plan
+
+    def update_into(
+        self, plan: LongitudinalPlan, car_state: CarState, radar: Optional[RadarState]
+    ) -> LongitudinalPlan:
+        """Compute the plan in place, overwriting every field of ``plan``."""
         params = self.params
         v_ego = car_state.v_ego
         v_cruise = car_state.cruise_speed
@@ -58,10 +73,16 @@ class LongitudinalPlanner:
 
         lead = radar.lead_one if radar is not None else None
         if lead is None or not lead.status:
-            desired = clamp(
+            plan.desired_accel = clamp(
                 cruise_accel, params.planner_limits.brake_min, params.planner_limits.accel_max
             )
-            return LongitudinalPlan(desired_accel=desired, v_target=v_cruise, has_lead=False)
+            plan.v_target = v_cruise
+            plan.has_lead = False
+            plan.lead_distance = float("inf")
+            plan.lead_speed = 0.0
+            plan.time_to_collision = float("inf")
+            plan.required_decel = 0.0
+            return plan
 
         gap = max(0.0, lead.d_rel)
         v_lead = max(0.0, v_ego + lead.v_rel)
@@ -78,12 +99,11 @@ class LongitudinalPlanner:
             effective_gap = max(gap - params.standstill_distance / 2.0, 0.5)
             required_decel = closing_speed ** 2 / (2.0 * effective_gap)
 
-        return LongitudinalPlan(
-            desired_accel=desired,
-            v_target=min(v_cruise, v_lead) if gap < desired_gap else v_cruise,
-            has_lead=True,
-            lead_distance=gap,
-            lead_speed=v_lead,
-            time_to_collision=ttc,
-            required_decel=required_decel,
-        )
+        plan.desired_accel = desired
+        plan.v_target = min(v_cruise, v_lead) if gap < desired_gap else v_cruise
+        plan.has_lead = True
+        plan.lead_distance = gap
+        plan.lead_speed = v_lead
+        plan.time_to_collision = ttc
+        plan.required_decel = required_decel
+        return plan

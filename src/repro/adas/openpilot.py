@@ -82,12 +82,23 @@ class OpenPilot:
         self._output_hooks: List[OutputHook] = []
         self._engaged = True
         self._can_counter = 0
-        self._previous_command = ActuatorCommand()
+        # Steering angle of the previously *commanded* frame (the output
+        # rate limit is applied against it).  A plain float rather than a
+        # retained ActuatorCommand so the kernel can reuse one command
+        # object per cycle without aliasing the history.
+        self._previous_steering_deg = 0.0
         # Compiled codec plans for the two command frames sent every cycle.
         self._addr_steering_control = ADDR["STEERING_CONTROL"]
         self._addr_acc_control = ADDR["ACC_CONTROL"]
         self._plan_steering_control = HONDA_DBC.plan_by_address(self._addr_steering_control)
         self._plan_acc_control = HONDA_DBC.plan_by_address(self._addr_acc_control)
+        # Reused 100 Hz payloads: bus payloads are shared and treated as
+        # immutable by subscribers (see repro.messaging.messages), so the
+        # publisher refreshes one instance per service instead of
+        # constructing a new payload every cycle.
+        self._actuators = Actuators()
+        self._car_control = CarControl(actuators=self._actuators)
+        self._controls_state = ControlsState()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -115,7 +126,71 @@ class OpenPilot:
     # -- control cycle -----------------------------------------------------
 
     def step(self, time: float, car_state: CarState, dt: float = 0.01) -> ControlCycleResult:
-        """Run one 10 ms control cycle and send commands on the CAN bus."""
+        """Run one 10 ms control cycle and send commands on the CAN bus.
+
+        Public allocating API: builds fresh plan and command objects each
+        call.  The kernel's step pipeline uses :meth:`plan_into` /
+        :meth:`inject_into` instead, which reuse the objects preallocated
+        on the :class:`~repro.kernel.context.StepContext`.
+        """
+        long_plan = LongitudinalPlan()
+        lat_plan = LateralPlan()
+        pre_hook = ActuatorCommand()
+        self._plan_cycle(time, car_state, dt, long_plan, lat_plan, pre_hook)
+        command = ActuatorCommand(
+            accel=pre_hook.accel,
+            brake=pre_hook.brake,
+            steering_angle_deg=pre_hook.steering_angle_deg,
+        )
+        command, new_alerts = self._emit_cycle(time, car_state, long_plan, lat_plan, command)
+        return ControlCycleResult(
+            command=command,
+            pre_hook_command=pre_hook,
+            long_plan=long_plan,
+            lat_plan=lat_plan,
+            new_alerts=new_alerts,
+            engaged=self._engaged,
+        )
+
+    # -- kernel pipeline entry points --------------------------------------
+
+    def plan_into(self, ctx) -> None:
+        """Plan stage: perception, planners and output limits, in place."""
+        self._plan_cycle(
+            ctx.time, ctx.car_state, ctx.dt, ctx.long_plan, ctx.lat_plan, ctx.pre_hook_command
+        )
+
+    def inject_into(self, ctx) -> None:
+        """Inject stage: output hooks, alerts, publications, actuator CAN.
+
+        The final (possibly corrupted) command always lands in
+        ``ctx.adas_command``, whatever object the hooks returned.
+        """
+        cmd = ctx.adas_command
+        pre = ctx.pre_hook_command
+        cmd.accel = pre.accel
+        cmd.brake = pre.brake
+        cmd.steering_angle_deg = pre.steering_angle_deg
+        final, _ = self._emit_cycle(
+            ctx.time, ctx.car_state, ctx.long_plan, ctx.lat_plan, cmd
+        )
+        if final is not cmd:
+            cmd.accel = final.accel
+            cmd.brake = final.brake
+            cmd.steering_angle_deg = final.steering_angle_deg
+
+    # -- cycle internals ---------------------------------------------------
+
+    def _plan_cycle(
+        self,
+        time: float,
+        car_state: CarState,
+        dt: float,
+        long_plan: LongitudinalPlan,
+        lat_plan: LateralPlan,
+        pre_hook: ActuatorCommand,
+    ) -> None:
+        """Perception + planning half of the cycle, writing into the given objects."""
         self.sub_master.update()
         model = self.sub_master["modelV2"]
         radar = self.sub_master["radarState"]
@@ -124,36 +199,40 @@ class OpenPilot:
         self.pub_master.send("driverMonitoringState", dm_state)
         self.pub_master.send("carState", car_state)
 
-        long_plan = self.long_planner.update(car_state, radar)
+        self.long_planner.update_into(long_plan, car_state, radar)
         if model is not None:
-            lat_plan = self.lat_planner.update(car_state, model)
+            self.lat_planner.update_into(lat_plan, car_state, model)
         else:
-            lat_plan = LateralPlan(
-                desired_curvature=0.0,
-                desired_steering_deg=car_state.steering_angle_deg,
-                output_steering_deg=car_state.steering_angle_deg,
-                saturated=False,
-            )
+            lat_plan.desired_curvature = 0.0
+            lat_plan.desired_steering_deg = car_state.steering_angle_deg
+            lat_plan.output_steering_deg = car_state.steering_angle_deg
+            lat_plan.saturated = False
 
         # Split planner acceleration into gas / brake channels and apply the
         # output-stage safety limits.
         limits = self.config.output_limits
         desired_accel = clamp(long_plan.desired_accel, limits.brake_min, limits.accel_max)
-        accel_cmd = max(0.0, desired_accel)
-        brake_cmd = max(0.0, -desired_accel)
+        pre_hook.accel = max(0.0, desired_accel)
+        pre_hook.brake = max(0.0, -desired_accel)
 
-        steer_delta = lat_plan.output_steering_deg - self._previous_command.steering_angle_deg
-        steer_cmd = self._previous_command.steering_angle_deg + limits.clamp_steer_delta(steer_delta)
-
-        pre_hook = ActuatorCommand(
-            accel=accel_cmd, brake=brake_cmd, steering_angle_deg=steer_cmd
+        steer_delta = lat_plan.output_steering_deg - self._previous_steering_deg
+        pre_hook.steering_angle_deg = self._previous_steering_deg + limits.clamp_steer_delta(
+            steer_delta
         )
 
-        command = ActuatorCommand(
-            accel=pre_hook.accel,
-            brake=pre_hook.brake,
-            steering_angle_deg=pre_hook.steering_angle_deg,
-        )
+    def _emit_cycle(
+        self,
+        time: float,
+        car_state: CarState,
+        long_plan: LongitudinalPlan,
+        lat_plan: LateralPlan,
+        command: ActuatorCommand,
+    ) -> "tuple[ActuatorCommand, List[Alert]]":
+        """Hooks + alerts + publications + CAN half of the cycle.
+
+        Returns the final command (hooks may substitute a new object) and
+        the newly raised alerts.
+        """
         if self._engaged:
             for hook in self._output_hooks:
                 command = hook(time, command, car_state)
@@ -168,13 +247,14 @@ class OpenPilot:
         for alert in new_alerts:
             self.pub_master.send("alertEvent", alert.to_event())
 
-        actuators = Actuators(
-            accel=command.accel,
-            brake=-command.brake,
-            steering_angle_deg=command.steering_angle_deg,
-            steer_torque=clamp(command.steering_angle_deg / 100.0, -1.0, 1.0),
-        )
-        self.pub_master.send("carControl", CarControl(enabled=self._engaged, actuators=actuators))
+        actuators = self._actuators
+        actuators.accel = command.accel
+        actuators.brake = -command.brake
+        actuators.steering_angle_deg = command.steering_angle_deg
+        actuators.steer_torque = clamp(command.steering_angle_deg / 100.0, -1.0, 1.0)
+        car_control = self._car_control
+        car_control.enabled = self._engaged
+        self.pub_master.send("carControl", car_control)
         if new_alerts:
             fcw = any(alert.name == "fcw" for alert in new_alerts)
             alert_text = new_alerts[-1].text
@@ -187,35 +267,25 @@ class OpenPilot:
             alert_text = ""
             alert_type = ""
             alert_status = "normal"
-        self.pub_master.send(
-            "controlsState",
-            ControlsState(
-                enabled=True,
-                active=self._engaged,
-                v_cruise=car_state.cruise_speed,
-                v_target=long_plan.v_target,
-                a_target=long_plan.desired_accel,
-                curvature=lat_plan.desired_curvature,
-                steer_saturated=lat_plan.saturated,
-                fcw=fcw,
-                alert_text=alert_text,
-                alert_type=alert_type,
-                alert_status=alert_status,
-            ),
-        )
+        controls_state = self._controls_state
+        controls_state.enabled = True
+        controls_state.active = self._engaged
+        controls_state.v_cruise = car_state.cruise_speed
+        controls_state.v_target = long_plan.v_target
+        controls_state.a_target = long_plan.desired_accel
+        controls_state.curvature = lat_plan.desired_curvature
+        controls_state.steer_saturated = lat_plan.saturated
+        controls_state.fcw = fcw
+        controls_state.alert_text = alert_text
+        controls_state.alert_type = alert_type
+        controls_state.alert_status = alert_status
+        self.pub_master.send("controlsState", controls_state)
 
         if self._engaged:
             self._send_can(time, command)
-            self._previous_command = command
+            self._previous_steering_deg = command.steering_angle_deg
 
-        return ControlCycleResult(
-            command=command,
-            pre_hook_command=pre_hook,
-            long_plan=long_plan,
-            lat_plan=lat_plan,
-            new_alerts=new_alerts,
-            engaged=self._engaged,
-        )
+        return command, new_alerts
 
     def _send_can(self, time: float, command: ActuatorCommand) -> None:
         """Encode and send the actuator command frames on the CAN bus."""

@@ -84,52 +84,98 @@ class HazardMonitor:
 
     def check(self, world: World) -> List[HazardEvent]:
         """Evaluate hazard conditions on the current world state."""
-        new_events: List[HazardEvent] = []
-        time = world.time
         ego = world.ego
+        lead = world.lead
+        if lead is not None:
+            lead_gap = lead.rear_s - ego.front_s
+            lead_d = lead.state.d
+        else:
+            lead_gap = 0.0
+            lead_d = 0.0
+        road = world.road
+        return self._evaluate(
+            world.time,
+            ego.state.speed,
+            ego.state.d,
+            lead is not None,
+            lead_gap,
+            lead_d,
+            road.left_lane_line,
+            road.right_lane_line,
+        )
+
+    def check_context(self, ctx) -> List[HazardEvent]:
+        """Evaluate hazards on a kernel StepContext's precomputed kinematics.
+
+        Same semantics as :meth:`check`, but reads the ego/lead kinematics
+        the actuate stage already derived instead of walking the
+        ``world.ego.state`` property chains again.
+        """
+        has_lead = ctx.lead is not None
+        return self._evaluate(
+            ctx.end_time,
+            ctx.ego_speed,
+            ctx.ego_d,
+            has_lead,
+            ctx.lead_gap if has_lead else 0.0,
+            ctx.lead_d,
+            ctx.road_left_lane_line,
+            ctx.road_right_lane_line,
+        )
+
+    def _evaluate(
+        self,
+        time: float,
+        ego_speed: float,
+        ego_d: float,
+        has_lead: bool,
+        lead_gap: float,
+        lead_d: float,
+        left_lane_line: float,
+        right_lane_line: float,
+    ) -> List[HazardEvent]:
+        new_events: List[HazardEvent] = []
         params = self.params
 
         # H1: unsafe following distance.
-        if HazardType.UNSAFE_FOLLOWING_DISTANCE not in self.events and world.lead is not None:
-            gap = world.lead.rear_s - ego.front_s
-            threshold = max(params.h1_min_gap, params.h1_headway * ego.state.speed)
-            same_lane = abs(world.lead.state.d - ego.state.d) < 2.0
-            if same_lane and gap < threshold:
+        if HazardType.UNSAFE_FOLLOWING_DISTANCE not in self.events and has_lead:
+            threshold = max(params.h1_min_gap, params.h1_headway * ego_speed)
+            same_lane = abs(lead_d - ego_d) < 2.0
+            if same_lane and lead_gap < threshold:
                 new_events.append(
                     HazardEvent(
                         HazardType.UNSAFE_FOLLOWING_DISTANCE,
                         time,
-                        f"gap {gap:.1f} m below safe distance {threshold:.1f} m",
+                        f"gap {lead_gap:.1f} m below safe distance {threshold:.1f} m",
                     )
                 )
 
         # H2: unnecessary slow-down / stop with no lead nearby.
         if HazardType.UNNECESSARY_STOP not in self.events and time >= params.h2_warmup:
             lead_far = True
-            if world.lead is not None:
-                lead_far = (world.lead.rear_s - ego.front_s) > params.h2_clear_distance
-            if lead_far and ego.state.speed < params.h2_speed_floor:
+            if has_lead:
+                lead_far = lead_gap > params.h2_clear_distance
+            if lead_far and ego_speed < params.h2_speed_floor:
                 new_events.append(
                     HazardEvent(
                         HazardType.UNNECESSARY_STOP,
                         time,
-                        f"speed {ego.state.speed:.1f} m/s with no lead within "
+                        f"speed {ego_speed:.1f} m/s with no lead within "
                         f"{params.h2_clear_distance:.0f} m",
                     )
                 )
 
         # H3: out of lane.
         if HazardType.OUT_OF_LANE not in self.events:
-            road = world.road
-            left_limit = road.left_lane_line + params.out_of_lane_margin
-            right_limit = road.right_lane_line - params.out_of_lane_margin
-            if ego.state.d > left_limit or ego.state.d < right_limit:
-                side = "left" if ego.state.d > left_limit else "right"
+            left_limit = left_lane_line + params.out_of_lane_margin
+            right_limit = right_lane_line - params.out_of_lane_margin
+            if ego_d > left_limit or ego_d < right_limit:
+                side = "left" if ego_d > left_limit else "right"
                 new_events.append(
                     HazardEvent(
                         HazardType.OUT_OF_LANE,
                         time,
-                        f"vehicle centre crossed the {side} lane line (d={ego.state.d:.2f} m)",
+                        f"vehicle centre crossed the {side} lane line (d={ego_d:.2f} m)",
                     )
                 )
 

@@ -91,3 +91,75 @@ class RunResult:
 
     def record_accident(self, event: CollisionEvent) -> None:
         self.accidents.setdefault(event.accident.value, event.time)
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self, include_trajectory: bool = True) -> dict:
+        """A JSON-serializable dict that round-trips through :meth:`from_dict`.
+
+        Floats survive JSON exactly (Python serializes doubles with
+        ``repr`` precision), so a round-tripped record compares equal to
+        the original — the golden-run equivalence suite relies on this.
+        """
+        payload = {
+            "scenario": self.scenario,
+            "initial_distance": self.initial_distance,
+            "attack_type": self.attack_type,
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "driver_enabled": self.driver_enabled,
+            "duration": self.duration,
+            "attack_activated": self.attack_activated,
+            "attack_activation_time": self.attack_activation_time,
+            "attack_duration": self.attack_duration,
+            "attack_reason": self.attack_reason,
+            "attack_stopped_by_driver": self.attack_stopped_by_driver,
+            "hazards": dict(self.hazards),
+            "accidents": dict(self.accidents),
+            "alerts": [[name, time] for name, time in self.alerts],
+            "lane_invasions": self.lane_invasions,
+            "driver_perceived": self.driver_perceived,
+            "driver_perception_reason": self.driver_perception_reason,
+            "driver_engaged": self.driver_engaged,
+            "driver_engagement_time": self.driver_engagement_time,
+        }
+        if include_trajectory:
+            payload["trajectory"] = [
+                [s.time, s.s, s.d, s.speed, s.steering_wheel_deg, s.x, s.y]
+                for s in self.trajectory
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunResult":
+        """Rebuild a :class:`RunResult` from :meth:`to_dict` output."""
+        trajectory = [
+            TrajectorySample(
+                time=row[0], s=row[1], d=row[2], speed=row[3],
+                steering_wheel_deg=row[4], x=row[5], y=row[6],
+            )
+            for row in payload.get("trajectory", ())
+        ]
+        return cls(
+            scenario=payload["scenario"],
+            initial_distance=payload["initial_distance"],
+            attack_type=payload["attack_type"],
+            strategy=payload["strategy"],
+            seed=payload["seed"],
+            driver_enabled=payload["driver_enabled"],
+            duration=payload["duration"],
+            attack_activated=payload["attack_activated"],
+            attack_activation_time=payload["attack_activation_time"],
+            attack_duration=payload["attack_duration"],
+            attack_reason=payload["attack_reason"],
+            attack_stopped_by_driver=payload["attack_stopped_by_driver"],
+            hazards=dict(payload["hazards"]),
+            accidents=dict(payload["accidents"]),
+            alerts=[(name, time) for name, time in payload["alerts"]],
+            lane_invasions=payload["lane_invasions"],
+            driver_perceived=payload["driver_perceived"],
+            driver_perception_reason=payload["driver_perception_reason"],
+            driver_engaged=payload["driver_engaged"],
+            driver_engagement_time=payload["driver_engagement_time"],
+            trajectory=trajectory,
+        )

@@ -99,7 +99,11 @@ class DriverReactionSimulator:
         self.engagement_time: Optional[float] = None
         self.perceived_reason: Optional[str] = None
         self.anomalies: List[AnomalyObservation] = []
-        self._previous_command: Optional[ActuatorCommand] = None
+        # Snapshot of the previously observed command *values* (the kernel
+        # reuses one ActuatorCommand object per cycle, so retaining the
+        # reference would alias the current command).
+        self._previous_command = ActuatorCommand()
+        self._has_previous = False
 
     # -- state properties ---------------------------------------------------
 
@@ -136,6 +140,7 @@ class DriverReactionSimulator:
         current_steering_deg: float,
         lead_gap: Optional[float] = None,
         lead_speed: Optional[float] = None,
+        out: Optional[DriverDecision] = None,
     ) -> DriverDecision:
         """Advance the driver model by one control step.
 
@@ -150,34 +155,45 @@ class DriverReactionSimulator:
             current_steering_deg: Measured steering wheel angle, degrees.
             lead_gap / lead_speed: What the driver sees of the lead vehicle
                 (used for car-following once driving manually).
+            out: Optional reused :class:`DriverDecision` to write into
+                (kernel fast path); every field is overwritten.
         """
+        decision = out if out is not None else DriverDecision()
+        decision.engaged = False
+        decision.command = None
+        decision.perceived = False
+        decision.phase = DriverPhase.MONITORING
+
         if not self.params.enabled:
-            self._previous_command = observed_command
-            return DriverDecision(phase=DriverPhase.MONITORING)
+            self._remember_command(observed_command)
+            return decision
 
         self._perceive(time, observed_command, v_ego, cruise_speed, lateral_offset)
 
         if not self.perceived:
-            return DriverDecision(phase=DriverPhase.MONITORING)
+            return decision
 
+        decision.perceived = True
         if time - self.perception_time < self.params.reaction_time:
-            return DriverDecision(perceived=True, phase=DriverPhase.REACTING)
+            decision.phase = DriverPhase.REACTING
+            return decision
 
         if self.engagement_time is None:
             self.engagement_time = time
 
         steering = self._steering_correction(time, lateral_offset, heading_error, current_steering_deg)
 
+        decision.engaged = True
         if time - self.engagement_time < self.params.mitigation_time:
-            command = self._mitigation_command(time, v_ego, cruise_speed, steering)
-            return DriverDecision(
-                engaged=True, command=command, perceived=True, phase=DriverPhase.MITIGATING
-            )
+            decision.command = self._mitigation_command(time, v_ego, cruise_speed, steering)
+            decision.phase = DriverPhase.MITIGATING
+            return decision
 
-        command = self._manual_driving_command(v_ego, cruise_speed, steering, lead_gap, lead_speed)
-        return DriverDecision(
-            engaged=True, command=command, perceived=True, phase=DriverPhase.MANUAL
+        decision.command = self._manual_driving_command(
+            v_ego, cruise_speed, steering, lead_gap, lead_speed
         )
+        decision.phase = DriverPhase.MANUAL
+        return decision
 
     # -- internals ----------------------------------------------------------
 
@@ -202,7 +218,7 @@ class DriverReactionSimulator:
             anomaly = self.detector.detect(
                 time,
                 observed_command,
-                self._previous_command,
+                self._previous_command if self._has_previous else None,
                 v_ego,
                 cruise_speed,
                 lateral_offset=lateral_offset,
@@ -211,7 +227,15 @@ class DriverReactionSimulator:
                 self.anomalies.append(anomaly)
                 self.perception_time = time
                 self.perceived_reason = f"anomaly:{anomaly.kind}"
-        self._previous_command = observed_command
+        self._remember_command(observed_command)
+
+    def _remember_command(self, observed_command: ActuatorCommand) -> None:
+        """Snapshot the observed command values for the next step's deltas."""
+        previous = self._previous_command
+        previous.accel = observed_command.accel
+        previous.brake = observed_command.brake
+        previous.steering_angle_deg = observed_command.steering_angle_deg
+        self._has_previous = True
 
     def _steering_correction(
         self,

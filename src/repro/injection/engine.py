@@ -3,14 +3,16 @@
 The :class:`Simulation` reproduces the platform of Fig. 5 in the paper:
 OpenPilot (ADAS substitute) bridged to the driving simulator, a driver
 reaction simulator, and the attack/fault-injection engine hooked into the
-ADAS output stage.  :func:`run_simulation` is the single-call entry point
-used by examples, tests and the campaign runner.
+ADAS output stage.  The control cycle itself is the kernel step pipeline
+(:mod:`repro.kernel`): a preallocated :class:`~repro.kernel.StepContext`
+runs through sense → perceive → plan → inject → drive → actuate →
+detect → record once per 10 ms step, so the hot loop is free of per-step
+observation rebuilding.  :func:`run_simulation` is the single-call entry
+point used by examples, tests and the campaign runner.
 """
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional, Union
-
-import numpy as np
 
 from repro.adas.openpilot import OpenPilot, OpenPilotConfig
 from repro.analysis.hazards import HazardMonitor, HazardParams
@@ -20,8 +22,19 @@ from repro.core.attack_engine import AttackEngine
 from repro.core.attack_types import AttackType
 from repro.core.strategies import AttackStrategy, NoAttackStrategy
 from repro.driver.reaction import DriverParams, DriverReactionSimulator
+from repro.kernel import (
+    ActuateStage,
+    DetectStage,
+    DriveStage,
+    InjectStage,
+    PerceiveStage,
+    PlanStage,
+    RecordStage,
+    SenseStage,
+    StepContext,
+    StepPipeline,
+)
 from repro.messaging.bus import MessageBus
-from repro.messaging.log import MessageLog
 from repro.sim.scenarios import Scenario, build_scenario
 from repro.sim.sensors import SensorNoise
 from repro.sim.units import DT, STEPS_PER_SIMULATION
@@ -85,7 +98,10 @@ class Simulation:
         scenario = config.build_scenario()
         self.message_bus = MessageBus()
         self.can_bus = CANBus()
-        self.alert_log = MessageLog(services=["alertEvent"]).attach(self.message_bus)
+        # Alerts are accounted by the kernel's record stage from this
+        # subscription (drained each step), instead of re-scanning a
+        # message log after the run.
+        self._alert_sub = self.message_bus.subscribe("alertEvent")
 
         self.world = World(
             WorldConfig(
@@ -117,6 +133,48 @@ class Simulation:
         )
         self.hazard_monitor = HazardMonitor(config.hazard_params)
 
+    def build_pipeline(self, result: RunResult) -> "tuple[StepContext, StepPipeline]":
+        """Assemble the kernel step pipeline and its preallocated context.
+
+        The context carries the per-cycle state (decoded car state, plans,
+        commands, kinematics) through the ordered stages; everything is
+        allocated here, once per run.
+        """
+        world = self.world
+        scenario = world.config.scenario
+        road = world.road
+        ctx = StepContext(
+            dt=DT,
+            cruise_speed=scenario.cruise_speed,
+            ego_width=world.ego.params.width,
+            road_left_lane_line=road.left_lane_line,
+            road_right_lane_line=road.right_lane_line,
+            road_right_guardrail=road.right_guardrail,
+            road_left_road_edge=road.left_road_edge,
+            follower=world.follower,
+            others=world.collision_others(),
+        )
+        # Seed the kinematic fields from the initial world state: the
+        # drive stage of step k reads the post-step observation of step
+        # k-1, which for the first step is the initial state.
+        world.observe_into(ctx)
+        pipeline = StepPipeline(
+            (
+                SenseStage(world),
+                PerceiveStage(world),
+                PlanStage(self.openpilot),
+                InjectStage(self.openpilot),
+                DriveStage(world, self.driver, self.openpilot, self.attack_engine, result),
+                ActuateStage(world),
+                DetectStage(world.lane_monitor, world.collision_detector, self.hazard_monitor),
+                RecordStage(
+                    world, result, self.attack_engine, self._alert_sub,
+                    self.config.stop_after_collision,
+                ),
+            )
+        )
+        return ctx, pipeline
+
     def run(self) -> RunResult:
         """Run the simulation to completion and return the result record."""
         config = self.config
@@ -131,69 +189,15 @@ class Simulation:
             duration=0.0,
         )
 
-        driver_engaged = False
-        collision_time: Optional[float] = None
-        # The lead gap/speed for the driver model: seeded from the initial
-        # world state, then carried forward from each WorldStepResult (the
-        # post-step observation of step k is exactly the pre-step
-        # observation of step k+1), so it is computed once per step.
-        lead_gap, lead_speed = self.world.lead_observation()
-
+        ctx, pipeline = self.build_pipeline(result)
+        run_cycle = pipeline.run_cycle
         for _ in range(config.max_steps):
-            time = self.world.time
-            self.world.publish_sensors()
-            self.world.publish_car_can()
-            car_state = self.world.read_car_state()
-
-            if not driver_engaged:
-                self.openpilot.step(time, car_state)
-            executed_command = self.world.decode_actuator_command()
-
-            decision = self.driver.update(
-                time=time,
-                observed_command=executed_command,
-                v_ego=car_state.v_ego,
-                cruise_speed=scenario.cruise_speed,
-                lateral_offset=self.world.ego.state.d,
-                heading_error=self.world.ego.state.heading_error,
-                current_steering_deg=self.world.ego.state.steering_wheel_deg,
-                lead_gap=lead_gap,
-                lead_speed=lead_speed,
-            )
-            if decision.engaged:
-                if not driver_engaged:
-                    driver_engaged = True
-                    result.driver_engaged = True
-                    result.driver_engagement_time = time
-                    self.openpilot.disengage()
-                    if self.attack_engine is not None:
-                        self.attack_engine.notify_driver_engaged()
-                executed_command = decision.command
-
-            # ``executed_command`` was just decoded from the same bus state
-            # ``world.step(None)`` would decode from, so pass it through and
-            # save the second per-step command decode.
-            step_result = self.world.step(executed_command)
-            lead_gap, lead_speed = step_result.lead_gap, step_result.lead_speed
-
-            new_hazards = self.hazard_monitor.check(self.world)
-            for event in new_hazards:
-                result.record_hazard(event)
-                if self.attack_engine is not None:
-                    self.attack_engine.notify_hazard()
-
-            if step_result.collision is not None:
-                result.record_accident(step_result.collision)
-                if collision_time is None:
-                    collision_time = step_result.collision.time
-            if collision_time is not None and self.world.time - collision_time >= config.stop_after_collision:
+            run_cycle(ctx)
+            if ctx.stop:
                 break
 
         result.duration = self.world.time
-        result.lane_invasions = len(self.world.lane_monitor.report.invasion_events)
-        result.alerts = [
-            (event.data.name, event.mono_time) for event in self.alert_log.by_service("alertEvent")
-        ]
+        result.lane_invasions = ctx.lane_invasions
         result.driver_perceived = self.driver.perceived
         result.driver_perception_reason = self.driver.perceived_reason or ""
 

@@ -1,0 +1,43 @@
+"""Allocation-free step-pipeline kernel for the 100 Hz control cycle.
+
+The kernel replaces the four-layer re-derivation of per-step state (sim,
+ADAS, injection, analysis each rebuilding the same observations) with a
+single :class:`~repro.kernel.context.StepContext` carried through an
+ordered :class:`~repro.kernel.pipeline.StepPipeline`::
+
+    sense -> perceive -> plan -> inject -> drive -> actuate -> detect -> record
+
+:class:`~repro.injection.engine.Simulation` assembles the pipeline from
+the concrete stages in :mod:`repro.kernel.stages`; the context is
+preallocated once per run and reused every cycle, so the hot loop is free
+of per-step dataclass construction.  The pipeline is the extension point
+for future batched / vectorised execution (see ``StepPipeline.inserted``
+/ ``StepPipeline.replaced``).
+"""
+
+from repro.kernel.context import StepContext
+from repro.kernel.pipeline import PipelineStage, StepPipeline
+from repro.kernel.stages import (
+    ActuateStage,
+    DetectStage,
+    DriveStage,
+    InjectStage,
+    PerceiveStage,
+    PlanStage,
+    RecordStage,
+    SenseStage,
+)
+
+__all__ = [
+    "ActuateStage",
+    "DetectStage",
+    "DriveStage",
+    "InjectStage",
+    "PerceiveStage",
+    "PipelineStage",
+    "PlanStage",
+    "RecordStage",
+    "SenseStage",
+    "StepContext",
+    "StepPipeline",
+]

@@ -1,0 +1,149 @@
+"""The shared per-step context of the control-cycle kernel.
+
+A :class:`StepContext` is allocated **once per simulation** and carries
+every piece of per-cycle state — time, decoded car state, planner
+outputs, actuator commands, ego/lead kinematics, detector outputs — through
+the ordered pipeline stages (sense → perceive → plan → inject → drive →
+actuate → detect → record).  Stages communicate exclusively by writing
+into and reading from the context, so the 100 Hz control cycle runs
+without allocating the same observation objects over and over in four
+different layers.
+
+Contract
+--------
+
+* The context is built by the simulation before the first cycle and
+  reused for every cycle; stages must overwrite every field they own
+  each cycle rather than relying on stale values.
+* ``time`` is the cycle's start time (the world clock *before* physics
+  integration); ``end_time`` is the post-integration time stamped on
+  detector events — the actuate stage advances it.
+* The mutable scratch objects (``car_state``, plans, commands,
+  ``driver_decision``) are owned by the context and mutated in place;
+  code outside the pipeline must not retain references to them across
+  cycles (retain *values*, not objects).
+* ``lead`` / ``lead_gap`` / ``lead_speed`` / ``lead_d`` describe the
+  currently tracked lead vehicle after the most recent actuate stage
+  (``lead is None`` means no lead; the gap/speed fields are ``None``
+  then, matching :meth:`repro.sim.world.World.lead_observation`).
+* Constants (``dt``, ``cruise_speed``, ego geometry, road landmarks,
+  ``follower``, ``others``) are filled once at construction.
+"""
+
+from typing import List, Optional, Sequence
+
+from repro.adas.lateral import LateralPlan
+from repro.adas.longitudinal import LongitudinalPlan
+from repro.driver.reaction import DriverDecision
+from repro.messaging.messages import CarState
+from repro.sim.units import DT
+from repro.sim.vehicle import ActuatorCommand
+
+
+class StepContext:
+    """Preallocated, reused per-cycle state of the step pipeline."""
+
+    __slots__ = (
+        # constants
+        "dt",
+        "cruise_speed",
+        "ego_width",
+        "road_left_lane_line",
+        "road_right_lane_line",
+        "road_right_guardrail",
+        "road_left_road_edge",
+        "follower",
+        "others",
+        # clock
+        "time",
+        "end_time",
+        # perception / planning scratch (reused objects)
+        "car_state",
+        "long_plan",
+        "lat_plan",
+        "pre_hook_command",
+        "adas_command",
+        "executed_command",
+        "driver_decision",
+        # driver engagement
+        "driver_engaged",
+        # ego kinematics (post most recent actuate stage)
+        "ego_s",
+        "ego_d",
+        "ego_speed",
+        "ego_heading_error",
+        "ego_steering_deg",
+        "ego_front_s",
+        "ego_rear_s",
+        "ego_left_edge",
+        "ego_right_edge",
+        # lead observation (post most recent actuate stage)
+        "lead",
+        "lead_gap",
+        "lead_speed",
+        "lead_d",
+        # detector outputs
+        "collision",
+        "new_hazards",
+        "lane_invasions",
+        # run termination
+        "collision_time",
+        "stop",
+    )
+
+    def __init__(
+        self,
+        dt: float = DT,
+        cruise_speed: float = 0.0,
+        ego_width: float = 1.8,
+        road_left_lane_line: float = 0.0,
+        road_right_lane_line: float = 0.0,
+        road_right_guardrail: float = 0.0,
+        road_left_road_edge: float = 0.0,
+        follower: Optional[object] = None,
+        others: Sequence[object] = (),
+    ):
+        self.dt = dt
+        self.cruise_speed = cruise_speed
+        self.ego_width = ego_width
+        self.road_left_lane_line = road_left_lane_line
+        self.road_right_lane_line = road_right_lane_line
+        self.road_right_guardrail = road_right_guardrail
+        self.road_left_road_edge = road_left_road_edge
+        self.follower = follower
+        self.others = others
+
+        self.time = 0.0
+        self.end_time = 0.0
+
+        self.car_state = CarState()
+        self.long_plan = LongitudinalPlan()
+        self.lat_plan = LateralPlan()
+        self.pre_hook_command = ActuatorCommand()
+        self.adas_command = ActuatorCommand()
+        self.executed_command = ActuatorCommand()
+        self.driver_decision = DriverDecision()
+
+        self.driver_engaged = False
+
+        self.ego_s = 0.0
+        self.ego_d = 0.0
+        self.ego_speed = 0.0
+        self.ego_heading_error = 0.0
+        self.ego_steering_deg = 0.0
+        self.ego_front_s = 0.0
+        self.ego_rear_s = 0.0
+        self.ego_left_edge = 0.0
+        self.ego_right_edge = 0.0
+
+        self.lead: Optional[object] = None
+        self.lead_gap: Optional[float] = None
+        self.lead_speed: Optional[float] = None
+        self.lead_d = 0.0
+
+        self.collision = None
+        self.new_hazards: List[object] = []
+        self.lane_invasions = 0
+
+        self.collision_time: Optional[float] = None
+        self.stop = False

@@ -1,0 +1,91 @@
+"""Ordered stage pipeline driving one control cycle over a StepContext.
+
+The pipeline is deliberately tiny: a stage is any object with a ``name``
+attribute and a ``run(ctx)`` method, and :meth:`StepPipeline.run_cycle`
+calls each stage's ``run`` in order.  The stage methods are bound once at
+construction so the 100 Hz inner loop is a flat tuple walk.
+
+Extension point
+---------------
+
+Future batched / vectorised execution replaces or wraps individual
+stages: :meth:`StepPipeline.replaced` and :meth:`StepPipeline.inserted`
+derive a new pipeline with a stage swapped out or a new one spliced in
+(e.g. a telemetry stage after ``detect``), without touching the
+simulation loop.
+"""
+
+from typing import Iterable, Iterator, Tuple
+
+from repro.kernel.context import StepContext
+
+
+class PipelineStage:
+    """Base class for pipeline stages (subclassing is optional).
+
+    A stage only needs a ``name`` string and a ``run(ctx)`` method; this
+    base exists for documentation and isinstance-friendly typing.
+    """
+
+    name: str = "stage"
+
+    def run(self, ctx: StepContext) -> None:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class StepPipeline:
+    """An ordered, immutable sequence of pipeline stages."""
+
+    __slots__ = ("stages", "_runs")
+
+    def __init__(self, stages: Iterable[object]):
+        self.stages: Tuple[object, ...] = tuple(stages)
+        if not self.stages:
+            raise ValueError("a pipeline needs at least one stage")
+        names = [stage.name for stage in self.stages]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate stage names: {names}")
+        self._runs = tuple(stage.run for stage in self.stages)
+
+    # -- hot path ---------------------------------------------------------
+
+    def run_cycle(self, ctx: StepContext) -> None:
+        """Run every stage once, in order, over ``ctx``."""
+        for run in self._runs:
+            run(ctx)
+
+    # -- introspection / extension ---------------------------------------
+
+    @property
+    def stage_names(self) -> Tuple[str, ...]:
+        return tuple(stage.name for stage in self.stages)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self.stages)
+
+    def __len__(self) -> int:
+        return len(self.stages)
+
+    def stage(self, name: str) -> object:
+        """Return the stage called ``name`` (KeyError if absent)."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no stage named {name!r} (have {list(self.stage_names)})")
+
+    def replaced(self, name: str, stage: object) -> "StepPipeline":
+        """A new pipeline with the stage called ``name`` swapped for ``stage``."""
+        self.stage(name)  # raise early when absent
+        return StepPipeline(
+            stage if existing.name == name else existing for existing in self.stages
+        )
+
+    def inserted(self, after: str, stage: object) -> "StepPipeline":
+        """A new pipeline with ``stage`` spliced in right after ``after``."""
+        self.stage(after)  # raise early when absent
+        stages = []
+        for existing in self.stages:
+            stages.append(existing)
+            if existing.name == after:
+                stages.append(stage)
+        return StepPipeline(stages)

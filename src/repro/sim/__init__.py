@@ -11,6 +11,7 @@ from repro.sim.road import Road, RoadSpec
 from repro.sim.vehicle import EgoVehicle, VehicleParams, ActuatorCommand
 from repro.sim.actors import (
     FollowerVehicle,
+    IdmParams,
     LaneChange,
     LeadBehavior,
     LeadVehicle,
@@ -38,6 +39,7 @@ __all__ = [
     "FollowerVehicle",
     "LeadBehavior",
     "ScriptedVehicle",
+    "IdmParams",
     "ManeuverPhase",
     "LaneChange",
     "GpsSensor",

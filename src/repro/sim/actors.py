@@ -59,6 +59,45 @@ class ManeuverPhase:
 
 
 @dataclass(frozen=True)
+class IdmParams:
+    """Intelligent-Driver-Model car-following parameters.
+
+    When attached to a :class:`ScriptedVehicle` (``idm=IdmParams()``, or
+    declaratively via ``ActorSpec(idm=...)``), the vehicle keeps a
+    speed-dependent gap to the vehicle directly ahead in its lane instead
+    of blindly following its maneuver profile — so a mis-parameterised
+    dense-traffic script cannot drive through a slower actor.  While a
+    leader is within ``interaction_range`` the IDM law replaces the
+    profile integration; the profile still supplies the *desired* speed
+    (the active phase target, or the initial speed for cruise scripts),
+    and braking towards a lower desired speed is bounded by
+    ``comfortable_decel``, so scripted gentle stops stay gentle.
+
+    Attributes:
+        min_gap: Bumper-to-bumper jam distance s0, m.
+        time_headway: Desired headway T, s.
+        max_accel: Maximum acceleration a, m/s^2.
+        comfortable_decel: Comfortable braking b, m/s^2 (the model may
+            exceed it in emergencies up to ``max_decel``).
+        max_decel: Physical braking limit, m/s^2 (positive magnitude).
+        interaction_range: Leaders farther than this, m, are ignored.
+    """
+
+    min_gap: float = 2.0
+    time_headway: float = 1.5
+    max_accel: float = 1.5
+    comfortable_decel: float = 2.0
+    max_decel: float = 8.0
+    interaction_range: float = 120.0
+
+    def __post_init__(self):
+        if self.min_gap <= 0 or self.time_headway < 0:
+            raise ValueError("IDM gap parameters must be positive")
+        if self.max_accel <= 0 or self.comfortable_decel <= 0 or self.max_decel <= 0:
+            raise ValueError("IDM acceleration parameters must be positive")
+
+
+@dataclass(frozen=True)
 class LaneChange:
     """A scripted lateral move to a new lane offset.
 
@@ -111,6 +150,7 @@ class ScriptedVehicle:
         length: float = 4.6,
         width: float = 1.8,
         kind: str = "traffic",
+        idm: Optional[IdmParams] = None,
     ):
         phases = tuple(profile)
         for earlier, later in zip(phases, phases[1:]):
@@ -122,6 +162,10 @@ class ScriptedVehicle:
         self.length = length
         self.width = width
         self.kind = kind
+        self.idm = idm
+        # The script's current desired speed for the IDM free-flow term:
+        # the latest phase target, or the initial speed for cruise scripts.
+        self._idm_v0 = initial_speed
         self._half_length = length / 2.0
         self._lane_change_from: Optional[float] = None
         # Index of the first phase that has not started yet; advances
@@ -145,8 +189,54 @@ class ScriptedVehicle:
         self._phase_index = index
         return profile[index - 1] if index > 0 else None
 
-    def step(self, time: float, dt: float = DT) -> ActorState:
-        """Advance the scripted maneuver by one control period."""
+    def idm_accel(self, gap: float, leader_speed: float, desired_speed: float) -> float:
+        """Intelligent-Driver-Model acceleration towards a leader.
+
+        IDM with the standard over-speed modification: below
+        ``desired_speed`` (which the maneuver profile supplies — the
+        active phase target, or the initial speed for cruise scripts) the
+        free-flow term is ``a * (1 - (v/v0)^4)``; above it, braking is
+        bounded by ``-b * (1 - (v0/v)^4)`` so a scripted gentle stop near
+        a leader does not turn into an emergency brake.  The gap-keeping
+        interaction term against the leader ``gap`` metres ahead is added
+        in both regimes.
+        """
+        idm = self.idm
+        speed = self.state.speed
+        approach = speed - leader_speed
+        s_star = idm.min_gap + max(
+            0.0,
+            speed * idm.time_headway
+            + speed * approach / (2.0 * math.sqrt(idm.max_accel * idm.comfortable_decel)),
+        )
+        interaction = s_star / max(gap, 0.1)
+        if speed < desired_speed:
+            ratio = speed / desired_speed
+            ratio_sq = ratio * ratio
+            free = idm.max_accel * (1.0 - ratio_sq * ratio_sq)
+        elif speed > 1e-12:
+            inverse = desired_speed / speed
+            inverse_sq = inverse * inverse
+            free = -idm.comfortable_decel * (1.0 - inverse_sq * inverse_sq)
+        else:
+            free = 0.0
+        accel = free - idm.max_accel * interaction * interaction
+        if accel < -idm.max_decel:
+            return -idm.max_decel
+        return accel
+
+    def step(self, time: float, dt: float = DT, leader: Optional[object] = None) -> ActorState:
+        """Advance the scripted maneuver by one control period.
+
+        Args:
+            time: Simulation time, s.
+            dt: Integration step, s.
+            leader: The vehicle directly ahead in this vehicle's lane
+                (anything with ``rear_s`` and ``state.speed``), used only
+                when :attr:`idm` car-following is enabled.  With ``idm``
+                unset (the default) the integration is bit-identical to
+                the profile-only script regardless of ``leader``.
+        """
         state = self.state
         phase = self._active_phase(time)
         target = phase.target_speed if phase is not None else None
@@ -156,6 +246,21 @@ class ScriptedVehicle:
                 accel = -phase.rate
             elif state.speed < target:
                 accel = phase.rate
+        if self.idm is not None:
+            if target is not None:
+                self._idm_v0 = target
+            if leader is not None:
+                gap = leader.rear_s - self.front_s
+                if gap < self.idm.interaction_range:
+                    # IDM replaces the profile integration while a leader
+                    # is within range; the script only supplies the
+                    # desired speed, so gap keeping always wins.
+                    following = self.idm_accel(gap, leader.state.speed, self._idm_v0)
+                    state.accel = following
+                    state.speed = max(0.0, state.speed + following * dt)
+                    state.s += state.speed * dt
+                    self._apply_lane_change(time)
+                    return state
         state.accel = accel
         state.speed = max(0.0, state.speed + accel * dt)
         if accel < 0.0:
@@ -164,8 +269,14 @@ class ScriptedVehicle:
             state.speed = min(state.speed, target)
         state.s += state.speed * dt
 
+        self._apply_lane_change(time)
+        return state
+
+    def _apply_lane_change(self, time: float) -> None:
+        """Advance the scripted lateral maneuver, if one is active."""
         lane_change = self.lane_change
         if lane_change is not None and time >= lane_change.start_time:
+            state = self.state
             if self._lane_change_from is None:
                 self._lane_change_from = state.d
             progress = (time - lane_change.start_time) / lane_change.duration
@@ -175,7 +286,6 @@ class ScriptedVehicle:
                 blend = 0.5 * (1.0 - math.cos(math.pi * progress))
                 origin = self._lane_change_from
                 state.d = origin + (lane_change.target_d - origin) * blend
-        return state
 
 
 def behavior_profile(

@@ -92,6 +92,84 @@ class CollisionDetector:
             self.events.append(event)
         return event
 
+    def check_context(self, ctx) -> Optional[CollisionEvent]:
+        """Collision check over a kernel StepContext's precomputed kinematics.
+
+        Semantically identical to :meth:`check` (same predicates, same
+        event strings, same priority order A1 lead > others > A3 roadside
+        > A2 rear-end), but reads the ego geometry the actuate stage
+        already derived instead of walking the ``ego.state`` property
+        chains; the golden-run suite pins the two paths together.
+        """
+        time = ctx.end_time
+        front_s = ctx.ego_front_s
+        rear_s = ctx.ego_rear_s
+        d = ctx.ego_d
+        ego_width = ctx.ego_width
+        lead = ctx.lead
+
+        event: Optional[CollisionEvent] = None
+        if (
+            lead is not None
+            and front_s >= lead.rear_s
+            and rear_s <= lead.front_s
+            and abs(d - lead.state.d) < (ego_width + lead.width) / 2.0
+        ):
+            event = CollisionEvent(
+                AccidentType.LEAD_COLLISION,
+                time,
+                f"ego front bumper reached lead vehicle at s={front_s:.1f} m",
+            )
+        if event is None:
+            for other in ctx.others:
+                if other is lead:
+                    continue
+                other_d = other.state.d
+                if (
+                    front_s >= other.rear_s
+                    and rear_s <= other.front_s
+                    and abs(d - other_d) < (ego_width + other.width) / 2.0
+                ):
+                    blocks_lane = abs(other_d) <= (self.road.spec.lane_width + other.width) / 2.0
+                    accident = (
+                        AccidentType.LEAD_COLLISION if blocks_lane else AccidentType.ROADSIDE_COLLISION
+                    )
+                    event = CollisionEvent(
+                        accident,
+                        time,
+                        f"ego collided with {other.kind} vehicle at s={front_s:.1f} m "
+                        f"(d={other_d:.2f} m)",
+                    )
+                    break
+        if event is None:
+            if ctx.ego_right_edge <= self.road.right_guardrail:
+                event = CollisionEvent(
+                    AccidentType.ROADSIDE_COLLISION,
+                    time,
+                    f"ego collided with right guardrail (d={d:.2f} m)",
+                )
+            elif ctx.ego_left_edge >= self.road.left_road_edge:
+                event = CollisionEvent(
+                    AccidentType.ROADSIDE_COLLISION,
+                    time,
+                    f"ego collided with left road edge (d={d:.2f} m)",
+                )
+        if event is None:
+            follower = ctx.follower
+            if (
+                follower is not None
+                and follower.front_s >= rear_s
+                and abs(d - follower.state.d) < (ego_width + follower.width) / 2.0
+            ):
+                event = CollisionEvent(
+                    AccidentType.REAR_END_COLLISION,
+                    time,
+                    "follower vehicle hit the stopped ego vehicle",
+                )
+        if event is not None:
+            self.events.append(event)
+        return event
+
     @staticmethod
     def _bodies_overlap(ego: EgoVehicle, other: ScriptedVehicle) -> bool:
         """Body-overlap predicate shared by every vehicle-vehicle check."""
@@ -195,8 +273,17 @@ class LaneMonitor:
 
     def check(self, time: float, ego: EgoVehicle) -> None:
         """Update invasion / out-of-lane state for the current step."""
-        left_invading = ego.left_edge > self.road.left_lane_line
-        right_invading = ego.right_edge < self.road.right_lane_line
+        self.check_values(time, ego.left_edge, ego.right_edge, ego.state.d)
+
+    def check_values(self, time: float, left_edge: float, right_edge: float, d: float) -> None:
+        """Invasion / out-of-lane update from precomputed ego geometry.
+
+        Kernel fast path: the detect stage passes the body edges the
+        actuate stage already derived, so the monitor does not walk the
+        ego property chain again.
+        """
+        left_invading = left_edge > self.road.left_lane_line
+        right_invading = right_edge < self.road.right_lane_line
 
         if left_invading and not self._invading_left:
             self.report.invasion_events.append(LaneInvasionEvent(time, "left"))
@@ -206,8 +293,8 @@ class LaneMonitor:
         self._invading_right = right_invading
 
         centre_out = (
-            ego.state.d > self.road.left_lane_line + self.out_of_lane_margin
-            or ego.state.d < self.road.right_lane_line - self.out_of_lane_margin
+            d > self.road.left_lane_line + self.out_of_lane_margin
+            or d < self.road.right_lane_line - self.out_of_lane_margin
         )
         if centre_out and not self.report.out_of_lane:
             self.report.out_of_lane = True

@@ -19,7 +19,13 @@ a lead vehicle 50, 70 or 100 m ahead:
 from dataclasses import dataclass, replace
 from typing import Dict, Optional, Tuple
 
-from repro.sim.actors import LaneChange, LeadBehavior, ManeuverPhase, behavior_profile
+from repro.sim.actors import (
+    IdmParams,
+    LaneChange,
+    LeadBehavior,
+    ManeuverPhase,
+    behavior_profile,
+)
 from repro.sim.road import RoadSpec
 from repro.sim.units import mph_to_ms
 
@@ -39,6 +45,9 @@ class ActorSpec:
         lane_change: Optional scripted lateral maneuver (``target_d`` in
             metres from the ego lane centreline, + left).
         length / width: Body dimensions, m.
+        idm: Optional IDM car-following parameters; when set, the vehicle
+            keeps a gap to whatever is directly ahead in its lane instead
+            of blindly following its profile (dense-traffic scripts).
     """
 
     kind: str
@@ -49,6 +58,7 @@ class ActorSpec:
     lane_change: Optional[LaneChange] = None
     length: float = 4.6
     width: float = 1.8
+    idm: Optional[IdmParams] = None
 
     def __post_init__(self):
         if self.initial_gap <= 0:

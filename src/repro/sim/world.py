@@ -15,8 +15,9 @@ The ADAS, attack engine, driver model and fault-injection engine all live
 the paper's architecture (Fig. 5).
 """
 
+import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -129,6 +130,7 @@ class World:
                 length=spec.length,
                 width=spec.width,
                 kind=spec.kind,
+                idm=spec.idm,
             )
             for spec in scenario.actors
         ]
@@ -144,6 +146,9 @@ class World:
         self._traffic: List[ScriptedVehicle] = (
             [] if self.scenario_lead is None else [self.scenario_lead]
         ) + self.scripted_actors
+        # IDM car-following only costs a per-actor leader scan when some
+        # actor actually enables it; the default path is unchanged.
+        self._any_idm = any(actor.idm is not None for actor in self.scripted_actors)
         self.lead: Optional[ScriptedVehicle] = self._select_lead()
         self.follower: Optional[FollowerVehicle] = None
         if scenario.with_follower:
@@ -159,6 +164,7 @@ class World:
         self.radar = RadarSensor(config.noise, rng)
         self.camera = CameraModel(config.noise, rng)
         self._disturbance_phase = float(rng.uniform(0.0, 2.0 * np.pi))
+        self._disturbance_omega = 2.0 * np.pi / config.disturbance_period
 
         self.collision_detector = CollisionDetector(self.road)
         self.lane_monitor = LaneMonitor(self.road)
@@ -197,13 +203,50 @@ class World:
                 best = vehicle
         return best
 
+    def collision_others(self) -> Sequence[ScriptedVehicle]:
+        """The vehicles the collision sweep must consider besides the lead.
+
+        Single place for the invariant shared by :meth:`step` and the
+        kernel's detect stage: with dynamic lead selection the whole
+        precomputed traffic list is swept (the detector skips the tracked
+        lead), otherwise the lead-only fast path applies.
+        """
+        return self._traffic if self._dynamic_lead else ()
+
+    def _idm_leader(self, actor: ScriptedVehicle):
+        """The vehicle directly ahead of ``actor`` in its lane (incl. the ego).
+
+        Only evaluated for actors with IDM car-following enabled; returns
+        ``None`` when ``actor`` has a clear lane ahead.
+        """
+        if actor.idm is None:
+            return None
+        s = actor.state.s
+        d = actor.state.d
+        best = None
+        best_s = float("inf")
+        for vehicle in self._traffic:
+            if vehicle is actor:
+                continue
+            state = vehicle.state
+            if state.s <= s or abs(state.d - d) > self._half_lane:
+                continue
+            if state.s < best_s:
+                best = vehicle
+                best_s = state.s
+        ego_state = self.ego.state
+        if ego_state.s > s and ego_state.s < best_s and abs(ego_state.d - d) <= self._half_lane:
+            return self.ego
+        return best
+
     def disturbance_curvature(self, time: float) -> float:
         """Environmental lateral disturbance (road crown / crosswind), 1/m."""
         if self.config.disturbance_amplitude == 0.0:
             return 0.0
-        omega = 2.0 * np.pi / self.config.disturbance_period
-        return self.config.disturbance_amplitude * float(
-            np.sin(omega * time + self._disturbance_phase)
+        # math.sin is bit-identical to np.sin on scalars (both call libm)
+        # and avoids the numpy scalar boxing on the 100 Hz path.
+        return self.config.disturbance_amplitude * math.sin(
+            self._disturbance_omega * time + self._disturbance_phase
         )
 
     # -- sensing and CAN output ------------------------------------------
@@ -255,7 +298,15 @@ class World:
         )
 
     def read_car_state(self) -> CarState:
-        """Decode the car's CAN state frames into a :class:`CarState`."""
+        """Decode the car's CAN state frames into a fresh :class:`CarState`."""
+        return self.read_car_state_into(CarState())
+
+    def read_car_state_into(self, out: CarState) -> CarState:
+        """Decode the car's CAN state frames into ``out`` (kernel fast path).
+
+        Every field that :meth:`read_car_state` sets is overwritten, so a
+        reused instance never carries stale values.
+        """
         speed = self.ego.state.speed
         accel = self.ego.state.accel
         steer = self.ego.state.steering_wheel_deg
@@ -269,16 +320,15 @@ class World:
             accel = decoded["ACCEL_MEASURED"]
         if sensors is not None:
             steer = self._plan_steering_sensors.decode_signal(sensors, "STEER_ANGLE")
-        return CarState(
-            v_ego=speed,
-            a_ego=accel,
-            steering_angle_deg=steer,
-            gas=max(0.0, self._last_command.accel / 4.0),
-            brake=min(1.0, self._last_command.brake / 4.0),
-            cruise_enabled=True,
-            cruise_speed=self.config.scenario.cruise_speed,
-            standstill=speed < 0.1,
-        )
+        out.v_ego = speed
+        out.a_ego = accel
+        out.steering_angle_deg = steer
+        out.gas = max(0.0, self._last_command.accel / 4.0)
+        out.brake = min(1.0, self._last_command.brake / 4.0)
+        out.cruise_enabled = True
+        out.cruise_speed = self.config.scenario.cruise_speed
+        out.standstill = speed < 0.1
+        return out
 
     # -- actuation --------------------------------------------------------
 
@@ -288,24 +338,109 @@ class World:
         If the ADAS has not yet sent a command (first cycle), the previous
         command is held, which matches real actuator behaviour.
         """
+        return self.decode_actuator_command_into(ActuatorCommand())
+
+    def decode_actuator_command_into(self, out: ActuatorCommand) -> ActuatorCommand:
+        """Decode the actuator frames into ``out`` (kernel fast path).
+
+        ``out`` may be the object currently held as the last executed
+        command; the held-command semantics (no frame yet -> previous
+        value) still apply because every field is seeded from the last
+        command before decoding.
+        """
         steering_frame = self.can_bus.latest(self._addr_steering_control)
         acc_frame = self.can_bus.latest(self._addr_acc_control)
-        command = ActuatorCommand(
-            accel=self._last_command.accel,
-            brake=self._last_command.brake,
-            steering_angle_deg=self._last_command.steering_angle_deg,
-        )
+        last = self._last_command
+        out.accel = last.accel
+        out.brake = last.brake
+        out.steering_angle_deg = last.steering_angle_deg
         if acc_frame is not None:
             decoded = self._plan_acc_control.decode(
                 acc_frame, signals=("ACCEL_COMMAND", "BRAKE_COMMAND")
             )
-            command.accel = max(0.0, decoded["ACCEL_COMMAND"])
-            command.brake = max(0.0, decoded["BRAKE_COMMAND"])
+            out.accel = max(0.0, decoded["ACCEL_COMMAND"])
+            out.brake = max(0.0, decoded["BRAKE_COMMAND"])
         if steering_frame is not None:
-            command.steering_angle_deg = self._plan_steering_control.decode_signal(
+            out.steering_angle_deg = self._plan_steering_control.decode_signal(
                 steering_frame, "STEER_ANGLE_CMD"
             )
-        return command
+        return out
+
+    def integrate(self, command: ActuatorCommand) -> None:
+        """Physics half of a world step: actors + clock, no monitors.
+
+        The kernel's actuate stage calls this directly; lane/collision
+        monitoring and trajectory recording live in the detect and record
+        stages (:mod:`repro.kernel.stages`).  :meth:`step` composes the
+        same pieces for the legacy single-call API.
+        """
+        self._last_command = command
+
+        self.ego.step(command, DT, disturbance_curvature=self.disturbance_curvature(self.time))
+        if self.scenario_lead is not None:
+            self.scenario_lead.step(self.time, DT)
+        if self.scripted_actors:
+            if self._any_idm:
+                for actor in self.scripted_actors:
+                    actor.step(self.time, DT, leader=self._idm_leader(actor))
+            else:
+                for actor in self.scripted_actors:
+                    actor.step(self.time, DT)
+        if self._dynamic_lead:
+            self.lead = self._select_lead()
+        if self.follower is not None:
+            self.follower.step(self.time, self.ego.rear_s, self.ego.state.speed, DT)
+
+        self.time += DT
+        self.step_count += 1
+
+    def observe_into(self, ctx) -> None:
+        """Refresh the kinematic fields of a kernel StepContext.
+
+        Uses the same arithmetic as the ego geometry properties and
+        :meth:`lead_observation`, so the values are bit-identical to the
+        property-chain reads they replace.
+        """
+        state = self.ego.state
+        ego = self.ego
+        ctx.end_time = self.time
+        ctx.ego_s = state.s
+        ctx.ego_d = state.d
+        ctx.ego_speed = state.speed
+        ctx.ego_heading_error = state.heading_error
+        ctx.ego_steering_deg = state.steering_wheel_deg
+        ctx.ego_front_s = state.s + ego._half_length
+        ctx.ego_rear_s = state.s - ego._half_length
+        ctx.ego_left_edge = state.d + ego._half_width
+        ctx.ego_right_edge = state.d - ego._half_width
+        lead = self.lead
+        ctx.lead = lead
+        if lead is None:
+            ctx.lead_gap = None
+            ctx.lead_speed = None
+            ctx.lead_d = 0.0
+        else:
+            lead_state = lead.state
+            ctx.lead_gap = lead.rear_s - ctx.ego_front_s
+            ctx.lead_speed = lead_state.speed
+            ctx.lead_d = lead_state.d
+
+    def record_trajectory_sample(self) -> None:
+        """Append the current ego state to the recorded trajectory.
+
+        Cartesian coordinates are filled in lazily by the analysis layer
+        (Figure 7) to keep the inner loop cheap.
+        """
+        state = self.ego.state
+        self.trajectory.append(
+            TrajectorySample(
+                time=self.time,
+                s=state.s,
+                d=state.d,
+                speed=state.speed,
+                steering_wheel_deg=state.steering_wheel_deg,
+            )
+        )
 
     def step(self, command: Optional[ActuatorCommand] = None) -> WorldStepResult:
         """Advance the physical world by one control period (10 ms).
@@ -318,44 +453,19 @@ class World:
         """
         if command is None:
             command = self.decode_actuator_command()
-        self._last_command = command
-
-        self.ego.step(command, DT, disturbance_curvature=self.disturbance_curvature(self.time))
-        if self.scenario_lead is not None:
-            self.scenario_lead.step(self.time, DT)
-        for actor in self.scripted_actors:
-            actor.step(self.time, DT)
-        if self._dynamic_lead:
-            self.lead = self._select_lead()
-        if self.follower is not None:
-            self.follower.step(self.time, self.ego.rear_s, self.ego.state.speed, DT)
-
-        self.time += DT
-        self.step_count += 1
+        self.integrate(command)
 
         self.lane_monitor.check(self.time, self.ego)
-        # The detector skips the tracked lead inside `others`, so the
-        # precomputed traffic list is passed as-is (no per-step rebuild).
         collision = self.collision_detector.check(
             self.time,
             self.ego,
             self.lead,
             self.follower,
-            others=self._traffic if self._dynamic_lead else (),
+            others=self.collision_others(),
         )
 
         if self.config.record_trajectory and self.step_count % self.config.trajectory_decimation == 0:
-            # Cartesian coordinates are filled in lazily by the analysis
-            # layer (Figure 7) to keep the inner loop cheap.
-            self.trajectory.append(
-                TrajectorySample(
-                    time=self.time,
-                    s=self.ego.state.s,
-                    d=self.ego.state.d,
-                    speed=self.ego.state.speed,
-                    steering_wheel_deg=self.ego.state.steering_wheel_deg,
-                )
-            )
+            self.record_trajectory_sample()
 
         lead_gap, lead_speed = self.lead_observation()
         return WorldStepResult(

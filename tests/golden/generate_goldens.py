@@ -1,0 +1,75 @@
+"""Regenerate the golden-run fixture (``golden_runs.json``).
+
+The fixture pins the exact :class:`~repro.analysis.metrics.RunResult` of
+every catalog scenario (attack-free) and of one attacked S1 run per
+attack type.  ``tests/integration/test_golden_equivalence.py`` compares
+the current code against it, so any change to the control cycle that is
+not bit-for-bit equivalent fails loudly.
+
+Only regenerate deliberately — i.e. when a PR intentionally changes
+simulation behaviour — and say so in the PR description::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py
+"""
+
+import json
+import os
+
+from repro.core.attack_types import AttackType
+from repro.injection.engine import SimulationConfig, run_simulation
+from repro.scenarios import CATALOG
+
+GOLDEN_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "golden_runs.json")
+
+#: Seed used for every golden run (arbitrary but fixed).
+GOLDEN_SEED = 0
+#: Attacked golden runs: the paper's S1 at its 70 m gap, Context-Aware.
+ATTACK_SCENARIO = "S1"
+ATTACK_DISTANCE = 70.0
+ATTACK_STRATEGY = "Context-Aware"
+ATTACK_SEED = 2022
+
+
+def golden_configs():
+    """Yield ``(key, SimulationConfig, strategy_name)`` for every golden run."""
+    for name in CATALOG.names():
+        yield (
+            f"catalog/{name}",
+            SimulationConfig(scenario=name, seed=GOLDEN_SEED),
+            None,
+        )
+    for attack_type in AttackType:
+        yield (
+            f"attack/{attack_type.value}",
+            SimulationConfig(
+                scenario=ATTACK_SCENARIO,
+                initial_distance=ATTACK_DISTANCE,
+                seed=ATTACK_SEED,
+                attack_type=attack_type,
+            ),
+            ATTACK_STRATEGY,
+        )
+
+
+def run_golden(config, strategy_name):
+    from repro.core.strategies import strategy_by_name
+
+    strategy = strategy_by_name(strategy_name) if strategy_name else None
+    return run_simulation(config, strategy)
+
+
+def main() -> None:
+    runs = {}
+    for key, config, strategy_name in golden_configs():
+        result = run_golden(config, strategy_name)
+        runs[key] = result.to_dict()
+        print(f"{key}: hazards={list(result.hazards)} accidents={list(result.accidents)} "
+              f"alerts={len(result.alerts)} invasions={result.lane_invasions}")
+    with open(GOLDEN_PATH, "w") as handle:
+        json.dump({"runs": runs}, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {len(runs)} golden runs to {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

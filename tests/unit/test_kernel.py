@@ -1,0 +1,113 @@
+"""Unit tests for the kernel step pipeline (context + pipeline mechanics)."""
+
+import pytest
+
+from repro.injection.engine import Simulation, SimulationConfig
+from repro.kernel import StepContext, StepPipeline
+from repro.messaging.messages import CarState
+from repro.sim.vehicle import ActuatorCommand
+
+
+class _Recorder:
+    def __init__(self, name, log):
+        self.name = name
+        self._log = log
+
+    def run(self, ctx):
+        self._log.append(self.name)
+
+
+class TestStepPipeline:
+    def make(self, log):
+        return StepPipeline([_Recorder(n, log) for n in ("a", "b", "c")])
+
+    def test_runs_stages_in_order(self):
+        log = []
+        pipeline = self.make(log)
+        ctx = StepContext()
+        pipeline.run_cycle(ctx)
+        pipeline.run_cycle(ctx)
+        assert log == ["a", "b", "c", "a", "b", "c"]
+
+    def test_stage_names_and_lookup(self):
+        pipeline = self.make([])
+        assert pipeline.stage_names == ("a", "b", "c")
+        assert pipeline.stage("b").name == "b"
+        with pytest.raises(KeyError):
+            pipeline.stage("nope")
+
+    def test_empty_and_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            StepPipeline([])
+        log = []
+        with pytest.raises(ValueError):
+            StepPipeline([_Recorder("a", log), _Recorder("a", log)])
+
+    def test_inserted_splices_after_named_stage(self):
+        log = []
+        pipeline = self.make(log).inserted("b", _Recorder("x", log))
+        assert pipeline.stage_names == ("a", "b", "x", "c")
+        pipeline.run_cycle(StepContext())
+        assert log == ["a", "b", "x", "c"]
+
+    def test_replaced_swaps_stage(self):
+        log = []
+        pipeline = self.make(log).replaced("b", _Recorder("y", log))
+        assert pipeline.stage_names == ("a", "y", "c")
+
+    def test_inserted_unknown_anchor_raises(self):
+        with pytest.raises(KeyError):
+            self.make([]).inserted("zz", _Recorder("x", []))
+
+
+class TestStepContext:
+    def test_is_slotted_and_preallocated(self):
+        ctx = StepContext()
+        assert not hasattr(ctx, "__dict__")
+        with pytest.raises(AttributeError):
+            ctx.not_a_field = 1
+        assert isinstance(ctx.car_state, CarState)
+        assert isinstance(ctx.executed_command, ActuatorCommand)
+
+    def test_initial_state(self):
+        ctx = StepContext(cruise_speed=27.0)
+        assert ctx.cruise_speed == 27.0
+        assert ctx.lead is None and ctx.lead_gap is None
+        assert not ctx.driver_engaged and not ctx.stop
+
+
+class TestSimulationPipelineAssembly:
+    def test_simulation_builds_the_eight_canonical_stages(self):
+        sim = Simulation(SimulationConfig(scenario="S1", max_steps=10))
+        from repro.analysis.metrics import RunResult
+
+        result = RunResult(
+            scenario="S1", initial_distance=70.0, attack_type=None,
+            strategy="No-Attack", seed=0, driver_enabled=True, duration=0.0,
+        )
+        ctx, pipeline = sim.build_pipeline(result)
+        assert pipeline.stage_names == (
+            "sense", "perceive", "plan", "inject", "drive", "actuate", "detect", "record",
+        )
+        # The context is seeded with the initial world observation.
+        assert ctx.lead_gap == pytest.approx(70.0)
+        assert ctx.ego_speed == sim.world.ego.state.speed
+
+    def test_context_objects_are_reused_across_cycles(self):
+        sim = Simulation(SimulationConfig(scenario="S1", max_steps=10))
+        from repro.analysis.metrics import RunResult
+
+        result = RunResult(
+            scenario="S1", initial_distance=70.0, attack_type=None,
+            strategy="No-Attack", seed=0, driver_enabled=True, duration=0.0,
+        )
+        ctx, pipeline = sim.build_pipeline(result)
+        car_state = ctx.car_state
+        long_plan = ctx.long_plan
+        executed = ctx.executed_command
+        for _ in range(5):
+            pipeline.run_cycle(ctx)
+        assert ctx.car_state is car_state
+        assert ctx.long_plan is long_plan
+        assert ctx.executed_command is executed
+        assert ctx.end_time == pytest.approx(0.05)
