@@ -20,7 +20,7 @@ import json
 import sys
 
 
-def main() -> int:
+def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="committed BENCH_throughput.json")
     parser.add_argument("--current", required=True, help="freshly measured BENCH_throughput.json")
@@ -30,12 +30,23 @@ def main() -> int:
         default=0.20,
         help="maximum allowed fractional drop in single-run steps/s (default 0.20)",
     )
-    args = parser.parse_args()
+    args = parser.parse_args(argv)
 
-    with open(args.baseline) as handle:
-        baseline = json.load(handle)
-    with open(args.current) as handle:
-        current = json.load(handle)
+    try:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read baseline {args.baseline}: {error}")
+        return 1
+    try:
+        with open(args.current) as handle:
+            current = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"cannot read current measurement {args.current}: {error}")
+        return 1
+    if not isinstance(baseline, dict) or not isinstance(current, dict):
+        print("benchmark files must contain a JSON object")
+        return 1
 
     key = "single_run_steps_per_second"
     try:

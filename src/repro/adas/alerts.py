@@ -15,8 +15,8 @@ Every alert is published on the ``alertEvent`` service so the (simulated)
 driver can perceive it.
 """
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List
 
 from repro.adas.lateral import LateralPlan
 from repro.adas.longitudinal import LongitudinalPlan

@@ -17,7 +17,7 @@ Each control cycle the :class:`OpenPilot` object
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, List
 
 from repro.adas.alerts import Alert, AlertManager, AlertThresholds
 from repro.adas.driver_monitoring import DriverMonitoring
@@ -166,18 +166,53 @@ class OpenPilot:
         The final (possibly corrupted) command always lands in
         ``ctx.adas_command``, whatever object the hooks returned.
         """
+        if self.emit_publish_into(ctx):
+            cmd = ctx.adas_command
+            self._send_can(ctx.time, cmd)
+            self._previous_steering_deg = cmd.steering_angle_deg
+
+    def emit_publish_into(self, ctx) -> bool:
+        """The inject stage minus the actuator CAN send (batch fast path).
+
+        Runs the output hooks, alert evaluation and publications exactly
+        like :meth:`inject_into`, leaving the final command in
+        ``ctx.adas_command``, and returns whether the actuator frames
+        still need to be sent (i.e. the ADAS is engaged).  The lockstep
+        batch executor gathers the commands of every run that returns
+        True and encodes them in one vectorised pass; the scalar path
+        sends them via :meth:`_send_can` right away.
+        """
         cmd = ctx.adas_command
         pre = ctx.pre_hook_command
         cmd.accel = pre.accel
         cmd.brake = pre.brake
         cmd.steering_angle_deg = pre.steering_angle_deg
-        final, _ = self._emit_cycle(
+        final, _ = self._emit_publish(
             ctx.time, ctx.car_state, ctx.long_plan, ctx.lat_plan, cmd
         )
         if final is not cmd:
             cmd.accel = final.accel
             cmd.brake = final.brake
             cmd.steering_angle_deg = final.steering_angle_deg
+        return self._engaged
+
+    def advance_can_counter(self) -> int:
+        """Advance and return the rolling counter for one command-frame pair."""
+        self._can_counter = (self._can_counter + 1) & 0x3
+        return self._can_counter
+
+    def send_can_payloads(
+        self, time: float, steering_payload: bytes, acc_payload: bytes,
+        steering_angle_deg: float,
+    ) -> None:
+        """Send pre-encoded actuator payloads (same frame order as
+        :meth:`_send_can`) and record the commanded steering angle for the
+        next cycle's output rate limit."""
+        self.can_bus.send(
+            CANFrame(self._addr_steering_control, steering_payload, timestamp=time)
+        )
+        self.can_bus.send(CANFrame(self._addr_acc_control, acc_payload, timestamp=time))
+        self._previous_steering_deg = steering_angle_deg
 
     # -- cycle internals ---------------------------------------------------
 
@@ -233,6 +268,21 @@ class OpenPilot:
         Returns the final command (hooks may substitute a new object) and
         the newly raised alerts.
         """
+        command, new_alerts = self._emit_publish(time, car_state, long_plan, lat_plan, command)
+        if self._engaged:
+            self._send_can(time, command)
+            self._previous_steering_deg = command.steering_angle_deg
+        return command, new_alerts
+
+    def _emit_publish(
+        self,
+        time: float,
+        car_state: CarState,
+        long_plan: LongitudinalPlan,
+        lat_plan: LateralPlan,
+        command: ActuatorCommand,
+    ) -> "tuple[ActuatorCommand, List[Alert]]":
+        """Hooks + alerts + publications — everything up to the CAN send."""
         if self._engaged:
             for hook in self._output_hooks:
                 command = hook(time, command, car_state)
@@ -281,15 +331,11 @@ class OpenPilot:
         controls_state.alert_status = alert_status
         self.pub_master.send("controlsState", controls_state)
 
-        if self._engaged:
-            self._send_can(time, command)
-            self._previous_steering_deg = command.steering_angle_deg
-
         return command, new_alerts
 
     def _send_can(self, time: float, command: ActuatorCommand) -> None:
         """Encode and send the actuator command frames on the CAN bus."""
-        self._can_counter = (self._can_counter + 1) & 0x3
+        self.advance_can_counter()
         self.can_bus.send(
             CANFrame(
                 self._addr_steering_control,

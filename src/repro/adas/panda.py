@@ -9,7 +9,7 @@ survive on a real car.  This module implements the checks so experiments
 and tests can ask "would Panda have blocked this frame sequence?".
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.adas.limits import PANDA_LIMITS, SafetyLimits

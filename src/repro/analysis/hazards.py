@@ -11,7 +11,7 @@ Hazards are evaluated on ground truth (the simulator state), independent
 of what the ADAS or the attacker believe.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional
 

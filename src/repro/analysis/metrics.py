@@ -10,7 +10,7 @@ first hazard, i.e. the budget available for detection and mitigation).
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.analysis.hazards import HazardEvent, HazardType
+from repro.analysis.hazards import HazardEvent
 from repro.sim.collision import CollisionEvent
 from repro.sim.world import TrajectorySample
 

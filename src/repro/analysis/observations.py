@@ -7,7 +7,7 @@ requiring the absolute numbers to match.
 """
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.analysis.metrics import RunResult
 from repro.analysis.results import AttackTypeSummary, StrategySummary

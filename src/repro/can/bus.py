@@ -74,6 +74,18 @@ class CANBus:
         return self._frames.get(address)
 
     @property
+    def has_transformers(self) -> bool:
+        """True when at least one man-in-the-middle transformer is active.
+
+        The lockstep batch executor uses this to decide whether the
+        encode→send→decode round trip of a control cycle may be collapsed
+        into an array read: with a transformer registered, the stored
+        frame can differ from the sent one, so every decode must go
+        through the bus.
+        """
+        return bool(self._transformers)
+
+    @property
     def sent_count(self) -> int:
         """Total number of frames sent on this bus."""
         return self._sent_count

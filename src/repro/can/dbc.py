@@ -25,10 +25,15 @@ a :class:`MessagePlan` per message at construction time:
 * the whole payload is converted to/from a single Python int (one
   ``int.from_bytes`` per decode rather than one per signal);
 * each plan keeps a preallocated encode buffer;
-* each plan memoizes the physical values of the most recently seen
-  payload, so decoding a frame that was just encoded (or decoding the
-  same frame twice in one step) skips the bit unpacking *and* the
-  checksum verification entirely.
+* each plan memoizes the payloads it has recently seen in a small
+  bounded dict, so decoding a frame that was just encoded (or decoding
+  the same frame twice in one step) skips the bit unpacking *and* the
+  checksum verification entirely.  The memo is multi-entry (rather than
+  last-payload-only) because the lockstep batch executor
+  (:mod:`repro.kernel.batch`) interleaves the encode/decode cycles of
+  many runs through the same shared plan; per-payload raw fields are
+  extracted lazily from the memoized packed int, so a memo entry costs
+  no per-signal work until a signal is actually requested.
 
 ``decode(frame, signals=(...))`` decodes only a subset of signals and
 ``decode_signal(frame, name)`` is the single-field fast path; both are
@@ -188,6 +193,11 @@ class _FieldPlan:
 #: Sentinel distinguishing "signal not in the values dict" from any value.
 _MISSING = object()
 
+#: Decode-memo entries kept per plan before the memo is wholesale cleared.
+#: Sized for a full lockstep batch (every run contributes one payload per
+#: message per step) with plenty of slack; clearing is O(1) amortized.
+_MEMO_CAPACITY = 256
+
 
 def _float_literal(value: float) -> str:
     """A source literal that round-trips to exactly ``value``."""
@@ -212,7 +222,6 @@ def _compile_encode_source(message: MessageDef, fields: "Dict[str, _FieldPlan]")
         "            f\"unknown signals for message {self.message.name!r}: {sorted(unknown)}\"",
         "        )",
         "    acc = 0",
-        "    raws = {}",
     ]
     for name, plan in fields.items():
         if name in ("CHECKSUM", "COUNTER"):
@@ -244,14 +253,12 @@ def _compile_encode_source(message: MessageDef, fields: "Dict[str, _FieldPlan]")
             lines.append(f"        elif raw > {plan.mask}:")
             lines.append(f"            raw = {plan.mask}")
         lines.append(f"        acc = (acc & {plan.clear_mask}) | (raw << {plan.shift})")
-        lines.append(f"        raws[{name!r}] = raw")
     counter_plan = fields.get("COUNTER")
     if counter_plan is not None:
         lines.append(f"    raw = counter & {counter_plan.mask}")
         lines.append(
             f"    acc = (acc & {counter_plan.clear_mask}) | (raw << {counter_plan.shift})"
         )
-        lines.append("    raws['COUNTER'] = raw")
     lines.append("    buffer = self._buffer")
     lines.append(f"    buffer[:] = acc.to_bytes({message.length}, 'big')")
     if message.checksummed:
@@ -262,25 +269,12 @@ def _compile_encode_source(message: MessageDef, fields: "Dict[str, _FieldPlan]")
         lines.append("    buffer[-1] = (buffer[-1] & 240) | checksum")
         lines.append("    acc = (acc & -16) | checksum")
     lines.append("    data = bytes(buffer)")
-    checksum_plan = fields.get("CHECKSUM")
-    if checksum_plan is not None:
-        lines.append(
-            f"    raws['CHECKSUM'] = (acc >> {checksum_plan.shift}) & {checksum_plan.mask}"
-        )
-    lines.append("    self._memo_raws = raws")
-    lines.append("    self._memo_values = {}")
-    lines.append("    self._memo_data = data")
-    lines.append(f"    self._memo_checked = {message.checksummed}")
+    lines.append("    memo = self._memo")
+    lines.append("    if len(memo) >= _MEMO_CAPACITY:")
+    lines.append("        memo.clear()")
+    lines.append(f"    memo[data] = [acc, {{}}, {message.checksummed}]")
     lines.append("    return data")
     return "\n".join(lines)
-
-
-def _compile_unpack_source(fields: "Dict[str, _FieldPlan]") -> str:
-    """Generate a ``lambda value: {...}`` unpacking every raw field."""
-    items = ", ".join(
-        f"{name!r}: (value >> {plan.shift}) & {plan.mask}" for name, plan in fields.items()
-    )
-    return f"lambda value: {{{items}}}"
 
 
 class MessagePlan:
@@ -304,17 +298,19 @@ class MessagePlan:
         namespace = {
             "_MISSING": _MISSING,
             "_nibble_sum": NIBBLE_SUMS.__getitem__,
+            "_MEMO_CAPACITY": _MEMO_CAPACITY,
         }
         exec(_compile_encode_source(message, self.fields), namespace)
         self._compiled_encode = namespace["_compiled_encode"]
-        self._unpack_raws = eval(_compile_unpack_source(self.fields))
-        # Single-entry decode memo for the last payload seen: raw field
-        # values plus a lazily filled physical-value cache, so encoding a
-        # frame costs no scaling work and decoding it back only scales the
-        # signals actually requested.
-        self._memo_data: Optional[bytes] = None
-        self._memo_checked = False
-        self._memo_raws: Dict[str, int] = {}
+        # Bounded decode memo, keyed by payload bytes.  Each entry is
+        # ``[packed_int, values_cache, checksum_verified]``: the packed
+        # payload int (raw fields are shifted out of it lazily), a
+        # lazily filled physical-value cache, and whether the checksum
+        # has already been verified for this payload.  Multi-entry so the
+        # lockstep batch executor's interleaved encode/decode cycles
+        # (one per run) all stay memo-hits.
+        self._memo: Dict[bytes, list] = {}
+        self._memo_acc = 0
         self._memo_values: Dict[str, float] = {}
 
     # -- encode ----------------------------------------------------------
@@ -332,16 +328,19 @@ class MessagePlan:
     # -- decode ----------------------------------------------------------
 
     def _refresh_memo(self, frame: CANFrame, check: bool) -> None:
-        """Point the memo at ``frame.data``, unpacking raws on a miss."""
+        """Point the memo at ``frame.data``, registering it on a miss."""
         data = frame.data
         message = self.message
-        if data == self._memo_data:
-            if check and message.checksummed and not self._memo_checked:
+        entry = self._memo.get(data)
+        if entry is not None:
+            if check and message.checksummed and not entry[2]:
                 if not verify_checksum(message.address, data):
                     raise ValueError(
                         f"checksum mismatch on message {message.name!r} ({message.address:#x})"
                     )
-                self._memo_checked = True
+                entry[2] = True
+            self._memo_acc = entry[0]
+            self._memo_values = entry[1]
             return
         if len(data) != message.length:
             raise ValueError(
@@ -355,10 +354,14 @@ class MessagePlan:
                     f"checksum mismatch on message {message.name!r} ({message.address:#x})"
                 )
             checked = True
-        self._memo_raws = self._unpack_raws(int.from_bytes(data, "big"))
-        self._memo_values = {}
-        self._memo_data = data
-        self._memo_checked = checked
+        memo = self._memo
+        if len(memo) >= _MEMO_CAPACITY:
+            memo.clear()
+        acc = int.from_bytes(data, "big")
+        values: Dict[str, float] = {}
+        memo[data] = [acc, values, checked]
+        self._memo_acc = acc
+        self._memo_values = values
 
     def _physical(self, name: str) -> float:
         """Physical value of ``name`` for the memoized payload (lazy)."""
@@ -366,7 +369,7 @@ class MessagePlan:
         value = values.get(name)
         if value is None:
             plan = self.fields[name]  # KeyError -> unknown signal
-            value = plan.to_physical(self._memo_raws.get(name, 0))
+            value = plan.to_physical((self._memo_acc >> plan.shift) & plan.mask)
             values[name] = value
         return value
 

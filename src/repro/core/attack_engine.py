@@ -8,8 +8,8 @@ CAN-level deployment of the same engine is provided by
 :class:`repro.core.can_tamper.CanAttackInterceptor`.
 """
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

@@ -10,7 +10,7 @@ knowledge.
 """
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List
 
 from repro.core.attack_types import ControlAction
 from repro.core.state_inference import InferredContext

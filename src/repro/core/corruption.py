@@ -16,7 +16,6 @@ supported:
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional
 
 from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS, SafetyLimits
 from repro.core.attack_types import AttackSpec

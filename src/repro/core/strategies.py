@@ -17,7 +17,7 @@ chosen dynamically by the value-corruption optimiser (Eq. 1–3).
 """
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -12,7 +12,6 @@ from typing import Dict, List, Optional, Sequence
 from repro.analysis.metrics import RunResult
 from repro.analysis.results import StrategySummary, format_table_iv, summarize_strategy
 from repro.core.strategies import (
-    AttackStrategy,
     ContextAwareStrategy,
     NoAttackStrategy,
     RandomDurationStrategy,
@@ -73,6 +72,7 @@ def run_table4(
     strategies: Sequence = TABLE4_STRATEGIES,
     attack_types: Sequence = ALL_ATTACK_TYPES,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Table4Result:
     """Run the Table IV experiment grid and aggregate it.
 
@@ -83,13 +83,16 @@ def run_table4(
         attack_types: Attack types included in the grid.
         workers: Worker processes per campaign (> 1 enables the parallel
             executor; results are identical to a sequential run).
+        batch_size: Lockstep batch width per worker (> 1 steps that many
+            runs through the kernel together; identical results, higher
+            per-core throughput).
     """
     scale = scale or ExperimentScale.from_environment()
     result = Table4Result()
     for strategy_cls in strategies:
         config = _campaign_for(strategy_cls, scale, attack_types)
         campaign = Campaign(config, strategy_factory=strategy_cls)
-        runs = campaign.run(workers=workers)
+        runs = campaign.run(workers=workers, batch_size=batch_size)
         result.runs[strategy_cls.name] = runs
         result.summaries.append(summarize_strategy(strategy_cls.name, runs))
     return result

@@ -48,6 +48,7 @@ def _run_mode(
     scale: ExperimentScale,
     driver_enabled: bool,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RunResult]:
     config = CampaignConfig(
         strategy_name=strategy_cls.name,
@@ -58,11 +59,15 @@ def _run_mode(
         driver_enabled=driver_enabled,
         master_seed=scale.master_seed,
     )
-    return Campaign(config, strategy_factory=strategy_cls).run(workers=workers)
+    return Campaign(config, strategy_factory=strategy_cls).run(
+        workers=workers, batch_size=batch_size
+    )
 
 
 def run_table5(
-    scale: Optional[ExperimentScale] = None, workers: Optional[int] = None
+    scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> Table5Result:
     """Run the Table V experiment and aggregate it.
 
@@ -70,6 +75,9 @@ def run_table5(
         scale: Grid dimensions.
         workers: Worker processes per campaign (> 1 enables the parallel
             executor; results are identical to a sequential run).
+        batch_size: Lockstep batch width per worker (> 1 steps that many
+            runs through the kernel together; identical results, higher
+            per-core throughput).
     """
     scale = scale or ExperimentScale.from_environment()
     result = Table5Result()
@@ -78,8 +86,12 @@ def run_table5(
         ("fixed", ContextAwareFixedValueStrategy),
         ("strategic", ContextAwareStrategy),
     ):
-        with_driver = _run_mode(strategy_cls, scale, driver_enabled=True, workers=workers)
-        without_driver = _run_mode(strategy_cls, scale, driver_enabled=False, workers=workers)
+        with_driver = _run_mode(
+            strategy_cls, scale, driver_enabled=True, workers=workers, batch_size=batch_size
+        )
+        without_driver = _run_mode(
+            strategy_cls, scale, driver_enabled=False, workers=workers, batch_size=batch_size
+        )
         result.runs[f"{key}/driver"] = with_driver
         result.runs[f"{key}/no-driver"] = without_driver
         summaries = summarize_by_attack_type(with_driver, without_driver)

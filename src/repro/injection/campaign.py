@@ -8,7 +8,7 @@ with deterministic per-run seeding and returns the :class:`RunResult`
 records for aggregation.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -111,8 +111,14 @@ class Campaign:
                             seed=seed,
                         )
 
-    def run_cell(self, cell: CampaignCell) -> RunResult:
-        """Run one cell of the grid."""
+    def cell_task(self, cell: CampaignCell) -> "Tuple[SimulationConfig, Optional[AttackStrategy]]":
+        """The ``(SimulationConfig, strategy)`` pair for one grid cell.
+
+        Single place the cell → simulation mapping lives; :meth:`run_cell`
+        executes it directly and the lockstep batch executor collects many
+        of them (each call builds a fresh strategy instance, which batched
+        execution requires).
+        """
         config = SimulationConfig(
             scenario=cell.scenario,
             initial_distance=cell.initial_distance,
@@ -122,6 +128,11 @@ class Campaign:
             max_steps=self.config.max_steps,
         )
         strategy = self.strategy_factory() if cell.attack_type is not None else None
+        return config, strategy
+
+    def run_cell(self, cell: CampaignCell) -> RunResult:
+        """Run one cell of the grid."""
+        config, strategy = self.cell_task(cell)
         return run_simulation(config, strategy)
 
     def run(
@@ -130,6 +141,7 @@ class Campaign:
         parallel: bool = False,
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ) -> List[RunResult]:
         """Run the whole campaign.
 
@@ -143,12 +155,24 @@ class Campaign:
                 ``parallel=True`` (default: one worker per CPU when
                 parallel).
             chunk_size: Cells per dispatched chunk (parallel only).
+            batch_size: Lockstep batch width (> 1 steps that many runs
+                through the kernel together, amortising the per-step
+                Python dispatch; see :class:`repro.kernel.BatchRunner`).
+                Composes with ``workers``: each pool worker batches the
+                cells of its chunk.  Results are bit-identical either way.
         """
         if parallel or (workers is not None and workers > 1):
             from repro.injection.executor import ParallelCampaignRunner
 
-            runner = ParallelCampaignRunner(self, workers=workers, chunk_size=chunk_size)
+            runner = ParallelCampaignRunner(
+                self, workers=workers, chunk_size=chunk_size, batch_size=batch_size
+            )
             return runner.run(progress=progress)
+        if batch_size is not None and batch_size > 1:
+            from repro.kernel.batch import run_batched
+
+            tasks = [self.cell_task(cell) for cell in self.cells()]
+            return run_batched(tasks, batch_size=batch_size, progress=progress)
         results: List[RunResult] = []
         total = self.config.total_runs
         for index, cell in enumerate(self.cells(), start=1):
@@ -162,6 +186,7 @@ def run_campaign(
     config: CampaignConfig,
     strategy_factory: Optional[StrategyFactory] = None,
     workers: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: build and run a campaign."""
-    return Campaign(config, strategy_factory).run(workers=workers)
+    return Campaign(config, strategy_factory).run(workers=workers, batch_size=batch_size)

@@ -175,8 +175,14 @@ class Simulation:
         )
         return ctx, pipeline
 
-    def run(self) -> RunResult:
-        """Run the simulation to completion and return the result record."""
+    def prepare(self) -> "tuple[RunResult, StepContext, StepPipeline]":
+        """Build the result record, context and pipeline for one run.
+
+        Split out of :meth:`run` so the lockstep batch executor
+        (:mod:`repro.kernel.batch`) can own the cycle loop itself; the
+        pair ``prepare()`` / ``finalize()`` brackets exactly what
+        :meth:`run` does around its loop.
+        """
         config = self.config
         scenario = self.world.config.scenario
         result = RunResult(
@@ -188,14 +194,11 @@ class Simulation:
             driver_enabled=config.driver_enabled,
             duration=0.0,
         )
-
         ctx, pipeline = self.build_pipeline(result)
-        run_cycle = pipeline.run_cycle
-        for _ in range(config.max_steps):
-            run_cycle(ctx)
-            if ctx.stop:
-                break
+        return result, ctx, pipeline
 
+    def finalize(self, result: RunResult, ctx: StepContext) -> RunResult:
+        """Post-loop accounting: durations, driver/attack records, trajectory."""
         result.duration = self.world.time
         result.lane_invasions = ctx.lane_invasions
         result.driver_perceived = self.driver.perceived
@@ -210,9 +213,19 @@ class Simulation:
             result.attack_stopped_by_driver = record.stopped_by_driver
             self.attack_engine.close()
 
-        if config.record_trajectory:
+        if self.config.record_trajectory:
             result.trajectory = list(self.world.trajectory)
         return result
+
+    def run(self) -> RunResult:
+        """Run the simulation to completion and return the result record."""
+        result, ctx, pipeline = self.prepare()
+        run_cycle = pipeline.run_cycle
+        for _ in range(self.config.max_steps):
+            run_cycle(ctx)
+            if ctx.stop:
+                break
+        return self.finalize(result, ctx)
 
 
 def run_simulation(

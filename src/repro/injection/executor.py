@@ -56,6 +56,8 @@ SimulationTask = Tuple[SimulationConfig, Optional[AttackStrategy]]
 _FORK_CAMPAIGN: Optional["Campaign"] = None
 # Per-worker campaign, set by the pool initializer.
 _WORKER_CAMPAIGN: Optional["Campaign"] = None
+# Per-worker lockstep batch width (None/1 = scalar), set by the initializers.
+_WORKER_BATCH_SIZE: Optional[int] = None
 
 
 def default_worker_count() -> int:
@@ -67,10 +69,17 @@ def _chunked(items: Sequence, chunk_size: int) -> List[Sequence]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
-def _init_worker(campaign: Optional["Campaign"]) -> None:
-    """Pool initializer: install the campaign this worker will run."""
-    global _WORKER_CAMPAIGN
+def _init_worker(campaign: Optional["Campaign"], batch_size: Optional[int] = None) -> None:
+    """Pool initializer: install the campaign and batch width for this worker."""
+    global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE
     _WORKER_CAMPAIGN = campaign if campaign is not None else _FORK_CAMPAIGN
+    _WORKER_BATCH_SIZE = batch_size
+
+
+def _init_task_worker(batch_size: Optional[int]) -> None:
+    """Pool initializer for ad-hoc task chunks: install the batch width."""
+    global _WORKER_BATCH_SIZE
+    _WORKER_BATCH_SIZE = batch_size
 
 
 def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int, List[RunResult]]:
@@ -79,12 +88,24 @@ def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int
     campaign = _WORKER_CAMPAIGN
     if campaign is None:  # pragma: no cover - defensive
         raise RuntimeError("worker has no campaign installed")
+    batch_size = _WORKER_BATCH_SIZE
+    if batch_size is not None and batch_size > 1 and len(cells) > 1:
+        from repro.kernel.batch import run_batched
+
+        return chunk_index, run_batched(
+            [campaign.cell_task(cell) for cell in cells], batch_size=batch_size
+        )
     return chunk_index, [campaign.run_cell(cell) for cell in cells]
 
 
 def _run_tasks(indexed_chunk: Tuple[int, Sequence[SimulationTask]]) -> Tuple[int, List[RunResult]]:
     """Worker body: run one chunk of ad-hoc simulation tasks."""
     chunk_index, tasks = indexed_chunk
+    batch_size = _WORKER_BATCH_SIZE
+    if batch_size is not None and batch_size > 1 and len(tasks) > 1:
+        from repro.kernel.batch import run_batched
+
+        return chunk_index, run_batched(tasks, batch_size=batch_size)
     return chunk_index, [run_simulation(config, strategy) for config, strategy in tasks]
 
 
@@ -142,6 +163,12 @@ class ParallelCampaignRunner:
         chunk_size: Cells per dispatched chunk (default: the grid split
             into ~4 chunks per worker, so stragglers rebalance while the
             per-chunk dispatch overhead stays negligible).
+        batch_size: Lockstep batch width *within* each worker (> 1 steps
+            that many of a chunk's runs through the kernel together; see
+            :class:`repro.kernel.BatchRunner`).  Orthogonal to ``workers``
+            — the pool scales across cores, the batch amortises per-step
+            dispatch within one core.  Chunks are capped at ``~total /
+            (workers * 4)`` cells, which also caps the effective batch.
     """
 
     def __init__(
@@ -149,10 +176,12 @@ class ParallelCampaignRunner:
         campaign: "Campaign",
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        batch_size: Optional[int] = None,
     ):
         self.campaign = campaign
         self.workers = max(1, workers if workers is not None else default_worker_count())
         self.chunk_size = chunk_size
+        self.batch_size = batch_size
 
     def _resolve_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -168,6 +197,12 @@ class ParallelCampaignRunner:
             return []
         if self.workers == 1 or total == 1:
             # In-process fallback: identical code path to Campaign.run().
+            batch_size = self.batch_size
+            if batch_size is not None and batch_size > 1 and total > 1:
+                from repro.kernel.batch import run_batched
+
+                tasks = [self.campaign.cell_task(cell) for cell in cells]
+                return run_batched(tasks, batch_size=batch_size, progress=progress)
             results = []
             for index, cell in enumerate(cells, start=1):
                 results.append(self.campaign.run_cell(cell))
@@ -182,9 +217,9 @@ class ParallelCampaignRunner:
             # strategy factory, including closures); non-fork platforms
             # pickle it through the initializer instead.
             _FORK_CAMPAIGN = self.campaign
-            initargs: tuple = (None,)
+            initargs: tuple = (None, self.batch_size)
         else:
-            initargs = (self.campaign,)
+            initargs = (self.campaign, self.batch_size)
         try:
             return _dispatch(
                 _run_cells,
@@ -205,15 +240,22 @@ def run_simulations(
     workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    batch_size: Optional[int] = None,
 ) -> List[RunResult]:
     """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
-    in parallel, preserving input order.
+    in parallel and/or lockstep-batched, preserving input order.
 
     Used by the Figure 8 parameter-space sweep, which is a plain list of
     simulations rather than a campaign grid.  Unlike the campaign runner
     (whose strategy *factory* is inherited by forked workers), the tasks
     themselves are pickled to the pool, so strategy objects must be
     picklable whenever more than one task runs with ``workers > 1``.
+
+    ``batch_size > 1`` steps that many runs through the kernel together
+    (per worker, when combined with ``workers > 1``); results are
+    bit-identical to sequential execution.  Batched execution keeps many
+    runs live at once, so each task needs its own strategy instance — the
+    batch runner rejects shared strategy objects loudly.
     """
     tasks = list(tasks)
     total = len(tasks)
@@ -221,6 +263,10 @@ def run_simulations(
         return []
     workers = max(1, workers if workers is not None else 1)
     if workers == 1 or total == 1:
+        if batch_size is not None and batch_size > 1 and total > 1:
+            from repro.kernel.batch import run_batched
+
+            return run_batched(tasks, batch_size=batch_size, progress=progress)
         results = []
         for index, (config, strategy) in enumerate(tasks, start=1):
             results.append(run_simulation(config, strategy))
@@ -232,4 +278,13 @@ def run_simulations(
         chunk_size = max(1, -(-total // (workers * 4)))
     chunks = list(enumerate(_chunked(tasks, chunk_size)))
     context, _ = _pool_context()
-    return _dispatch(_run_tasks, chunks, total, workers, progress, context)
+    return _dispatch(
+        _run_tasks,
+        chunks,
+        total,
+        workers,
+        progress,
+        context,
+        initializer=_init_task_worker,
+        initargs=(batch_size,),
+    )

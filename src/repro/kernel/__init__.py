@@ -10,11 +10,17 @@ ordered :class:`~repro.kernel.pipeline.StepPipeline`::
 :class:`~repro.injection.engine.Simulation` assembles the pipeline from
 the concrete stages in :mod:`repro.kernel.stages`; the context is
 preallocated once per run and reused every cycle, so the hot loop is free
-of per-step dataclass construction.  The pipeline is the extension point
-for future batched / vectorised execution (see ``StepPipeline.inserted``
-/ ``StepPipeline.replaced``).
+of per-step dataclass construction.  Batched lockstep execution of many
+runs — one inner loop per stage over the whole batch, with the hot CAN
+codec work vectorised across runs — lives in :mod:`repro.kernel.batch`
+(:class:`BatchRunner`, which builds its stage columns across the
+per-run pipelines).  For custom pipelines, every stage also accepts a
+context *slice* via ``PipelineStage.run_batch`` (default: loop ``run``)
+and ``StepPipeline.run_cycle_batch`` walks the stage columns of one
+pipeline — the hook for vectorising an individual stage.
 """
 
+from repro.kernel.batch import BatchKinematics, BatchRunner, run_batched
 from repro.kernel.context import StepContext
 from repro.kernel.pipeline import PipelineStage, StepPipeline
 from repro.kernel.stages import (
@@ -30,6 +36,8 @@ from repro.kernel.stages import (
 
 __all__ = [
     "ActuateStage",
+    "BatchKinematics",
+    "BatchRunner",
     "DetectStage",
     "DriveStage",
     "InjectStage",
@@ -40,4 +48,5 @@ __all__ = [
     "SenseStage",
     "StepContext",
     "StepPipeline",
+    "run_batched",
 ]

@@ -1,0 +1,495 @@
+"""Lockstep batched execution of many simulations through the kernel.
+
+A fault-injection campaign is thousands of *independent* short runs, each
+spending its time in the same eight pipeline stages.  The
+:class:`BatchRunner` steps ``N`` runs in lockstep — one inner loop per
+stage over all active runs (``sense`` over the whole batch, then
+``perceive`` over the whole batch, …) — so the per-step work that is
+structurally identical across runs can be amortised over the batch:
+
+* the four hot CAN encodes per run-step collapse into one vectorised
+  :class:`~repro.can.batch_codec.BatchMessageCodec` pass per message;
+* the encode→send→decode round trip of each cycle (the car reading back
+  its own state frames, the actuators decoding the just-sent commands)
+  collapses into an array read-back — legal because the payload a
+  transformer-free bus stores is exactly the payload the codec produced,
+  and the physical values a decoder recovers from it are
+  ``raw * factor + offset`` over the raws the codec retained;
+* the cross-run hot kinematics (ego/lead speed, gap — plus TTC and
+  headway derived on demand) live in shared structure-of-arrays form
+  (:class:`BatchKinematics`), gathered once per lockstep cycle in the
+  actuate column — the substrate for vectorised cross-run detectors and
+  telemetry.
+
+Runs that finish (early-stop after a collision, or ``max_steps``) are
+retired immediately and their slot refilled from the pending queue, so
+batches stay dense and the codec always works on a contiguous prefix.
+
+Equivalence
+-----------
+
+Batched execution is **bit-for-bit identical** to sequential execution:
+runs share no mutable state (each has its own buses, world, ADAS, RNGs),
+the vectorised codec is byte-identical to the scalar encoder, and the
+fused decode reproduces the scalar decode arithmetic exactly.  The
+golden-run suite replays all 21 goldens through ``batch_size`` 1, 4 and 8
+(``tests/integration/test_batch_equivalence.py``).  Runs whose bus has a
+man-in-the-middle transformer registered fall back to their per-run
+scalar stages inside the same lockstep loop.
+
+Composition with the process pool: batching amortises Python dispatch
+*within* a worker, the pool scales *across* cores — ``workers=N``
+together with ``batch_size=M`` runs N lockstep batches of M.
+"""
+
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple, cast
+
+import numpy as np
+
+from repro.analysis.metrics import RunResult
+from repro.can.batch_codec import BatchMessageCodec
+from repro.can.honda import HONDA_DBC
+from repro.kernel.context import StepContext
+from repro.kernel.stages import DriveStage
+from repro.sim.units import clamp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.strategies import AttackStrategy
+    from repro.injection.engine import Simulation, SimulationConfig
+
+#: One unit of batched work: a simulation configuration plus the strategy
+#: instance for that run (``None`` for attack-free runs).  Strategy
+#: objects must not be shared between tasks — lockstep execution keeps
+#: many strategies live at once.
+BatchTask = Tuple["SimulationConfig", Optional["AttackStrategy"]]
+
+ProgressCallback = Callable[[int, int], None]
+
+#: Default lockstep width: wide enough that the vectorised codec passes
+#: amortise their numpy dispatch, small enough that short attacked runs
+#: do not leave the tail of a huge batch running alone.
+DEFAULT_BATCH_SIZE = 16
+
+#: Below this many active runs the vectorised codec's fixed numpy
+#: dispatch cost no longer beats per-run scalar encodes, so the lockstep
+#: loop falls back to the scalar stages (identical results either way).
+FUSED_MIN_ACTIVE = 3
+
+
+class BatchKinematics:
+    """Structure-of-arrays view of the cross-run hot kinematics.
+
+    One row per active run; the gathered rows (time, ego pose/speed, lead
+    gap/speed) are refreshed after every actuate column.
+    ``lead_gap``/``lead_speed`` are NaN for runs without a tracked lead.
+    ``ttc`` (time-to-collision under constant speeds) and ``headway``
+    (gap in seconds of travel) are derived vectorised **on demand** by
+    :meth:`derive` — consumers (vectorised cross-run detectors,
+    telemetry) call it when they need the derived rows, so the lockstep
+    hot loop pays only the scalar gathers.  Derived values are ``inf``
+    when not closing / standing still, NaN without a lead.
+    """
+
+    __slots__ = (
+        "capacity",
+        "n",
+        "time",
+        "ego_s",
+        "ego_d",
+        "ego_speed",
+        "lead_gap",
+        "lead_speed",
+        "ttc",
+        "headway",
+    )
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self.n = 0
+        self.time = np.zeros(capacity)
+        self.ego_s = np.zeros(capacity)
+        self.ego_d = np.zeros(capacity)
+        self.ego_speed = np.zeros(capacity)
+        self.lead_gap = np.zeros(capacity)
+        self.lead_speed = np.zeros(capacity)
+        self.ttc = np.zeros(capacity)
+        self.headway = np.zeros(capacity)
+
+    def gather(self, i: int, ctx: StepContext) -> None:
+        """Write one run's post-actuate context kinematics into row ``i``."""
+        self.time[i] = ctx.end_time
+        self.ego_s[i] = ctx.ego_s
+        self.ego_d[i] = ctx.ego_d
+        self.ego_speed[i] = ctx.ego_speed
+        if ctx.lead_gap is None:
+            self.lead_gap[i] = np.nan
+            self.lead_speed[i] = np.nan
+        else:
+            self.lead_gap[i] = ctx.lead_gap
+            self.lead_speed[i] = ctx.lead_speed
+
+    def derive(self, n: Optional[int] = None) -> None:
+        """Vectorised TTC/headway over the first ``n`` gathered rows
+        (default: the rows of the most recent lockstep cycle)."""
+        n = self.n if n is None else n
+        ego_speed = self.ego_speed
+        lead_speed = self.lead_speed
+        gap = self.lead_gap[:n]
+        closing = ego_speed[:n] - lead_speed[:n]
+        # Guard the denominators before dividing (cheaper than an errstate
+        # context per cycle): non-closing / standing-still rows divide by
+        # 1.0 and are overwritten with inf by the select.
+        self.ttc[:n] = np.where(
+            closing > 0.0, gap / np.where(closing > 0.0, closing, 1.0), np.inf
+        )
+        self.headway[:n] = np.where(
+            ego_speed[:n] > 0.0, gap / np.where(ego_speed[:n] > 0.0, ego_speed[:n], 1.0), np.inf
+        )
+        # Leadless rows (NaN gap) reach the inf branches above through the
+        # False comparisons; restore the documented no-lead marker.
+        no_lead = np.isnan(gap)
+        self.ttc[:n][no_lead] = np.nan
+        self.headway[:n][no_lead] = np.nan
+
+    def refresh(self, contexts: Sequence[StepContext]) -> None:
+        """Gather every context then derive TTC/headway (one-call form)."""
+        for i, ctx in enumerate(contexts):
+            self.gather(i, ctx)
+        self.n = len(contexts)
+        self.derive()
+
+
+class _Slot:
+    """One active run inside the lockstep batch."""
+
+    __slots__ = (
+        "index",
+        "sim",
+        "world",
+        "openpilot",
+        "ctx",
+        "result",
+        "remaining",
+        "fused",
+        "sent",
+        "sense_run",
+        "perceive_run",
+        "plan_run",
+        "inject_run",
+        "drive_stage",
+        "drive_run",
+        "actuate_run",
+        "detect_run",
+        "record_run",
+    )
+
+    def __init__(self, index: int, sim: "Simulation"):
+        self.index = index
+        self.sim = sim
+        self.world = sim.world
+        self.openpilot = sim.openpilot
+        result, ctx, pipeline = sim.prepare()
+        self.result = result
+        self.ctx = ctx
+        self.remaining = sim.config.max_steps
+        # The codec fast path requires the bus to store exactly the bytes
+        # the codec produced; a transformer breaks that, so such runs use
+        # their scalar stages (still inside the lockstep loop).
+        self.fused = not sim.world.can_bus.has_transformers
+        self.sent = False
+        self.sense_run = pipeline.stage("sense").run
+        self.perceive_run = pipeline.stage("perceive").run
+        self.plan_run = pipeline.stage("plan").run
+        self.inject_run = pipeline.stage("inject").run
+        self.drive_stage = cast(DriveStage, pipeline.stage("drive"))
+        self.drive_run = self.drive_stage.run
+        self.actuate_run = pipeline.stage("actuate").run
+        self.detect_run = pipeline.stage("detect").run
+        self.record_run = pipeline.stage("record").run
+
+
+class BatchRunner:
+    """Drives up to ``batch_size`` simulations in lockstep through the kernel.
+
+    Args:
+        batch_size: Lockstep width (number of preallocated run slots and
+            the row count of the shared SoA arrays).
+    """
+
+    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.batch_size = batch_size
+        self.kinematics = BatchKinematics(batch_size)
+        # The signal sets mirror the scalar call sites exactly; signals the
+        # scalar code passes as constants are folded into the accumulator
+        # base, and the 0/1 request bits take the integral fast path.
+        self._powertrain = BatchMessageCodec(
+            HONDA_DBC.plan_by_name("POWERTRAIN_DATA"),
+            ("XMISSION_SPEED", "ACCEL_MEASURED", "PEDAL_GAS", "BRAKE_PRESSED"),
+            batch_size,
+            constants={"GAS_PRESSED": 0.0},
+            integral=("BRAKE_PRESSED",),
+        )
+        self._steering_sensors = BatchMessageCodec(
+            HONDA_DBC.plan_by_name("STEERING_SENSORS"),
+            ("STEER_ANGLE",),
+            batch_size,
+            constants={"STEER_ANGLE_RATE": 0.0},
+        )
+        self._steering_control = BatchMessageCodec(
+            HONDA_DBC.plan_by_name("STEERING_CONTROL"),
+            ("STEER_ANGLE_CMD", "STEER_TORQUE"),
+            batch_size,
+            constants={"STEER_REQUEST": 1.0},
+        )
+        self._acc_control = BatchMessageCodec(
+            HONDA_DBC.plan_by_name("ACC_CONTROL"),
+            ("ACCEL_COMMAND", "BRAKE_COMMAND", "BRAKE_REQUEST"),
+            batch_size,
+            constants={"ACC_ON": 1.0},
+            integral=("BRAKE_REQUEST",),
+        )
+
+    def run_tasks(
+        self, tasks: Sequence[BatchTask], progress: Optional[ProgressCallback] = None
+    ) -> List[RunResult]:
+        """Run every task, lockstep-batched; results are in task order."""
+        from repro.injection.engine import Simulation  # local: avoids an import cycle
+
+        tasks = list(tasks)
+        total = len(tasks)
+        results: List[Optional[RunResult]] = [None] * total
+        pending: Iterator[Tuple[int, BatchTask]] = iter(enumerate(tasks))
+        active: List[_Slot] = []
+        live_strategies: set = set()
+
+        def admit() -> bool:
+            for index, (config, strategy) in pending:
+                if strategy is not None:
+                    if id(strategy) in live_strategies:
+                        raise ValueError(
+                            "batched execution requires one strategy instance per "
+                            "task (a strategy object is shared between tasks that "
+                            "would run concurrently)"
+                        )
+                    live_strategies.add(id(strategy))
+                active.append(_Slot(index, Simulation(config, strategy)))
+                return True
+            return False
+
+        while len(active) < self.batch_size and admit():
+            pass
+
+        completed = 0
+        while active:
+            self._cycle(active)
+            retired = False
+            for position in range(len(active) - 1, -1, -1):
+                slot = active[position]
+                slot.remaining -= 1
+                if not (slot.ctx.stop or slot.remaining <= 0):
+                    continue
+                results[slot.index] = slot.sim.finalize(slot.result, slot.ctx)
+                strategy = tasks[slot.index][1]
+                if strategy is not None:
+                    live_strategies.discard(id(strategy))
+                active[position] = active[-1]
+                active.pop()
+                retired = True
+                completed += 1
+                if progress is not None:
+                    progress(completed, total)
+            if retired:
+                while len(active) < self.batch_size and admit():
+                    pass
+        return results  # type: ignore[return-value]  # every slot was filled
+
+    # -- one lockstep cycle ------------------------------------------------
+
+    def _cycle(self, active: List[_Slot]) -> None:
+        if len(active) < FUSED_MIN_ACTIVE:
+            self._cycle_scalar(active)
+            return
+        powertrain = self._powertrain
+        steering_sensors = self._steering_sensors
+
+        # sense: per-run sensor publications, batched car-state CAN.
+        fused: List[_Slot] = []
+        speed_values = powertrain.values["XMISSION_SPEED"]
+        accel_values = powertrain.values["ACCEL_MEASURED"]
+        gas_values = powertrain.values["PEDAL_GAS"]
+        brake_values = powertrain.values["BRAKE_PRESSED"]
+        steer_values = steering_sensors.values["STEER_ANGLE"]
+        for slot in active:
+            if slot.fused and slot.world.can_bus.has_transformers:
+                # A transformer was attached mid-run (e.g. a CAN-level
+                # attack deployment): the codec read-back is no longer
+                # sound for this run — latch it onto the scalar stages.
+                slot.fused = False
+            if not slot.fused:
+                slot.sense_run(slot.ctx)
+                continue
+            world = slot.world
+            slot.ctx.time = world.time
+            world.publish_sensors()
+            i = len(fused)
+            speed, accel, pedal_gas, brake_pressed, steer, counter = (
+                world.batched_car_can_inputs()
+            )
+            speed_values[i] = speed
+            accel_values[i] = accel
+            gas_values[i] = pedal_gas
+            brake_values[i] = brake_pressed
+            powertrain.counters[i] = counter
+            steer_values[i] = steer
+            steering_sensors.counters[i] = counter
+            fused.append(slot)
+        if fused:
+            n = len(fused)
+            powertrain_payloads = powertrain.encode(n)
+            sensor_payloads = steering_sensors.encode(n)
+            for i, slot in enumerate(fused):
+                slot.world.send_car_can_frames(powertrain_payloads[i], sensor_payloads[i])
+
+        # perceive: fused read-back of the frames just encoded.
+        if fused:
+            v_ego = powertrain.physical("XMISSION_SPEED")
+            a_ego = powertrain.physical("ACCEL_MEASURED")
+            steer = steering_sensors.physical("STEER_ANGLE")
+            for i, slot in enumerate(fused):
+                slot.world.apply_fused_car_state(
+                    slot.ctx.car_state, float(v_ego[i]), float(a_ego[i]), float(steer[i])
+                )
+        for slot in active:
+            if not slot.fused:
+                slot.perceive_run(slot.ctx)
+
+        # plan
+        for slot in active:
+            slot.plan_run(slot.ctx)
+
+        # inject: per-run hooks/alerts/publications, batched actuator CAN.
+        steering_control = self._steering_control
+        acc_control = self._acc_control
+        send: List[_Slot] = []
+        angle_values = steering_control.values["STEER_ANGLE_CMD"]
+        torque_values = steering_control.values["STEER_TORQUE"]
+        accel_cmd_values = acc_control.values["ACCEL_COMMAND"]
+        brake_cmd_values = acc_control.values["BRAKE_COMMAND"]
+        brake_req_values = acc_control.values["BRAKE_REQUEST"]
+        for slot in active:
+            ctx = slot.ctx
+            slot.sent = False
+            if ctx.driver_engaged:
+                continue
+            if not slot.fused:
+                slot.inject_run(ctx)
+                continue
+            if not slot.openpilot.emit_publish_into(ctx):
+                continue
+            openpilot = slot.openpilot
+            if openpilot.can_bus.has_transformers:
+                # An output hook just attached a transformer (within this
+                # very cycle): send scalar so the transformer applies, and
+                # leave `sent` False so the drive column decodes the
+                # (possibly tampered) frames from the bus.
+                slot.fused = False
+                command = ctx.adas_command
+                openpilot._send_can(ctx.time, command)
+                openpilot._previous_steering_deg = command.steering_angle_deg
+                continue
+            i = len(send)
+            command = ctx.adas_command
+            angle = command.steering_angle_deg
+            angle_values[i] = angle
+            torque_values[i] = clamp(angle / 100.0, -1.0, 1.0)
+            accel_cmd_values[i] = command.accel
+            brake_cmd_values[i] = command.brake
+            brake_req_values[i] = 1.0 if command.brake > 0 else 0.0
+            counter = slot.openpilot.advance_can_counter()
+            steering_control.counters[i] = counter
+            acc_control.counters[i] = counter
+            send.append(slot)
+        if send:
+            n = len(send)
+            steering_payloads = steering_control.encode(n)
+            acc_payloads = acc_control.encode(n)
+            for i, slot in enumerate(send):
+                slot.openpilot.send_can_payloads(
+                    slot.ctx.time,
+                    steering_payloads[i],
+                    acc_payloads[i],
+                    slot.ctx.adas_command.steering_angle_deg,
+                )
+                slot.sent = True
+
+        # drive: fused read-back of the commands just sent, shared reaction.
+        if send:
+            steer_cmd = steering_control.physical("STEER_ANGLE_CMD")
+            accel_cmd = acc_control.physical("ACCEL_COMMAND")
+            brake_cmd = acc_control.physical("BRAKE_COMMAND")
+            for i, slot in enumerate(send):
+                command = slot.ctx.executed_command
+                accel = float(accel_cmd[i])
+                brake = float(brake_cmd[i])
+                command.accel = accel if accel > 0.0 else 0.0
+                command.brake = brake if brake > 0.0 else 0.0
+                command.steering_angle_deg = float(steer_cmd[i])
+        for slot in active:
+            if slot.sent:
+                slot.drive_stage.react(slot.ctx)
+            else:
+                slot.drive_run(slot.ctx)
+
+        # actuate (the shared kinematics rows are gathered in the same pass;
+        # TTC/headway derivation is on demand via kinematics.derive())
+        kinematics = self.kinematics
+        gather = kinematics.gather
+        for i, slot in enumerate(active):
+            slot.actuate_run(slot.ctx)
+            gather(i, slot.ctx)
+        kinematics.n = len(active)
+
+        # detect / record
+        for slot in active:
+            slot.detect_run(slot.ctx)
+        for slot in active:
+            slot.record_run(slot.ctx)
+
+    def _cycle_scalar(self, active: List[_Slot]) -> None:
+        """One lockstep cycle through the per-run scalar stages.
+
+        Used when the batch has drained below the vectorisation
+        break-even; still stage-column order, still refreshing the shared
+        kinematics, bit-identical to the fused cycle.
+        """
+        for slot in active:
+            slot.sense_run(slot.ctx)
+        for slot in active:
+            slot.perceive_run(slot.ctx)
+        for slot in active:
+            slot.plan_run(slot.ctx)
+        for slot in active:
+            slot.inject_run(slot.ctx)
+        for slot in active:
+            slot.drive_run(slot.ctx)
+        kinematics = self.kinematics
+        gather = kinematics.gather
+        for i, slot in enumerate(active):
+            slot.actuate_run(slot.ctx)
+            gather(i, slot.ctx)
+        kinematics.n = len(active)
+        for slot in active:
+            slot.detect_run(slot.ctx)
+        for slot in active:
+            slot.record_run(slot.ctx)
+
+
+def run_batched(
+    tasks: Sequence[BatchTask],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+    progress: Optional[ProgressCallback] = None,
+) -> List[RunResult]:
+    """Run ``(SimulationConfig, strategy)`` tasks through a lockstep batch."""
+    return BatchRunner(batch_size=batch_size).run_tasks(tasks, progress=progress)

@@ -28,12 +28,11 @@ pinned by the golden-run suite (``tests/integration/
 test_golden_equivalence.py``); any reordering here must keep it green.
 """
 
-from typing import Optional
-
 from repro.kernel.context import StepContext
+from repro.kernel.pipeline import PipelineStage
 
 
-class SenseStage:
+class SenseStage(PipelineStage):
     """Publish sensor messages and the car's state CAN frames."""
 
     __slots__ = ("world",)
@@ -49,7 +48,7 @@ class SenseStage:
         world.publish_car_can()
 
 
-class PerceiveStage:
+class PerceiveStage(PipelineStage):
     """Decode the car's CAN state frames into the reused CarState."""
 
     __slots__ = ("world",)
@@ -62,7 +61,7 @@ class PerceiveStage:
         self.world.read_car_state_into(ctx.car_state)
 
 
-class PlanStage:
+class PlanStage(PipelineStage):
     """Run the ADAS planners in place (skipped once the driver has taken over)."""
 
     __slots__ = ("openpilot",)
@@ -76,7 +75,7 @@ class PlanStage:
             self.openpilot.plan_into(ctx)
 
 
-class InjectStage:
+class InjectStage(PipelineStage):
     """Apply output hooks, evaluate alerts, publish and send actuator CAN."""
 
     __slots__ = ("openpilot",)
@@ -90,7 +89,7 @@ class InjectStage:
             self.openpilot.inject_into(ctx)
 
 
-class DriveStage:
+class DriveStage(PipelineStage):
     """Decode the executed command and run the driver-reaction simulator."""
 
     __slots__ = ("world", "driver", "openpilot", "attack_engine", "result")
@@ -104,8 +103,17 @@ class DriveStage:
         self.result = result
 
     def run(self, ctx: StepContext) -> None:
+        self.world.decode_actuator_command_into(ctx.executed_command)
+        self.react(ctx)
+
+    def react(self, ctx: StepContext) -> None:
+        """Driver reaction over an already-populated ``ctx.executed_command``.
+
+        Split out of :meth:`run` so the lockstep batch executor can fill
+        the executed command from the vectorised codec read-back (skipping
+        the per-run CAN decode) and still share the reaction logic.
+        """
         command = ctx.executed_command
-        self.world.decode_actuator_command_into(command)
         decision = self.driver.update(
             time=ctx.time,
             observed_command=command,
@@ -132,7 +140,7 @@ class DriveStage:
             command.steering_angle_deg = override.steering_angle_deg
 
 
-class ActuateStage:
+class ActuateStage(PipelineStage):
     """Integrate world physics and refresh the kinematics in the context."""
 
     __slots__ = ("world",)
@@ -147,7 +155,7 @@ class ActuateStage:
         world.observe_into(ctx)
 
 
-class DetectStage:
+class DetectStage(PipelineStage):
     """Lane, collision and hazard monitors over the context kinematics."""
 
     __slots__ = ("lane_monitor", "collision_detector", "hazard_monitor")
@@ -167,7 +175,7 @@ class DetectStage:
         ctx.new_hazards = self.hazard_monitor.check_context(ctx)
 
 
-class RecordStage:
+class RecordStage(PipelineStage):
     """Results accounting: hazards, accidents, alerts, trajectory, stop."""
 
     __slots__ = ("world", "result", "attack_engine", "alert_sub", "stop_after_collision")

@@ -12,7 +12,7 @@ every subscriber of a service: treat them as immutable.
 """
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 
 @dataclass(slots=True)

@@ -9,7 +9,7 @@ the lead vehicle and the lane.  A kinematic bicycle model integrated at
 """
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.sim.road import Road
 from repro.sim.units import DT, deg_to_rad

@@ -264,38 +264,94 @@ class World:
             )
 
     def publish_car_can(self) -> None:
-        """Publish the car's state frames (speed, steering) on the CAN bus."""
+        """Publish the car's state frames (speed, steering) on the CAN bus.
+
+        Built on the same :meth:`batched_car_can_inputs` /
+        :meth:`send_car_can_frames` pair the lockstep batch executor
+        uses, so the signal formulas exist exactly once.
+        """
+        speed, accel, pedal_gas, brake_pressed, steer, counter = self.batched_car_can_inputs()
+        self.send_car_can_frames(
+            self._plan_powertrain.encode(
+                {
+                    "XMISSION_SPEED": speed,
+                    "ACCEL_MEASURED": accel,
+                    "PEDAL_GAS": pedal_gas,
+                    "BRAKE_PRESSED": brake_pressed,
+                    "GAS_PRESSED": 0.0,
+                },
+                counter=counter,
+            ),
+            self._plan_steering_sensors.encode(
+                {
+                    "STEER_ANGLE": steer,
+                    "STEER_ANGLE_RATE": 0.0,
+                },
+                counter=counter,
+            ),
+        )
+
+    # -- car-state CAN semantics (shared scalar / lockstep-batch path) ----
+    #
+    # The batch executor (repro.kernel.batch) vectorises the two car-state
+    # CAN encodes across all runs of a batch.  The three helpers below are
+    # the single home of the semantics — which values go into which
+    # signal, frame order, counter advance, and the decode tail of
+    # read_car_state_into.  The scalar publish_car_can /
+    # read_car_state_into are built on them, and the batch executor calls
+    # them around the shared BatchMessageCodec, so the two paths cannot
+    # drift apart.
+
+    def batched_car_can_inputs(self) -> "tuple[float, float, float, float, float, int]":
+        """Advance the CAN counter and return this step's car-state signal values.
+
+        Returns ``(speed, accel, pedal_gas, brake_pressed, steer_angle,
+        counter)`` — exactly the values :meth:`publish_car_can` would
+        encode (the remaining signals are constant zero).
+        """
         state = self.ego.state
         self._can_counter = (self._can_counter + 1) & 0x3
+        last = self._last_command
+        return (
+            state.speed,
+            state.accel,
+            max(0.0, last.accel / 4.0),
+            1.0 if last.brake > 0.1 else 0.0,
+            state.steering_wheel_deg,
+            self._can_counter,
+        )
+
+    def send_car_can_frames(self, powertrain_payload: bytes, sensors_payload: bytes) -> None:
+        """Send pre-encoded car-state payloads (same frame order as
+        :meth:`publish_car_can`)."""
         self.can_bus.send(
-            CANFrame(
-                self._addr_powertrain,
-                self._plan_powertrain.encode(
-                    {
-                        "XMISSION_SPEED": state.speed,
-                        "ACCEL_MEASURED": state.accel,
-                        "PEDAL_GAS": max(0.0, self._last_command.accel / 4.0),
-                        "BRAKE_PRESSED": 1.0 if self._last_command.brake > 0.1 else 0.0,
-                        "GAS_PRESSED": 0.0,
-                    },
-                    counter=self._can_counter,
-                ),
-                timestamp=self.time,
-            )
+            CANFrame(self._addr_powertrain, powertrain_payload, timestamp=self.time)
         )
         self.can_bus.send(
-            CANFrame(
-                self._addr_steering_sensors,
-                self._plan_steering_sensors.encode(
-                    {
-                        "STEER_ANGLE": state.steering_wheel_deg,
-                        "STEER_ANGLE_RATE": 0.0,
-                    },
-                    counter=self._can_counter,
-                ),
-                timestamp=self.time,
-            )
+            CANFrame(self._addr_steering_sensors, sensors_payload, timestamp=self.time)
         )
+
+    def apply_fused_car_state(
+        self, out: CarState, speed: float, accel: float, steer: float
+    ) -> CarState:
+        """The tail of :meth:`read_car_state_into` once the CAN round trip
+        has been resolved to ``speed``/``accel``/``steer``.
+
+        :meth:`read_car_state_into` delegates here after decoding the bus;
+        the batch executor calls it directly with the vectorised codec
+        read-back, which is only valid when the frames on the bus are
+        known to be the ones the codec just encoded (no transformers).
+        """
+        out.v_ego = speed
+        out.a_ego = accel
+        out.steering_angle_deg = steer
+        last = self._last_command
+        out.gas = max(0.0, last.accel / 4.0)
+        out.brake = min(1.0, last.brake / 4.0)
+        out.cruise_enabled = True
+        out.cruise_speed = self.config.scenario.cruise_speed
+        out.standstill = speed < 0.1
+        return out
 
     def read_car_state(self) -> CarState:
         """Decode the car's CAN state frames into a fresh :class:`CarState`."""
@@ -320,15 +376,7 @@ class World:
             accel = decoded["ACCEL_MEASURED"]
         if sensors is not None:
             steer = self._plan_steering_sensors.decode_signal(sensors, "STEER_ANGLE")
-        out.v_ego = speed
-        out.a_ego = accel
-        out.steering_angle_deg = steer
-        out.gas = max(0.0, self._last_command.accel / 4.0)
-        out.brake = min(1.0, self._last_command.brake / 4.0)
-        out.cruise_enabled = True
-        out.cruise_speed = self.config.scenario.cruise_speed
-        out.standstill = speed < 0.1
-        return out
+        return self.apply_fused_car_state(out, speed, accel, steer)
 
     # -- actuation --------------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""Regenerate the golden-run fixture (``golden_runs.json``).
+"""Regenerate or check the golden-run fixture (``golden_runs.json``).
 
 The fixture pins the exact :class:`~repro.analysis.metrics.RunResult` of
 every catalog scenario (attack-free) and of one attacked S1 run per
@@ -10,10 +10,19 @@ Only regenerate deliberately — i.e. when a PR intentionally changes
 simulation behaviour — and say so in the PR description::
 
     PYTHONPATH=src python tests/golden/generate_goldens.py
+
+``--check`` regenerates into memory and diffs against the committed
+fixture instead of writing, exiting non-zero on any divergence — CI's
+golden-drift gate, which catches silent semantic drift even where no
+golden *test* happens to read the diverging field::
+
+    PYTHONPATH=src python tests/golden/generate_goldens.py --check
 """
 
+import argparse
 import json
 import os
+import sys
 
 from repro.core.attack_types import AttackType
 from repro.injection.engine import SimulationConfig, run_simulation
@@ -58,18 +67,68 @@ def run_golden(config, strategy_name):
     return run_simulation(config, strategy)
 
 
-def main() -> None:
+def regenerate():
+    """Run every golden configuration and return ``{key: result_dict}``."""
     runs = {}
     for key, config, strategy_name in golden_configs():
         result = run_golden(config, strategy_name)
         runs[key] = result.to_dict()
         print(f"{key}: hazards={list(result.hazards)} accidents={list(result.accidents)} "
               f"alerts={len(result.alerts)} invasions={result.lane_invasions}")
+    return runs
+
+
+def check(runs) -> int:
+    """Diff freshly regenerated ``runs`` against the committed fixture."""
+    try:
+        with open(GOLDEN_PATH) as handle:
+            committed = json.load(handle)["runs"]
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot read committed goldens at {GOLDEN_PATH}: {error}")
+        return 1
+    drifted = []
+    for key in sorted(set(runs) | set(committed)):
+        if key not in committed:
+            drifted.append(f"{key}: new golden not in the committed fixture")
+        elif key not in runs:
+            drifted.append(f"{key}: committed golden no longer generated")
+        elif runs[key] != committed[key]:
+            fields = [
+                field
+                for field in sorted(set(runs[key]) | set(committed[key]))
+                if runs[key].get(field) != committed[key].get(field)
+            ]
+            drifted.append(f"{key}: fields differ: {fields}")
+    if drifted:
+        print(f"GOLDEN DRIFT: {len(drifted)} run(s) diverge from the committed fixture:")
+        for line in drifted:
+            print(f"  {line}")
+        print("If the behaviour change is intentional, regenerate with "
+              "`PYTHONPATH=src python tests/golden/generate_goldens.py` and "
+              "call it out in the PR description.")
+        return 1
+    print(f"OK: all {len(runs)} golden runs match the committed fixture")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate into memory and diff against the committed fixture "
+        "(exit 1 on drift) instead of overwriting it",
+    )
+    args = parser.parse_args(argv)
+    runs = regenerate()
+    if args.check:
+        return check(runs)
     with open(GOLDEN_PATH, "w") as handle:
         json.dump({"runs": runs}, handle, indent=1, sort_keys=True)
         handle.write("\n")
     print(f"wrote {len(runs)} golden runs to {GOLDEN_PATH}")
+    return 0
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

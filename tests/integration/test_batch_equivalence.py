@@ -1,0 +1,216 @@
+"""Bit-for-bit equivalence of lockstep batched execution.
+
+The batch executor (:mod:`repro.kernel.batch`) interleaves many runs
+through the kernel stage columns and replaces the per-run CAN
+encode/decode round trips with vectorised codec passes.  These tests pin
+the hard guarantee that makes that legal: batched results are **equal**
+to sequential results —
+
+* every golden run (all catalog scenarios attack-free plus one attacked
+  S1 run per attack type) replays identically through ``batch_size`` 1,
+  4 and 8;
+* a sampled-family campaign produces identical results batched,
+  sequential, and batched-inside-parallel-workers;
+* the lockstep machinery itself (retirement, refill, progress, strategy
+  isolation, shared kinematics) behaves as documented.
+"""
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import strategy_by_name
+from repro.injection.campaign import Campaign, CampaignConfig
+from repro.injection.engine import Simulation, SimulationConfig, run_simulation
+from repro.kernel import BatchKinematics, BatchRunner, run_batched
+from repro.kernel.batch import FUSED_MIN_ACTIVE
+from repro.scenarios import ScenarioSampler
+
+_GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "golden"
+)
+sys.path.insert(0, _GOLDEN_DIR)
+
+from generate_goldens import GOLDEN_PATH, golden_configs  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def golden_runs():
+    import json
+
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)["runs"]
+
+
+def _golden_tasks():
+    tasks = []
+    keys = []
+    for key, config, strategy_name in golden_configs():
+        strategy = strategy_by_name(strategy_name) if strategy_name else None
+        tasks.append((config, strategy))
+        keys.append(key)
+    return keys, tasks
+
+
+class TestGoldenBatchEquivalence:
+    @pytest.mark.parametrize("batch_size", [1, 4, 8])
+    def test_all_goldens_replay_through_batch_runner(self, batch_size, golden_runs):
+        keys, tasks = _golden_tasks()
+        results = run_batched(tasks, batch_size=batch_size)
+        assert len(results) == len(keys)
+        for key, result in zip(keys, results):
+            assert result.to_dict() == golden_runs[key], (
+                f"batched (batch_size={batch_size}) output diverged from golden for {key}"
+            )
+
+
+class TestSampledFamilyCampaignEquivalence:
+    def _config(self, runs=24):
+        sampler = ScenarioSampler(master_seed=99)
+        return CampaignConfig(
+            strategy_name="Context-Aware",
+            scenarios=tuple(sampler.take(runs)),
+            initial_distances=(None,),
+            attack_types=(AttackType.DECELERATION,),
+            repetitions=1,
+            master_seed=99,
+            max_steps=600,
+        )
+
+    def test_batched_equals_sequential_on_sampled_families(self):
+        config = self._config(24)
+        sequential = Campaign(config).run()
+        batched = Campaign(config).run(batch_size=8)
+        assert batched == sequential
+
+    def test_batched_inside_parallel_workers_equals_sequential(self):
+        config = self._config(16)
+        sequential = Campaign(config).run()
+        combined = Campaign(config).run(workers=2, batch_size=4)
+        assert combined == sequential
+
+
+class TestBatchRunnerMechanics:
+    def _tasks(self, n, max_steps=400):
+        return [
+            (SimulationConfig(scenario="S1", initial_distance=70.0, seed=i, max_steps=max_steps), None)
+            for i in range(n)
+        ]
+
+    def test_results_follow_task_order_with_mixed_lengths(self):
+        # Attacked runs retire early (collision), attack-free run long:
+        # results must still come back in task order.
+        tasks = []
+        for i, attack in enumerate(
+            (None, AttackType.DECELERATION, None, AttackType.STEERING_LEFT)
+        ):
+            config = SimulationConfig(
+                scenario="S1",
+                initial_distance=70.0,
+                seed=2022 + i,
+                attack_type=attack,
+                max_steps=1500,
+            )
+            strategy = strategy_by_name("Context-Aware") if attack else None
+            tasks.append((config, strategy))
+        expected = [
+            run_simulation(c, strategy_by_name("Context-Aware") if c.attack_type else None)
+            for c, _ in tasks
+        ]
+        results = run_batched(tasks, batch_size=2)
+        assert results == expected
+
+    def test_progress_reports_every_completion(self):
+        calls = []
+        run_batched(
+            self._tasks(5, max_steps=120),
+            batch_size=2,
+            progress=lambda done, total: calls.append((done, total)),
+        )
+        assert calls == [(1, 5), (2, 5), (3, 5), (4, 5), (5, 5)]
+
+    def test_shared_strategy_instance_is_rejected(self):
+        strategy = strategy_by_name("Context-Aware")
+        config = SimulationConfig(
+            scenario="S1",
+            initial_distance=70.0,
+            seed=1,
+            attack_type=AttackType.DECELERATION,
+            max_steps=200,
+        )
+        with pytest.raises(ValueError, match="one strategy instance per"):
+            run_batched([(config, strategy), (config, strategy)], batch_size=2)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            BatchRunner(batch_size=0)
+
+    def test_kinematics_rows_match_context_values(self):
+        runner = BatchRunner(batch_size=4)
+        results = runner.run_tasks(self._tasks(4, max_steps=250))
+        assert len(results) == 4
+        kin = runner.kinematics
+        # After the final cycle the rows hold the last active runs' state;
+        # TTC/headway are derived on demand.
+        assert kin.n >= 1
+        kin.derive()
+        assert np.all(np.isfinite(kin.ego_speed[: kin.n]))
+        # S1 keeps a lead: gap/ttc/headway defined (ttc may be inf).
+        assert np.all(np.isfinite(kin.lead_gap[: kin.n]))
+        assert np.all(kin.headway[: kin.n] > 0.0)
+
+    def test_kinematics_no_lead_rows_are_nan(self):
+        kin = BatchKinematics(2)
+
+        class Ctx:
+            end_time = 1.0
+            ego_s = 10.0
+            ego_d = 0.0
+            ego_speed = 20.0
+            lead_gap = None
+            lead_speed = None
+
+        class CtxLead(Ctx):
+            lead_gap = 40.0
+            lead_speed = 15.0
+
+        kin.refresh([Ctx(), CtxLead()])
+        assert np.isnan(kin.ttc[0]) and np.isnan(kin.headway[0])
+        assert kin.ttc[1] == 40.0 / 5.0
+        assert kin.headway[1] == 40.0 / 20.0
+
+    def test_transformer_on_bus_falls_back_to_scalar_stages(self):
+        # A man-in-the-middle transformer makes the codec fast path
+        # unsound; the runner must detect it and still produce the exact
+        # sequential result through the scalar stages.
+        config = SimulationConfig(scenario="S1", initial_distance=70.0, seed=5, max_steps=300)
+        expected = run_simulation(config)
+
+        runner = BatchRunner(batch_size=4)
+        tampered = {}
+        original_init = Simulation.__init__
+
+        def patched_init(self, cfg, strategy=None):
+            original_init(self, cfg, strategy)
+            # Register a pass-through transformer: frames are unchanged,
+            # but the bus can no longer be assumed codec-transparent.
+            self.world.can_bus.add_transformer(lambda frame: None)
+            tampered["done"] = True
+
+        Simulation.__init__ = patched_init
+        try:
+            results = runner.run_tasks([(config, None)] * 4)
+        finally:
+            Simulation.__init__ = original_init
+        assert tampered["done"]
+        assert all(result == expected for result in results)
+
+    def test_drained_batch_below_threshold_stays_identical(self):
+        # Fewer tasks than the fused threshold: the scalar lockstep path.
+        n = FUSED_MIN_ACTIVE - 1
+        tasks = self._tasks(n, max_steps=300)
+        expected = [run_simulation(c) for c, _ in tasks]
+        assert run_batched(tasks, batch_size=8) == expected

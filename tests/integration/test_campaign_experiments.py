@@ -1,9 +1,7 @@
 """Integration tests for the campaign runner and the experiment harness."""
 
-import pytest
 
 from repro.core.attack_types import AttackType
-from repro.core.strategies import ContextAwareStrategy
 from repro.experiments import ExperimentScale, run_figure7, run_figure8, run_table4, run_table5
 from repro.experiments.table4 import TABLE4_STRATEGIES
 from repro.injection.campaign import Campaign, CampaignConfig

@@ -7,7 +7,6 @@ that every tampered frame would pass Panda's integrity check (valid
 checksum) while staying within its rate/limit checks for strategic values.
 """
 
-import pytest
 
 from repro.adas.openpilot import OpenPilot, OpenPilotConfig
 from repro.adas.panda import PandaSafetyModel

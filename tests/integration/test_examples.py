@@ -8,9 +8,7 @@ functions instead (covered in ``test_campaign_experiments.py``).
 
 import importlib.util
 import os
-import sys
 
-import pytest
 
 EXAMPLES_DIR = os.path.abspath(
     os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "examples")

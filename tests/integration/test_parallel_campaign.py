@@ -7,7 +7,6 @@ seeds are derived from ``(master_seed, cell index)`` alone, so the same
 the worker count or chunking.
 """
 
-import pytest
 
 from repro.core.attack_types import AttackType
 from repro.core.strategies import ContextAwareStrategy

@@ -1,6 +1,5 @@
 """Property-based tests for vehicle dynamics, Kalman filter and corruption."""
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,7 +8,6 @@ from repro.core.attack_types import AttackType, spec_for
 from repro.core.corruption import CorruptionMode, ValueCorruptor
 from repro.core.kalman import ScalarKalmanFilter
 from repro.sim.road import Road, RoadSpec
-from repro.sim.units import clamp
 from repro.sim.vehicle import ActuatorCommand, EgoVehicle
 
 

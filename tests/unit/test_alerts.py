@@ -1,6 +1,5 @@
 """Tests for the ADAS alert manager."""
 
-import pytest
 
 from repro.adas.alerts import AlertManager, AlertThresholds
 from repro.adas.lateral import LateralPlan

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.can.bus import CANBus
 from repro.can.frame import CANFrame
 
 

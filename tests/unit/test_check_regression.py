@@ -1,0 +1,112 @@
+"""Unit tests for the CI perf-regression gate (``benchmarks/check_regression.py``).
+
+The gate decides whether CI goes red, so it needs the same test coverage
+as the code it guards: regressions beyond the threshold must fail,
+improvements and small jitter must pass, and malformed or missing inputs
+must error cleanly (exit 1 with a message, not a traceback).
+"""
+
+import importlib.util
+import json
+import os
+import sys
+
+
+_CHECK_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    os.pardir,
+    os.pardir,
+    "benchmarks",
+    "check_regression.py",
+)
+
+_spec = importlib.util.spec_from_file_location("check_regression", _CHECK_PATH)
+check_regression = importlib.util.module_from_spec(_spec)
+sys.modules.setdefault("check_regression", check_regression)
+_spec.loader.exec_module(check_regression)
+
+
+def _bench_file(tmp_path, name, steps_per_second):
+    path = tmp_path / name
+    path.write_text(
+        json.dumps({"measurements": {"single_run_steps_per_second": steps_per_second}})
+    )
+    return str(path)
+
+
+def _run(tmp_path, baseline, current, max_regression=0.20):
+    argv = ["--baseline", baseline, "--current", current]
+    if max_regression is not None:
+        argv += ["--max-regression", str(max_regression)]
+    return check_regression.main(argv)
+
+
+class TestRegressionVerdicts:
+    def test_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        current = _bench_file(tmp_path, "cur.json", 7000.0)  # -30%
+        assert _run(tmp_path, baseline, current) == 1
+
+    def test_regression_within_threshold_passes(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        current = _bench_file(tmp_path, "cur.json", 9000.0)  # -10%
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        current = _bench_file(tmp_path, "cur.json", 14000.0)
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_exact_threshold_passes(self, tmp_path):
+        # The gate fails only *beyond* the allowed fraction.
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        current = _bench_file(tmp_path, "cur.json", 8000.0)  # exactly -20%
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_tighter_threshold_is_respected(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        current = _bench_file(tmp_path, "cur.json", 9000.0)  # -10%
+        assert _run(tmp_path, baseline, current, max_regression=0.05) == 1
+
+
+class TestDegenerateInputs:
+    def test_missing_baseline_file_errors_cleanly(self, tmp_path):
+        current = _bench_file(tmp_path, "cur.json", 9000.0)
+        assert _run(tmp_path, str(tmp_path / "absent.json"), current) == 1
+
+    def test_missing_current_file_errors_cleanly(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 9000.0)
+        assert _run(tmp_path, baseline, str(tmp_path / "absent.json")) == 1
+
+    def test_malformed_baseline_json_errors_cleanly(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("{not json")
+        current = _bench_file(tmp_path, "cur.json", 9000.0)
+        assert _run(tmp_path, str(path), current) == 1
+
+    def test_non_object_json_errors_cleanly(self, tmp_path):
+        path = tmp_path / "base.json"
+        path.write_text("[1, 2, 3]")
+        current = _bench_file(tmp_path, "cur.json", 9000.0)
+        assert _run(tmp_path, str(path), current) == 1
+
+    def test_baseline_without_measurement_is_a_pass(self, tmp_path):
+        # A baseline predating the measurement can't gate anything.
+        path = tmp_path / "base.json"
+        path.write_text(json.dumps({"measurements": {}}))
+        current = _bench_file(tmp_path, "cur.json", 9000.0)
+        assert _run(tmp_path, str(path), current) == 0
+
+    def test_current_without_measurement_fails(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 9000.0)
+        path = tmp_path / "cur.json"
+        path.write_text(json.dumps({"measurements": {}}))
+        assert _run(tmp_path, baseline, str(path)) == 1
+
+    def test_non_numeric_measurement_is_handled(self, tmp_path):
+        baseline = _bench_file(tmp_path, "base.json", 9000.0)
+        path = tmp_path / "cur.json"
+        path.write_text(
+            json.dumps({"measurements": {"single_run_steps_per_second": "fast"}})
+        )
+        assert _run(tmp_path, baseline, str(path)) == 1

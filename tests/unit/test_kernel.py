@@ -3,7 +3,7 @@
 import pytest
 
 from repro.injection.engine import Simulation, SimulationConfig
-from repro.kernel import StepContext, StepPipeline
+from repro.kernel import PipelineStage, StepContext, StepPipeline
 from repro.messaging.messages import CarState
 from repro.sim.vehicle import ActuatorCommand
 
@@ -111,3 +111,58 @@ class TestSimulationPipelineAssembly:
         assert ctx.long_plan is long_plan
         assert ctx.executed_command is executed
         assert ctx.end_time == pytest.approx(0.05)
+
+
+class TestContextSliceEntryPoints:
+    """PipelineStage.run_batch / StepPipeline.run_cycle_batch contract."""
+
+    class _Recording(PipelineStage):
+        """Toy stage: records (stage name, context id) in a shared log."""
+
+        def __init__(self, name, log):
+            self.name = name
+            self.log = log
+
+        def run(self, ctx):
+            self.log.append((self.name, id(ctx)))
+
+    def test_default_run_batch_loops_run_over_the_slice(self):
+        from repro.kernel import PipelineStage
+
+        log = []
+
+        class Stage(PipelineStage):
+            name = "s"
+
+            def run(self, ctx):
+                log.append(id(ctx))
+
+        contexts = [StepContext(), StepContext(), StepContext()]
+        Stage().run_batch(contexts)
+        assert log == [id(ctx) for ctx in contexts]
+
+    def test_run_cycle_batch_walks_stage_columns(self):
+        # Every stage must process the whole slice before the next stage.
+        log = []
+        pipeline = StepPipeline(
+            [self._Recording("a", log), self._Recording("b", log)]
+        )
+        contexts = [StepContext(), StepContext()]
+        pipeline.run_cycle_batch(contexts)
+        assert log == [
+            ("a", id(contexts[0])),
+            ("a", id(contexts[1])),
+            ("b", id(contexts[0])),
+            ("b", id(contexts[1])),
+        ]
+
+    def test_run_cycle_batch_of_one_equals_run_cycle(self):
+        # On a real simulation pipeline, a slice of one is exactly one cycle.
+        first = Simulation(SimulationConfig(scenario="S1", max_steps=20, seed=3))
+        second = Simulation(SimulationConfig(scenario="S1", max_steps=20, seed=3))
+        result_a, ctx_a, pipe_a = first.prepare()
+        result_b, ctx_b, pipe_b = second.prepare()
+        for _ in range(20):
+            pipe_a.run_cycle(ctx_a)
+            pipe_b.run_cycle_batch([ctx_b])
+        assert first.finalize(result_a, ctx_a) == second.finalize(result_b, ctx_b)

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.messaging.bus import MessageBus
 from repro.messaging.messages import CarState, GpsLocationExternal, RadarState
 
 

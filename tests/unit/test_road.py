@@ -1,6 +1,5 @@
 """Tests for road geometry."""
 
-import math
 
 import pytest
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.can.honda import ADDR, HONDA_DBC
+from repro.can.honda import HONDA_DBC
 from repro.sim.vehicle import ActuatorCommand
 
 
