@@ -13,6 +13,11 @@ CI runners are noisy, so the gate only guards the single-run steps/s
 number (the campaign rate divides out the same way) with a generous
 threshold: it exists to catch order-of-magnitude mistakes (an accidental
 de-optimisation of the hot loop), not 5 % jitter.
+
+The search-throughput row (``search_evals_per_s``) is gated the same way
+*when both files carry it* — a baseline predating the search subsystem
+passes trivially, but once the row is in the committed baseline a current
+run may not silently drop or regress it.
 """
 
 import argparse
@@ -48,7 +53,30 @@ def main(argv=None) -> int:
         print("benchmark files must contain a JSON object")
         return 1
 
-    key = "single_run_steps_per_second"
+    exit_code = 0
+    for key, label, unit, precision in (
+        ("single_run_steps_per_second", "single-run throughput", "steps/s", 0),
+        ("search_evals_per_s", "attack-search throughput", "evals/s", 2),
+    ):
+        exit_code = max(
+            exit_code,
+            _check_key(baseline, current, key, label, unit, precision, args.max_regression),
+        )
+    if exit_code == 0:
+        print("OK: within the allowed envelope")
+    return exit_code
+
+
+def _check_key(
+    baseline: dict,
+    current: dict,
+    key: str,
+    label: str,
+    unit: str,
+    precision: int,
+    max_regression: float,
+) -> int:
+    """Gate one measurement key; a baseline without the key gates nothing."""
     try:
         baseline_rate = float(baseline["measurements"][key])
     except (KeyError, TypeError, ValueError):
@@ -62,16 +90,15 @@ def main(argv=None) -> int:
 
     change = (current_rate - baseline_rate) / baseline_rate
     print(
-        f"single-run throughput: baseline {baseline_rate:.0f} steps/s, "
-        f"current {current_rate:.0f} steps/s ({change:+.1%})"
+        f"{label}: baseline {baseline_rate:.{precision}f} {unit}, "
+        f"current {current_rate:.{precision}f} {unit} ({change:+.1%})"
     )
-    if change < -args.max_regression:
+    if change < -max_regression:
         print(
-            f"FAIL: regression beyond the allowed {args.max_regression:.0%} "
+            f"FAIL: {key} regression beyond the allowed {max_regression:.0%} "
             "(see benchmarks/test_bench_throughput.py)"
         )
         return 1
-    print("OK: within the allowed envelope")
     return 0
 
 

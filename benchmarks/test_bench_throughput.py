@@ -209,6 +209,58 @@ def test_bench_batched_campaign(benchmark):
     )
 
 
+def test_bench_search_throughput(benchmark):
+    """Attack-search evaluations/second through the batched kernel.
+
+    Runs a fixed-budget random search (the repro.search subsystem's
+    workload: decode → lockstep batch → objective) on the pinned S1 +
+    Deceleration case and records unique-point evaluations per second.
+    The search trajectory is deterministic, so the workload is identical
+    across revisions; the rate tracks simulator throughput plus the
+    search layer's own overhead (decode, memo, audit trail).
+    """
+    from repro.core.attack_types import AttackType
+    from repro.search import (
+        HazardObjective,
+        SearchConfig,
+        SearchDriver,
+        attack_search_space,
+        make_optimizer,
+    )
+
+    budget = 12
+
+    def one_search():
+        space = attack_search_space(
+            scenario="S1", attack_types=(AttackType.DECELERATION,), max_steps=2500
+        )
+        config = SearchConfig(budget=budget, master_seed=2022, batch_size=8)
+        driver = SearchDriver(
+            space,
+            HazardObjective(),
+            lambda s: make_optimizer("random", s, seed=2022, generation_size=6),
+            config,
+        )
+        return driver.run()
+
+    best = float("inf")
+    start = time.perf_counter()
+    result = one_search()
+    best = min(best, time.perf_counter() - start)
+    assert result.evaluations_used == budget
+    assert result.best is not None
+
+    start = time.perf_counter()
+    final = benchmark.pedantic(one_search, rounds=1, iterations=1)
+    best = min(best, time.perf_counter() - start)
+    assert [e.score for e in final.evaluations] == [e.score for e in result.evaluations]
+
+    _results["search_budget"] = budget
+    _results["search_evals_per_s"] = round(budget / best, 2)
+    _write_results()
+    print(f"\nattack search: {budget / best:.2f} evals/s (budget {budget}, batch_size=8)")
+
+
 def test_bench_campaign_scaling(benchmark):
     """Parallel executor scaling curve: campaign runs/s at workers = 1/2/4.
 

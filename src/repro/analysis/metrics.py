@@ -44,6 +44,16 @@ class RunResult:
     driver_engaged: bool = False
     driver_engagement_time: Optional[float] = None
 
+    # Safety margins (recorded only when the run was configured with
+    # ``track_safety_margin=True``; ``None`` otherwise).  One running
+    # minimum per hazard axis: lead TTC (H1), ego speed (H2), distance to
+    # the nearer lane line (H3, negative once invaded), plus the raw
+    # minimum lead gap.
+    min_ttc: Optional[float] = None         # minimum lead TTC over the run, s
+    min_lead_gap: Optional[float] = None    # minimum lead gap over the run, m
+    min_ego_speed: Optional[float] = None   # minimum ego speed over the run, m/s
+    min_lane_margin: Optional[float] = None  # min distance to nearer lane line, m
+
     # Optional raw trajectory (Figure 7).
     trajectory: List[TrajectorySample] = field(default_factory=list)
 
@@ -123,6 +133,17 @@ class RunResult:
             "driver_engaged": self.driver_engaged,
             "driver_engagement_time": self.driver_engagement_time,
         }
+        # Margin fields only appear when margin tracking produced them, so
+        # default-configured payloads (e.g. the golden fixtures) are
+        # byte-identical to the pre-margin format.
+        if self.min_ttc is not None:
+            payload["min_ttc"] = self.min_ttc
+        if self.min_lead_gap is not None:
+            payload["min_lead_gap"] = self.min_lead_gap
+        if self.min_ego_speed is not None:
+            payload["min_ego_speed"] = self.min_ego_speed
+        if self.min_lane_margin is not None:
+            payload["min_lane_margin"] = self.min_lane_margin
         if include_trajectory:
             payload["trajectory"] = [
                 [s.time, s.s, s.d, s.speed, s.steering_wheel_deg, s.x, s.y]
@@ -161,5 +182,9 @@ class RunResult:
             driver_perception_reason=payload["driver_perception_reason"],
             driver_engaged=payload["driver_engaged"],
             driver_engagement_time=payload["driver_engagement_time"],
+            min_ttc=payload.get("min_ttc"),
+            min_lead_gap=payload.get("min_lead_gap"),
+            min_ego_speed=payload.get("min_ego_speed"),
+            min_lane_margin=payload.get("min_lane_margin"),
             trajectory=trajectory,
         )

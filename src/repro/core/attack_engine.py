@@ -26,6 +26,40 @@ from repro.sim.units import DT
 from repro.sim.vehicle import ActuatorCommand
 
 
+@dataclass(frozen=True)
+class AttackTuning:
+    """Per-run tuning of the attack engine beyond the strategy object.
+
+    Bundles the knobs an attack-parameter search optimises that are not
+    part of the :class:`~repro.core.strategies.AttackStrategy` itself:
+    the corruption limit sets (injected magnitudes) and the context-table
+    threshold parameters (when the Context-Aware strategies activate).
+    Everything is a plain float / frozen dataclass, so a tuning travels
+    inside a pickled :class:`~repro.injection.engine.SimulationConfig`
+    to pool workers; ``None`` thresholds keep the defaults of
+    :func:`~repro.core.context_table.default_context_table`.
+    """
+
+    corruption_limits: CorruptionLimits = CorruptionLimits()
+    t_safe: Optional[float] = None
+    beta1: Optional[float] = None
+    beta2: Optional[float] = None
+    edge_threshold: Optional[float] = None
+
+    def build_context_table(self) -> ContextTable:
+        """Table I with this tuning's thresholds (defaults where ``None``)."""
+        kwargs = {}
+        if self.t_safe is not None:
+            kwargs["t_safe"] = self.t_safe
+        if self.beta1 is not None:
+            kwargs["beta1"] = self.beta1
+        if self.beta2 is not None:
+            kwargs["beta2"] = self.beta2
+        if self.edge_threshold is not None:
+            kwargs["edge_threshold"] = self.edge_threshold
+        return default_context_table(**kwargs)
+
+
 @dataclass
 class AttackRecord:
     """Everything the analysis layer needs to know about one attack run."""

@@ -181,6 +181,30 @@ class RandomDurationStrategy(AttackStrategy):
         return time - activation_time >= self.duration
 
 
+class ScheduledAttackStrategy(RandomStartDurationStrategy):
+    """A fully determined (start time, duration) attack schedule.
+
+    The degenerate case of Random-ST+DUR where both sampling ranges have
+    collapsed to a point: :meth:`prepare` still draws from the run RNG
+    (so the steering-direction tie-break stays seed-deterministic), but
+    the schedule itself is exactly the constructor arguments.  This is
+    the decode target of the attack-parameter search
+    (:mod:`repro.search.space`), where an optimizer proposes concrete
+    schedules instead of sampling them.
+    """
+
+    name = "Scheduled"
+
+    def __init__(self, start_time: float, duration: float):
+        if start_time < 0.0:
+            raise ValueError("scheduled start_time must be non-negative")
+        if duration <= 0.0:
+            raise ValueError("scheduled duration must be positive")
+        super().__init__(
+            start_range=(start_time, start_time), duration_range=(duration, duration)
+        )
+
+
 class ContextAwareStrategy(AttackStrategy):
     """The paper's Context-Aware strategy.
 

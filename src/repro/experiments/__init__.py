@@ -17,6 +17,7 @@ from repro.experiments.table4 import Table4Result, run_table4
 from repro.experiments.table5 import Table5Result, run_table5
 from repro.experiments.figure7 import Figure7Result, run_figure7
 from repro.experiments.figure8 import Figure8Result, run_figure8
+from repro.experiments.search_attack import SearchAttackResult, run_search_attack
 
 __all__ = [
     "ExperimentScale",
@@ -28,4 +29,6 @@ __all__ = [
     "run_figure7",
     "Figure8Result",
     "run_figure8",
+    "SearchAttackResult",
+    "run_search_attack",
 ]

@@ -18,7 +18,7 @@ from repro.adas.openpilot import OpenPilot, OpenPilotConfig
 from repro.analysis.hazards import HazardMonitor, HazardParams
 from repro.analysis.metrics import RunResult
 from repro.can.bus import CANBus
-from repro.core.attack_engine import AttackEngine
+from repro.core.attack_engine import AttackEngine, AttackTuning
 from repro.core.attack_types import AttackType
 from repro.core.strategies import AttackStrategy, NoAttackStrategy
 from repro.driver.reaction import DriverParams, DriverReactionSimulator
@@ -66,6 +66,13 @@ class SimulationConfig:
         record_trajectory: Record the ego trajectory (needed for Fig. 7).
         driver_reaction_time: Average driver reaction time, s.
         hazard_params: Hazard detection thresholds.
+        attack_tuning: Optional per-run attack-engine tuning (corruption
+            limit sets, context-table thresholds) — the decode target of
+            the attack-parameter search.  ``None`` keeps the defaults.
+        track_safety_margin: Record the run's minimum lead TTC and gap
+            into :attr:`RunResult.min_ttc` / :attr:`RunResult.min_lead_gap`
+            (used by search objectives to rank near-misses); off by
+            default so the hot loop pays nothing.
     """
 
     scenario: Union[str, Scenario] = "S1"
@@ -79,6 +86,8 @@ class SimulationConfig:
     record_trajectory: bool = False
     driver_reaction_time: float = 2.5
     hazard_params: HazardParams = field(default_factory=HazardParams)
+    attack_tuning: Optional[AttackTuning] = None
+    track_safety_margin: bool = False
 
     def build_scenario(self) -> Scenario:
         if isinstance(self.scenario, Scenario):
@@ -117,11 +126,17 @@ class Simulation:
 
         self.attack_engine: Optional[AttackEngine] = None
         if config.attack_type is not None and not isinstance(self.strategy, NoAttackStrategy):
+            tuning = config.attack_tuning
+            engine_kwargs: dict = {}
+            if tuning is not None:
+                engine_kwargs["context_table"] = tuning.build_context_table()
+                engine_kwargs["corruption_limits"] = tuning.corruption_limits
             self.attack_engine = AttackEngine(
                 self.message_bus,
                 attack_type=config.attack_type,
                 strategy=self.strategy,
                 seed=config.seed + 7919,
+                **engine_kwargs,
             )
             self.openpilot.add_output_hook(self.attack_engine.output_hook)
 
@@ -170,6 +185,7 @@ class Simulation:
                 RecordStage(
                     world, result, self.attack_engine, self._alert_sub,
                     self.config.stop_after_collision,
+                    track_safety_margin=self.config.track_safety_margin,
                 ),
             )
         )

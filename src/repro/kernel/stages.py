@@ -178,19 +178,58 @@ class DetectStage(PipelineStage):
 class RecordStage(PipelineStage):
     """Results accounting: hazards, accidents, alerts, trajectory, stop."""
 
-    __slots__ = ("world", "result", "attack_engine", "alert_sub", "stop_after_collision")
+    __slots__ = (
+        "world",
+        "result",
+        "attack_engine",
+        "alert_sub",
+        "stop_after_collision",
+        "track_safety_margin",
+    )
     name = "record"
 
-    def __init__(self, world, result, attack_engine, alert_sub, stop_after_collision: float):
+    def __init__(
+        self,
+        world,
+        result,
+        attack_engine,
+        alert_sub,
+        stop_after_collision: float,
+        track_safety_margin: bool = False,
+    ):
         self.world = world
         self.result = result
         self.attack_engine = attack_engine
         self.alert_sub = alert_sub
         self.stop_after_collision = stop_after_collision
+        self.track_safety_margin = track_safety_margin
 
     def run(self, ctx: StepContext) -> None:
         world = self.world
         result = self.result
+        if self.track_safety_margin:
+            # Running minima along the three hazard axes, so search
+            # objectives can rank hazard-free runs by how close they came:
+            # lead TTC (H1; the scalar twin of BatchKinematics.derive()),
+            # ego speed (H2), distance to the nearer lane line (H3).
+            gap = ctx.lead_gap
+            if gap is not None:
+                if result.min_lead_gap is None or gap < result.min_lead_gap:
+                    result.min_lead_gap = gap
+                closing = ctx.ego_speed - ctx.lead_speed
+                if closing > 0.0:
+                    ttc = gap / closing
+                    if result.min_ttc is None or ttc < result.min_ttc:
+                        result.min_ttc = ttc
+            speed = ctx.ego_speed
+            if result.min_ego_speed is None or speed < result.min_ego_speed:
+                result.min_ego_speed = speed
+            lane_margin = min(
+                ctx.road_left_lane_line - ctx.ego_d,
+                ctx.ego_d - ctx.road_right_lane_line,
+            )
+            if result.min_lane_margin is None or lane_margin < result.min_lane_margin:
+                result.min_lane_margin = lane_margin
         if ctx.new_hazards:
             for event in ctx.new_hazards:
                 result.record_hazard(event)

@@ -9,10 +9,27 @@ bridged to a simulator.
 Subscriptions hold a bounded queue (``conflate=True`` keeps only the most
 recent message, like Cereal's conflate option) so that slow consumers
 cannot grow memory without bound.
+
+Hot-path envelope reuse
+-----------------------
+
+``publish`` runs ~4–5 times per 10 ms control step, and most of those
+services have either no subscriber at all or only *conflated*
+subscribers (the attack's eavesdropper), whose contract is "the latest
+message" — nothing observes the previous envelope once a newer one has
+been published.  For those services the bus therefore keeps **one
+reusable** :class:`Event` per service and overwrites its fields in place
+on every publish, instead of allocating a fresh envelope per message
+(the same slots-reuse pattern as the sensor payloads).  The moment a
+service gains a non-conflated subscriber — whose queue *does* hold
+older envelopes until drained — or any bus tap is registered (the
+message log retains every event), publishes fall back to fresh
+allocation for good.  Results are bit-identical either way (pinned by
+the golden-run suite); only the envelope's identity differs.
 """
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional
+from typing import Callable, Deque, Dict, List, Optional, Set
 
 from repro.messaging.events import Event
 from repro.messaging.services import SERVICE_LIST, validate_payload
@@ -67,6 +84,11 @@ class MessageBus:
         self._seq: Dict[str, int] = {}
         self._taps: List[Callable[[Event], None]] = []
         self._mono_time = 0.0
+        # Envelope reuse (see the module docstring): one reusable Event
+        # per service whose subscribers are all conflated; services that
+        # ever gain a non-conflated subscriber latch out of the pool.
+        self._pooled: Dict[str, Event] = {}
+        self._unpoolable: Set[str] = set()
 
     def set_time(self, mono_time: float) -> None:
         """Advance the bus clock; publications are stamped with this time."""
@@ -84,6 +106,11 @@ class MessageBus:
         """Create and register a new :class:`Subscription` for ``service``."""
         sub = Subscription(service, conflate=conflate)
         self._subscriptions.setdefault(service, []).append(sub)
+        if not conflate:
+            # Non-conflated queues hold older envelopes until drained, so
+            # this service's events can never be reused again.
+            self._unpoolable.add(service)
+            self._pooled.pop(service, None)
         return sub
 
     def unsubscribe(self, sub: Subscription) -> None:
@@ -105,13 +132,32 @@ class MessageBus:
             validate_payload(service, payload)
         seq = self._seq.get(service, 0)
         self._seq[service] = seq + 1
-        event = Event(
-            service=service,
-            seq=seq,
-            mono_time=self._mono_time,
-            data=payload,
-            valid=valid,
-        )
+        if self._taps or service in self._unpoolable:
+            event = Event(
+                service=service,
+                seq=seq,
+                mono_time=self._mono_time,
+                data=payload,
+                valid=valid,
+            )
+        else:
+            # All-conflated (or unsubscribed) service: overwrite the
+            # pooled envelope in place instead of allocating.
+            event = self._pooled.get(service)
+            if event is None:
+                event = Event(
+                    service=service,
+                    seq=seq,
+                    mono_time=self._mono_time,
+                    data=payload,
+                    valid=valid,
+                )
+                self._pooled[service] = event
+            else:
+                event.seq = seq
+                event.mono_time = self._mono_time
+                event.data = payload
+                event.valid = valid
         for sub in self._subscriptions.get(service, ()):
             sub._deliver(event)
         for tap in self._taps:

@@ -15,9 +15,14 @@ class Event:
     """A single message instance on the bus.
 
     Events are shared between every subscriber of a service and must be
-    treated as immutable.  (The class is not ``frozen=True`` because an
-    event is created for each of the ~5 publications per 10 ms control
-    step and the frozen ``__init__`` costs ~4x a plain one.)
+    treated as immutable by consumers.  (The class is not ``frozen=True``
+    because the bus itself mutates envelopes: for services whose
+    subscribers are all conflated it reuses one envelope per service,
+    overwriting the fields on each publish — see the hot-path note in
+    :mod:`repro.messaging.bus`.  Consumers therefore must not retain an
+    event of such a service across a later publish and expect the old
+    field values; retain the *values* instead.  Services with a
+    non-conflated subscriber always receive fresh envelopes.)
 
     Attributes:
         service: Name of the service (topic), e.g. ``"radarState"``.

@@ -16,7 +16,7 @@ from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
-from repro.sim.actors import LaneChange, ManeuverPhase
+from repro.sim.actors import IdmParams, LaneChange, ManeuverPhase
 from repro.sim.road import RoadSpec
 from repro.sim.scenarios import ActorSpec, ScenarioSpec
 from repro.sim.units import mph_to_ms
@@ -162,6 +162,96 @@ def _build_oscillating(name: str, p: Dict[str, float]) -> ScenarioSpec:
     )
 
 
+def _wave_phases(p: Dict[str, float]) -> Tuple[ManeuverPhase, ...]:
+    """Alternating crawl/recover phases of a stop-and-go wave.
+
+    The *duty cycle* is the fraction of each period the lead spends
+    heading for (or holding) the crawl speed; the remainder of the
+    period recovers towards the base speed.  Three full periods start at
+    ``start`` and fit comfortably inside the 50 s simulation horizon.
+    """
+    base = mph_to_ms(p["base_mph"])
+    crawl = mph_to_ms(p["crawl_mph"])
+    period = p["period"]
+    duty = p["duty"]
+    phases = []
+    for cycle in range(3):
+        begin = p["start"] + cycle * period
+        phases.append(ManeuverPhase(start_time=begin, target_speed=crawl, rate=p["rate"]))
+        phases.append(
+            ManeuverPhase(start_time=begin + duty * period, target_speed=base, rate=p["rate"])
+        )
+    return tuple(phases)
+
+
+def _build_stop_and_go_wave(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"Lead waves {p['base_mph']:.0f}->{p['crawl_mph']:.0f} mph every "
+            f"{p['period']:.1f} s (duty {p['duty']:.2f}, gap {p['gap']:.0f} m)"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=mph_to_ms(p["base_mph"]),
+        lead_profile=_wave_phases(p),
+        initial_distance=p["gap"],
+        family="stop-and-go-wave",
+        tags=("sampled", "longitudinal", "traffic-wave"),
+    )
+
+
+def _build_stop_and_go_wave_idm(name: str, p: Dict[str, float]) -> ScenarioSpec:
+    # Dense variant: the scripted wave runs on the *furthest* vehicle and
+    # propagates back to the ego through two IDM car-followers in the ego
+    # lane (the nearest of which the ACC tracks as its lead), so the wave
+    # the ego sees is traffic dynamics, not a script.
+    base = mph_to_ms(p["base_mph"])
+    gap = p["gap"]
+    return ScenarioSpec(
+        name=name,
+        description=(
+            f"IDM-dense wave: scripted {p['base_mph']:.0f}->{p['crawl_mph']:.0f} mph "
+            f"every {p['period']:.1f} s propagates through 2 IDM followers"
+        ),
+        ego_initial_speed=_EGO_SPEED,
+        cruise_speed=_EGO_SPEED,
+        lead_initial_speed=base,
+        lead_profile=_wave_phases(p),
+        initial_distance=gap + 70.0,
+        actors=(
+            ActorSpec(
+                kind="queue",
+                initial_gap=gap + 35.0,
+                initial_speed=base,
+                lane=0,
+                idm=IdmParams(),
+            ),
+            ActorSpec(
+                kind="queue",
+                initial_gap=gap,
+                initial_speed=base,
+                lane=0,
+                idm=IdmParams(),
+            ),
+        ),
+        family="stop-and-go-wave-idm",
+        tags=("sampled", "multi-actor", "traffic-wave", "idm"),
+    )
+
+
+#: Shared parameter ranges of the two stop-and-go wave families.
+_WAVE_PARAMETERS: Dict[str, ParamRange] = {
+    "gap": ParamRange(75.0, 115.0),
+    "base_mph": ParamRange(30.0, 42.0),
+    "crawl_mph": ParamRange(3.0, 10.0),
+    "period": ParamRange(10.0, 16.0),
+    "duty": ParamRange(0.25, 0.55),
+    "rate": ParamRange(1.5, 2.5),
+    "start": ParamRange(7.0, 12.0),
+}
+
+
 DEFAULT_FAMILIES: Tuple[ScenarioFamily, ...] = (
     ScenarioFamily(
         name="hard-brake",
@@ -207,6 +297,18 @@ DEFAULT_FAMILIES: Tuple[ScenarioFamily, ...] = (
             "rate": ParamRange(1.0, 2.0),
         },
         build=_build_oscillating,
+    ),
+    ScenarioFamily(
+        name="stop-and-go-wave",
+        description="Lead cycles to a crawl and back with a sampled duty cycle",
+        parameters=_WAVE_PARAMETERS,
+        build=_build_stop_and_go_wave,
+    ),
+    ScenarioFamily(
+        name="stop-and-go-wave-idm",
+        description="Stop-and-go wave propagated through IDM car-followers",
+        parameters=_WAVE_PARAMETERS,
+        build=_build_stop_and_go_wave_idm,
     ),
 )
 

@@ -1,0 +1,447 @@
+"""The budgeted search driver: generations → dense lockstep batches.
+
+:class:`SearchDriver` owns everything around the optimizer loop:
+
+* **generation evaluation** — every generation's unevaluated points are
+  expanded into ``repetitions`` simulation tasks each and executed as
+  *one* dense batch through :func:`repro.kernel.batch.run_batched`
+  (``batch_size``), through the process pool
+  (:func:`repro.injection.executor.run_simulations`, ``workers``), or
+  sequentially — all three bit-identical, so the search trajectory is a
+  pure function of ``(space, objective, optimizer, master_seed,
+  budget)``;
+* **memoization** — re-proposed points are scored from the memo instead
+  of re-simulated (optimizers converge onto their incumbents, so this
+  saves real simulations), while the optimizer still receives the score;
+* **budget** — the driver stops after ``budget`` *unique* points have
+  been evaluated; a truncated final generation evaluates only its first
+  points up to the budget;
+* **audit trail** — every generation's proposals, scores and memo hits
+  are recorded (:class:`GenerationRecord`), and every unique evaluation
+  keeps its per-repetition seeds and outcomes (:class:`Evaluation`);
+* **checkpoint / resume** — the audit state serializes to JSON after
+  every generation; :meth:`SearchDriver.run` with ``resume_from``
+  reloads the scores and *replays* the optimizer against them, so a
+  resumed search reproduces the uninterrupted run exactly while
+  re-simulating nothing that was already paid for.
+
+Per-point seeds derive from ``SeedSequence([master_seed, *grid
+coordinates, repetition])`` — evaluation order never enters, which is
+what makes sequential, pooled and batched evaluation agree.
+"""
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.metrics import RunResult
+from repro.injection.engine import run_simulation
+from repro.search.objectives import Objective
+from repro.search.optimizers import Optimizer, Told
+from repro.search.space import (
+    Point,
+    PointKey,
+    SearchSpace,
+    SearchTask,
+    with_safety_margin,
+)
+
+#: JSON checkpoint format version (bumped on incompatible changes).
+CHECKPOINT_VERSION = 1
+
+
+def point_seed(master_seed: int, key: PointKey, repetition: int) -> int:
+    """The deterministic simulation seed of ``(point, repetition)``."""
+    sequence = np.random.SeedSequence([master_seed, *key, repetition])
+    return int(sequence.generate_state(1)[0] % (2**31))
+
+
+@dataclass
+class RepetitionOutcome:
+    """What one repetition of one point produced (the audit record)."""
+
+    seed: int
+    score: float
+    hazard: bool
+    accident: bool
+    hazard_without_alert: bool
+    time_to_hazard: Optional[float]
+    min_ttc: Optional[float]
+
+    @classmethod
+    def from_result(cls, seed: int, score: float, result: RunResult) -> "RepetitionOutcome":
+        return cls(
+            seed=seed,
+            score=score,
+            hazard=result.hazard_occurred,
+            accident=result.accident_occurred,
+            hazard_without_alert=result.hazard_without_alert,
+            time_to_hazard=result.time_to_hazard,
+            min_ttc=result.min_ttc,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "score": self.score,
+            "hazard": self.hazard,
+            "accident": self.accident,
+            "hazard_without_alert": self.hazard_without_alert,
+            "time_to_hazard": self.time_to_hazard,
+            "min_ttc": self.min_ttc,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RepetitionOutcome":
+        return cls(**payload)
+
+
+@dataclass
+class Evaluation:
+    """One unique point's evaluation (``repetitions`` simulations)."""
+
+    index: int                  # evaluation order, 0-based
+    generation: int             # generation that first proposed the point
+    point: Point
+    score: float
+    repetitions: List[RepetitionOutcome]
+
+    @property
+    def hazard_found(self) -> bool:
+        return any(outcome.hazard for outcome in self.repetitions)
+
+
+@dataclass
+class GenerationRecord:
+    """The audit record of one optimizer generation."""
+
+    generation: int
+    points: List[Point]
+    scores: List[float]
+    memo_hits: List[bool]       # True where the score came from the memo
+
+
+@dataclass(frozen=True)
+class SearchConfig:
+    """Configuration of one search run.
+
+    Attributes:
+        budget: Maximum number of *unique* points to simulate.
+        repetitions: Simulations per point (each with its own derived
+            seed); the objective aggregates over them.
+        master_seed: Root of every derived seed.
+        batch_size: Lockstep batch width for generation evaluation
+            (> 1 routes each generation through
+            :func:`repro.kernel.batch.run_batched`).
+        workers: Process-pool width (> 1 routes through
+            :func:`repro.injection.executor.run_simulations`; tasks are
+            pickled, so decoded strategies must be picklable — the
+            built-in ones are).
+        stop_on_hazard: Stop as soon as an evaluation finds a hazard
+            (used by evaluations-to-first-hazard comparisons and the CI
+            smoke search).
+        checkpoint_path: Write the JSON search state here after every
+            generation (atomic rename); ``None`` disables.
+        max_stalled_generations: Give up after this many consecutive
+            generations that proposed nothing new (a fully converged
+            optimizer re-asking its incumbent must not loop forever).
+    """
+
+    budget: int = 64
+    repetitions: int = 1
+    master_seed: int = 2022
+    batch_size: Optional[int] = None
+    workers: Optional[int] = None
+    stop_on_hazard: bool = False
+    checkpoint_path: Optional[str] = None
+    max_stalled_generations: int = 32
+
+    def __post_init__(self):
+        if self.budget < 1:
+            raise ValueError("budget must be >= 1")
+        if self.repetitions < 1:
+            raise ValueError("repetitions must be >= 1")
+
+
+@dataclass
+class SearchResult:
+    """Everything a finished (or budget-exhausted) search produced."""
+
+    space_name: str
+    objective_name: str
+    optimizer_name: str
+    config: SearchConfig
+    best: Optional[Evaluation]
+    evaluations: List[Evaluation] = field(default_factory=list)
+    trail: List[GenerationRecord] = field(default_factory=list)
+    simulations_run: int = 0    # actual simulator runs this process paid for
+
+    @property
+    def evaluations_used(self) -> int:
+        return len(self.evaluations)
+
+    @property
+    def first_hazard_evaluation(self) -> Optional[int]:
+        """1-based count of evaluations until the first hazard (None if never)."""
+        for evaluation in self.evaluations:
+            if evaluation.hazard_found:
+                return evaluation.index + 1
+        return None
+
+
+class SearchDriver:
+    """Runs one optimizer against one space under one objective."""
+
+    def __init__(
+        self,
+        space: SearchSpace,
+        objective: Objective,
+        optimizer_factory: Callable[[SearchSpace], Optimizer],
+        config: SearchConfig = SearchConfig(),
+    ):
+        self.space = space
+        self.objective = objective
+        self.optimizer_factory = optimizer_factory
+        self.config = config
+
+    # -- checkpointing -------------------------------------------------------
+
+    def _checkpoint_payload(self, result: SearchResult) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "space": self.space.fingerprint(),
+            "objective": self.objective.name,
+            "optimizer": result.optimizer_name,
+            "master_seed": self.config.master_seed,
+            "repetitions": self.config.repetitions,
+            "evaluations": [
+                {
+                    "key": list(self.space.key(evaluation.point)),
+                    "score": evaluation.score,
+                    "repetitions": [r.to_dict() for r in evaluation.repetitions],
+                }
+                for evaluation in result.evaluations
+            ],
+        }
+
+    def _write_checkpoint(self, result: SearchResult) -> None:
+        path = self.config.checkpoint_path
+        if path is None:
+            return
+        payload = self._checkpoint_payload(result)
+        tmp_path = f"{path}.tmp"
+        with open(tmp_path, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp_path, path)
+
+    def _load_checkpoint(
+        self, source: Union[str, dict]
+    ) -> Dict[PointKey, Tuple[float, List[RepetitionOutcome]]]:
+        if isinstance(source, str):
+            with open(source) as handle:
+                payload = json.load(handle)
+        else:
+            payload = source
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"checkpoint version {payload.get('version')!r} does not match "
+                f"{CHECKPOINT_VERSION}"
+            )
+        for attribute, expected in (
+            ("space", self.space.fingerprint()),
+            ("objective", self.objective.name),
+            ("master_seed", self.config.master_seed),
+            ("repetitions", self.config.repetitions),
+        ):
+            if payload.get(attribute) != expected:
+                raise ValueError(
+                    f"checkpoint {attribute} {payload.get(attribute)!r} does not "
+                    f"match the driver's {expected!r}"
+                )
+        cache: Dict[PointKey, Tuple[float, List[RepetitionOutcome]]] = {}
+        for entry in payload["evaluations"]:
+            key = tuple(int(k) for k in entry["key"])
+            outcomes = [RepetitionOutcome.from_dict(r) for r in entry["repetitions"]]
+            cache[key] = (float(entry["score"]), outcomes)
+        return cache
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _build_tasks(self, point: Point) -> Tuple[List[SearchTask], List[int]]:
+        """Fresh tasks (and their seeds) for every repetition of a point."""
+        key = self.space.key(point)
+        tasks: List[SearchTask] = []
+        seeds: List[int] = []
+        for repetition in range(self.config.repetitions):
+            seed = point_seed(self.config.master_seed, key, repetition)
+            task = self.space.decode(point, seed)
+            if self.objective.requires_margin:
+                task = with_safety_margin(task)
+            tasks.append(task)
+            seeds.append(seed)
+        return tasks, seeds
+
+    def _execute(self, tasks: Sequence[SearchTask]) -> List[RunResult]:
+        """Run tasks batched / pooled / sequentially (identical results)."""
+        config = self.config
+        if config.workers is not None and config.workers > 1 and len(tasks) > 1:
+            from repro.injection.executor import run_simulations
+
+            return run_simulations(
+                tasks, workers=config.workers, batch_size=config.batch_size
+            )
+        if config.batch_size is not None and config.batch_size > 1 and len(tasks) > 1:
+            from repro.kernel.batch import run_batched
+
+            return run_batched(tasks, batch_size=config.batch_size)
+        return [run_simulation(task_config, strategy) for task_config, strategy in tasks]
+
+    # -- the search loop -----------------------------------------------------
+
+    def run(self, resume_from: Optional[Union[str, dict]] = None) -> SearchResult:
+        """Run the search to budget exhaustion (or convergence/stop).
+
+        Args:
+            resume_from: A checkpoint path (or already-loaded payload)
+                from a previous run with the same space, objective, seed
+                and repetitions.  Scores found there are reused without
+                simulation while the optimizer replays through them, so
+                the resumed trajectory is identical to the uninterrupted
+                one.
+        """
+        config = self.config
+        optimizer = self.optimizer_factory(self.space)
+        result = SearchResult(
+            space_name=self.space.name,
+            objective_name=self.objective.name,
+            optimizer_name=optimizer.name,
+            config=config,
+            best=None,
+        )
+        cache: Dict[PointKey, Tuple[float, List[RepetitionOutcome]]] = {}
+        if resume_from is not None:
+            cache = self._load_checkpoint(resume_from)
+        memo: Dict[PointKey, Evaluation] = {}
+
+        generation_index = 0
+        stalled = 0
+        stop = False
+        while not stop and len(memo) < config.budget:
+            generation = optimizer.ask()
+            if not generation:
+                break  # the grid baseline is exhausted
+
+            # Unique unevaluated points of this generation, in proposal
+            # order, truncated to the remaining budget.
+            fresh: List[Point] = []
+            seen: set = set()
+            remaining = config.budget - len(memo)
+            for point in generation:
+                key = self.space.key(point)
+                if key in memo or key in seen:
+                    continue
+                if len(fresh) == remaining:
+                    break
+                seen.add(key)
+                fresh.append(point)
+            stalled = 0 if fresh else stalled + 1
+            if stalled > config.max_stalled_generations:
+                break
+
+            # Simulate what the cache cannot answer, as one dense batch.
+            to_simulate = [
+                point for point in fresh if self.space.key(point) not in cache
+            ]
+            tasks: List[SearchTask] = []
+            seeds_by_point: List[List[int]] = []
+            for point in to_simulate:
+                point_tasks, seeds = self._build_tasks(point)
+                tasks.extend(point_tasks)
+                seeds_by_point.append(seeds)
+            outputs = self._execute(tasks) if tasks else []
+            result.simulations_run += len(tasks)
+            reps = config.repetitions
+            simulated: Dict[PointKey, Tuple[float, List[RepetitionOutcome]]] = {}
+            for position, point in enumerate(to_simulate):
+                runs = outputs[position * reps:(position + 1) * reps]
+                score = self.objective(runs)
+                outcomes = [
+                    RepetitionOutcome.from_result(
+                        seeds_by_point[position][rep],
+                        self.objective.score_run(runs[rep]),
+                        runs[rep],
+                    )
+                    for rep in range(reps)
+                ]
+                simulated[self.space.key(point)] = (score, outcomes)
+
+            # Account every fresh point (simulated or cache-served) as an
+            # evaluation, in proposal order.
+            for point in fresh:
+                key = self.space.key(point)
+                score, outcomes = simulated.get(key) or cache[key]
+                evaluation = Evaluation(
+                    index=len(result.evaluations),
+                    generation=generation_index,
+                    point=point,
+                    score=score,
+                    repetitions=outcomes,
+                )
+                memo[key] = evaluation
+                result.evaluations.append(evaluation)
+                if result.best is None or evaluation.score > result.best.score:
+                    result.best = evaluation
+                if config.stop_on_hazard and evaluation.hazard_found:
+                    stop = True
+
+            # Tell the optimizer every proposal the memo can score (the
+            # whole generation except budget-truncated leftovers).
+            told: List[Told] = []
+            memo_hits: List[bool] = []
+            scores: List[float] = []
+            fresh_keys = {self.space.key(point) for point in fresh}
+            consumed: set = set()
+            for point in generation:
+                key = self.space.key(point)
+                evaluation = memo.get(key)
+                if evaluation is None:
+                    continue  # truncated by the budget; never scored
+                told.append(Told(point=point, score=evaluation.score))
+                # A proposal is "fresh" only at its first occurrence in
+                # this generation; repeats are memo hits.
+                first_occurrence = key in fresh_keys and key not in consumed
+                consumed.add(key)
+                memo_hits.append(not first_occurrence)
+                scores.append(evaluation.score)
+            optimizer.tell(told)
+            result.trail.append(
+                GenerationRecord(
+                    generation=generation_index,
+                    points=[item.point for item in told],
+                    scores=scores,
+                    memo_hits=memo_hits,
+                )
+            )
+            generation_index += 1
+            self._write_checkpoint(result)
+        return result
+
+
+def audit_summary(result: SearchResult) -> Dict[str, Any]:
+    """A compact JSON-safe summary of a finished search."""
+    return {
+        "space": result.space_name,
+        "objective": result.objective_name,
+        "optimizer": result.optimizer_name,
+        "budget": result.config.budget,
+        "evaluations_used": result.evaluations_used,
+        "simulations_run": result.simulations_run,
+        "generations": len(result.trail),
+        "first_hazard_evaluation": result.first_hazard_evaluation,
+        "best_score": None if result.best is None else result.best.score,
+        "best_point": None if result.best is None else list(result.best.point),
+    }

@@ -95,6 +95,25 @@ class TestExperimentHarness:
         assert all(point.hazard for point in result.context_aware_points())
         assert "critical start-time window" in result.format()
 
+    def test_search_attack_reduced_comparison(self):
+        from repro.experiments import run_search_attack
+
+        result = run_search_attack(
+            scenarios=("S1",),
+            attack_types=(AttackType.STEERING_RIGHT,),
+            methods=("random", "grid"),
+            budget=12,
+            max_steps=2000,
+        )
+        assert len(result.rows) == 2
+        random_row = result.row_for("S1", "Steering-Right", "random")
+        grid_row = result.row_for("S1", "Steering-Right", "grid")
+        assert random_row.evaluations_to_first_hazard is not None
+        assert grid_row.evaluations_used <= 12
+        text = result.format()
+        assert "Evals to 1st Hazard" in text
+        assert "Steering-Right" in text
+
     def test_scale_from_environment(self, monkeypatch):
         monkeypatch.setenv("REPRO_FULL_SCALE", "1")
         assert ExperimentScale.from_environment().repetitions == 20

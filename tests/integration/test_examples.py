@@ -47,6 +47,15 @@ class TestExamples:
         assert "Lane invasions" in output
         assert "Figure 7" in output
 
+    def test_search_attack_example_single_search_runs(self, capsys):
+        # The full strategic-vs-exhaustive comparison is exercised through
+        # run_search_attack in test_campaign_experiments; the example's
+        # single-search path is cheap enough to smoke in-process.
+        load_example("search_attack.py").single_search()
+        output = capsys.readouterr().out
+        assert "first hazard at evaluation" in output
+        assert "best attack point" in output
+
     def test_scenario_catalog_example_runs(self, capsys):
         load_example("scenario_catalog.py").main()
         output = capsys.readouterr().out

@@ -110,3 +110,35 @@ class TestDegenerateInputs:
             json.dumps({"measurements": {"single_run_steps_per_second": "fast"}})
         )
         assert _run(tmp_path, baseline, str(path)) == 1
+
+
+def _bench_file_with_search(tmp_path, name, steps_per_second, search_evals):
+    path = tmp_path / name
+    measurements = {"single_run_steps_per_second": steps_per_second}
+    if search_evals is not None:
+        measurements["search_evals_per_s"] = search_evals
+    path.write_text(json.dumps({"measurements": measurements}))
+    return str(path)
+
+
+class TestSearchThroughputGate:
+    def test_search_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = _bench_file_with_search(tmp_path, "base.json", 10000.0, 5.0)
+        current = _bench_file_with_search(tmp_path, "cur.json", 10000.0, 3.0)  # -40%
+        assert _run(tmp_path, baseline, current) == 1
+
+    def test_search_within_threshold_passes(self, tmp_path):
+        baseline = _bench_file_with_search(tmp_path, "base.json", 10000.0, 5.0)
+        current = _bench_file_with_search(tmp_path, "cur.json", 10000.0, 4.5)  # -10%
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_baseline_without_search_row_passes(self, tmp_path):
+        # Baselines predating the search subsystem gate nothing.
+        baseline = _bench_file_with_search(tmp_path, "base.json", 10000.0, None)
+        current = _bench_file_with_search(tmp_path, "cur.json", 10000.0, 5.0)
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_current_dropping_the_search_row_fails(self, tmp_path):
+        baseline = _bench_file_with_search(tmp_path, "base.json", 10000.0, 5.0)
+        current = _bench_file_with_search(tmp_path, "cur.json", 10000.0, None)
+        assert _run(tmp_path, baseline, current) == 1

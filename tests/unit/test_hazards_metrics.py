@@ -111,6 +111,37 @@ class TestRunResultMetrics:
         result.record_accident(CollisionEvent(AccidentType.LEAD_COLLISION, 20.0, ""))
         assert result.accidents == {"A1": 20.0}
 
+    def test_margin_fields_round_trip_and_stay_out_of_default_payloads(self):
+        plain = make_result()
+        assert "min_ttc" not in plain.to_dict()  # golden fixtures unchanged
+        tracked = make_result()
+        tracked.min_ttc = 1.25
+        tracked.min_lead_gap = 8.0
+        tracked.min_ego_speed = 3.5
+        tracked.min_lane_margin = 0.2
+        payload = tracked.to_dict()
+        assert payload["min_ttc"] == 1.25
+        from repro.analysis.metrics import RunResult
+
+        rebuilt = RunResult.from_dict(payload)
+        assert rebuilt == tracked
+        assert RunResult.from_dict(plain.to_dict()) == plain
+
+    def test_margin_tracking_records_minima(self):
+        from repro.injection.engine import SimulationConfig, run_simulation
+
+        config = SimulationConfig(
+            scenario="S1", seed=0, max_steps=1500, track_safety_margin=True
+        )
+        result = run_simulation(config)
+        assert result.min_ttc is not None and result.min_ttc > 0.0
+        assert result.min_lead_gap is not None and result.min_lead_gap > 0.0
+        assert result.min_ego_speed is not None
+        assert result.min_lane_margin is not None
+        # Off by default (the golden-pinned configuration).
+        untracked = run_simulation(SimulationConfig(scenario="S1", seed=0, max_steps=200))
+        assert untracked.min_ttc is None and untracked.min_lane_margin is None
+
 
 class TestAggregation:
     def test_summarize_strategy_counts(self):

@@ -94,3 +94,41 @@ class TestSampledParameters:
             ScenarioSampler(families=())
         with pytest.raises(ValueError):
             ScenarioSampler().sample(-1)
+
+
+class TestStopAndGoWaveFamilies:
+    def test_wave_variants_respect_ranges_and_duty_cycle(self):
+        sampler = ScenarioSampler(master_seed=17)
+        waves = [s for s in sampler.take(36) if s.family == "stop-and-go-wave"]
+        assert waves
+        family = next(f for f in DEFAULT_FAMILIES if f.name == "stop-and-go-wave")
+        period = family.parameters["period"]
+        for spec in waves:
+            # Three crawl/recover cycles, alternating targets.
+            assert len(spec.lead_profile) == 6
+            crawl_phases = spec.lead_profile[0::2]
+            recover_phases = spec.lead_profile[1::2]
+            assert all(p.target_speed < r.target_speed
+                       for p, r in zip(crawl_phases, recover_phases))
+            cycle = spec.lead_profile[2].start_time - spec.lead_profile[0].start_time
+            assert period.low <= cycle <= period.high
+            # The duty cycle places the recovery inside the period.
+            duty = (spec.lead_profile[1].start_time - spec.lead_profile[0].start_time) / cycle
+            assert 0.25 <= duty <= 0.55
+
+    def test_idm_dense_variant_scripts_idm_followers(self):
+        sampler = ScenarioSampler(master_seed=17)
+        dense = [s for s in sampler.take(36) if s.family == "stop-and-go-wave-idm"]
+        assert dense
+        for spec in dense:
+            assert len(spec.actors) == 2
+            assert all(actor.idm is not None for actor in spec.actors)
+            assert all(actor.lane == 0 for actor in spec.actors)
+            # The scripted wave runs on the furthest vehicle.
+            assert spec.initial_distance > max(a.initial_gap for a in spec.actors)
+
+    def test_wave_variants_are_deterministic(self):
+        a = ScenarioSampler(master_seed=23)
+        b = ScenarioSampler(master_seed=23)
+        for index in range(4, 24, 6):
+            assert a.sample(index) == b.sample(index)

@@ -1,0 +1,120 @@
+"""Tests for the search objectives."""
+
+import pytest
+
+from repro.analysis.metrics import RunResult
+from repro.search.objectives import (
+    HazardObjective,
+    StealthObjective,
+    TimeToHazardObjective,
+    first_hazard,
+    margin_score,
+    objective_by_name,
+)
+
+
+def _result(**overrides) -> RunResult:
+    defaults = dict(
+        scenario="S1",
+        initial_distance=70.0,
+        attack_type="Deceleration",
+        strategy="Scheduled",
+        seed=0,
+        driver_enabled=True,
+        duration=50.0,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestMarginScore:
+    def test_no_margins_scores_zero(self):
+        assert margin_score(_result()) == 0.0
+
+    def test_closer_margins_score_higher(self):
+        far = _result(min_ttc=20.0, min_ego_speed=25.0, min_lane_margin=1.5)
+        near = _result(min_ttc=1.0, min_ego_speed=25.0, min_lane_margin=1.5)
+        assert 0.0 < margin_score(far) < margin_score(near) < 1.0
+
+    def test_any_axis_moving_changes_the_score(self):
+        base = _result(min_ttc=10.0, min_ego_speed=20.0, min_lane_margin=1.5)
+        for axis in ("min_ttc", "min_ego_speed", "min_lane_margin"):
+            closer = _result(min_ttc=10.0, min_ego_speed=20.0, min_lane_margin=1.5)
+            setattr(closer, axis, 0.1)
+            assert margin_score(closer) > margin_score(base)
+
+    def test_infinite_ttc_ignored(self):
+        assert margin_score(_result(min_ttc=float("inf"))) == 0.0
+
+
+class TestHazardObjective:
+    def test_hazard_beats_any_margin(self):
+        objective = HazardObjective()
+        hazard = _result(hazards={"H1": 20.0}, attack_activation_time=18.0)
+        near_miss = _result(min_ttc=0.01, min_ego_speed=0.01, min_lane_margin=0.0)
+        assert objective.score_run(hazard) > 1.0 > objective.score_run(near_miss)
+
+    def test_faster_hazard_scores_higher(self):
+        objective = HazardObjective()
+        fast = _result(hazards={"H1": 20.0}, attack_activation_time=19.0)
+        slow = _result(hazards={"H1": 28.0}, attack_activation_time=19.0)
+        assert objective.score_run(fast) > objective.score_run(slow)
+
+    def test_falls_back_to_first_hazard_time_without_activation(self):
+        objective = HazardObjective()
+        hazard = _result(hazards={"H2": 12.0})
+        assert objective.score_run(hazard) == pytest.approx(1.0 + 1.0 / 13.0)
+
+    def test_aggregation_is_mean(self):
+        objective = HazardObjective()
+        hazard = _result(hazards={"H1": 20.0}, attack_activation_time=19.0)
+        miss = _result(min_ttc=4.0, min_ego_speed=10.0, min_lane_margin=1.0)
+        expected = (objective.score_run(hazard) + objective.score_run(miss)) / 2
+        assert objective([hazard, miss]) == pytest.approx(expected)
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            HazardObjective()([])
+
+
+class TestTimeToHazardObjective:
+    def test_shorter_tth_scores_higher(self):
+        objective = TimeToHazardObjective(horizon=10.0)
+        fast = _result(hazards={"H1": 20.5}, attack_activation_time=20.0)
+        slow = _result(hazards={"H1": 26.0}, attack_activation_time=20.0)
+        assert objective.score_run(fast) > objective.score_run(slow) > 1.0
+
+    def test_hazard_without_tth_scores_one(self):
+        objective = TimeToHazardObjective()
+        assert objective.score_run(_result(hazards={"H2": 12.0})) == 1.0
+
+    def test_horizon_validation(self):
+        with pytest.raises(ValueError):
+            TimeToHazardObjective(horizon=0.0)
+
+
+class TestStealthObjective:
+    def test_unalerted_hazard_dominates(self):
+        objective = StealthObjective()
+        stealthy = _result(hazards={"H1": 20.0}, attack_activation_time=19.0)
+        alerted = _result(
+            hazards={"H1": 20.0}, attack_activation_time=19.0, alerts=[("fcw", 19.5)]
+        )
+        miss = _result(min_ttc=0.5, min_ego_speed=1.0, min_lane_margin=0.1)
+        assert objective.score_run(stealthy) > 2.0
+        assert objective.score_run(alerted) == 1.0
+        assert 0.0 < objective.score_run(miss) < 0.5
+
+
+class TestRegistryAndHelpers:
+    def test_objective_by_name(self):
+        for name in ("hazard", "time-to-hazard", "stealth"):
+            assert objective_by_name(name).name == name
+        with pytest.raises(KeyError):
+            objective_by_name("nope")
+
+    def test_first_hazard(self):
+        miss = _result()
+        hit = _result(hazards={"H1": 5.0})
+        assert first_hazard([miss, hit]) is hit
+        assert first_hazard([miss]) is None

@@ -1,0 +1,144 @@
+"""Tests for the seeded black-box optimizers (protocol and determinism)."""
+
+import pytest
+
+from repro.search.optimizers import (
+    CrossEntropy,
+    GridSearch,
+    HillClimb,
+    RandomSearch,
+    Told,
+    make_optimizer,
+    optimizer_names,
+)
+from repro.search.space import Continuous, SearchSpace
+
+
+def _space(ndim=3, resolution=64):
+    return SearchSpace(
+        tuple(Continuous(f"x{i}", 0.0, 1.0) for i in range(ndim)),
+        lambda values, seed: (values, seed),
+        resolution=resolution,
+    )
+
+
+def _drive(optimizer, space, generations=4):
+    """Ask/tell a synthetic objective; return every proposed generation."""
+    trail = []
+    for _ in range(generations):
+        generation = optimizer.ask()
+        if not generation:
+            break
+        trail.append(generation)
+        # Synthetic smooth objective: closeness to the all-0.75 corner.
+        told = [
+            Told(point=p, score=1.0 - sum(abs(c - 0.75) for c in p))
+            for p in generation
+        ]
+        optimizer.tell(told)
+    return trail
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["random", "hill-climb", "cem", "grid"])
+    def test_same_seed_same_trajectory(self, name):
+        space = _space()
+        a = _drive(make_optimizer(name, space, seed=5, generation_size=6), space)
+        b = _drive(make_optimizer(name, space, seed=5, generation_size=6), space)
+        assert a == b
+
+    @pytest.mark.parametrize("name", ["random", "hill-climb", "cem"])
+    def test_different_seed_different_proposals(self, name):
+        space = _space()
+        a = _drive(make_optimizer(name, space, seed=1, generation_size=6), space)
+        b = _drive(make_optimizer(name, space, seed=2, generation_size=6), space)
+        assert a != b
+
+    def test_proposals_are_on_grid(self):
+        space = _space(resolution=16)
+        for name in ("random", "hill-climb", "cem", "grid"):
+            for generation in _drive(make_optimizer(name, space, seed=3), space):
+                for point in generation:
+                    assert space.quantize(point) == point
+
+
+class TestGridSearch:
+    def test_enumerates_whole_grid_then_stops(self):
+        space = _space(ndim=2)
+        optimizer = GridSearch(space, generation_size=7, steps=3)
+        seen = []
+        while True:
+            generation = optimizer.ask()
+            if not generation:
+                break
+            seen.extend(generation)
+        assert len(seen) == space.grid_size(3) == 9
+        assert len(set(seen)) == 9
+
+    def test_ignores_tell(self):
+        space = _space(ndim=2)
+        optimizer = GridSearch(space, generation_size=4, steps=3)
+        first = optimizer.ask()
+        optimizer.tell([Told(point=p, score=123.0) for p in first])
+        rest = optimizer.ask()
+        assert first + rest == list(space.grid(3))[: len(first) + len(rest)]
+
+
+class TestHillClimb:
+    def test_first_generation_explores_uniformly(self):
+        space = _space()
+        optimizer = HillClimb(space, seed=9, generation_size=8)
+        first = optimizer.ask()
+        assert len(set(first)) > 1
+
+    def test_climbs_towards_better_scores(self):
+        space = _space()
+        optimizer = HillClimb(space, seed=9, generation_size=8)
+        trail = _drive(optimizer, space, generations=8)
+        best_first = max(1.0 - sum(abs(c - 0.75) for c in p) for p in trail[0])
+        best_last = max(1.0 - sum(abs(c - 0.75) for c in p) for p in trail[-1])
+        assert best_last >= best_first
+
+    def test_restart_resets_the_climb(self):
+        space = _space()
+        optimizer = HillClimb(space, seed=9, generation_size=4, patience=1)
+        first = optimizer.ask()
+        optimizer.tell([Told(point=p, score=1.0) for p in first])
+        # Repeated non-improving generations force a restart.
+        for _ in range(3):
+            generation = optimizer.ask()
+            optimizer.tell([Told(point=p, score=0.0) for p in generation])
+        assert optimizer._current is None or optimizer._stale == 0
+
+
+class TestCrossEntropy:
+    def test_distribution_contracts_on_elites(self):
+        space = _space()
+        optimizer = CrossEntropy(space, seed=2, generation_size=12)
+        before = optimizer._std.copy()
+        _drive(optimizer, space, generations=6)
+        assert (optimizer._std <= before).all()
+        assert (optimizer._std >= optimizer.std_floor).all()
+
+    def test_mean_moves_towards_the_good_corner(self):
+        space = _space()
+        optimizer = CrossEntropy(space, seed=2, generation_size=12)
+        _drive(optimizer, space, generations=8)
+        assert (abs(optimizer._mean - 0.75) < 0.25).all()
+
+    def test_elite_fraction_validation(self):
+        with pytest.raises(ValueError):
+            CrossEntropy(_space(), elite_fraction=0.0)
+
+
+class TestRegistry:
+    def test_names_cover_all_optimizers(self):
+        assert set(optimizer_names()) == {"random", "hill-climb", "cem", "grid"}
+
+    def test_make_optimizer_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_optimizer("simulated-annealing", _space())
+
+    def test_generation_size_validation(self):
+        with pytest.raises(ValueError):
+            RandomSearch(_space(), generation_size=0)

@@ -1,0 +1,159 @@
+"""Tests for the declarative attack search space."""
+
+import pytest
+
+from repro.adas.limits import ISO_SAFETY_LIMITS, OPENPILOT_LIMITS
+from repro.core.attack_types import AttackType
+from repro.core.strategies import ContextAwareStrategy, ScheduledAttackStrategy
+from repro.scenarios.sampler import DEFAULT_FAMILIES
+from repro.search.space import (
+    Categorical,
+    Continuous,
+    SearchSpace,
+    attack_search_space,
+    with_safety_margin,
+)
+
+
+def _passthrough_decoder(values, seed):  # pragma: no cover - never simulated
+    return values, seed
+
+
+class TestDimensions:
+    def test_continuous_value_unit_roundtrip(self):
+        dim = Continuous("x", 2.0, 10.0)
+        assert dim.value(0.0) == 2.0
+        assert dim.value(1.0) == 10.0
+        assert dim.unit(dim.value(0.25)) == pytest.approx(0.25)
+
+    def test_continuous_requires_high_above_low(self):
+        with pytest.raises(ValueError):
+            Continuous("x", 1.0, 1.0)
+
+    def test_categorical_buckets_cover_all_choices(self):
+        dim = Categorical("t", ("a", "b", "c"))
+        assert [dim.value(u) for u in (0.0, 0.34, 0.67, 1.0)] == ["a", "b", "c", "c"]
+        for choice in dim.choices:
+            assert dim.value(dim.unit(choice)) == choice
+
+    def test_categorical_needs_two_choices(self):
+        with pytest.raises(ValueError):
+            Categorical("t", ("only",))
+
+
+class TestSearchSpace:
+    def _space(self, resolution=16):
+        return SearchSpace(
+            (Continuous("a", 0.0, 1.0), Continuous("b", 10.0, 20.0)),
+            _passthrough_decoder,
+            resolution=resolution,
+        )
+
+    def test_quantize_snaps_to_grid_and_clips(self):
+        space = self._space(resolution=4)
+        assert space.quantize((0.1, 0.9)) == (0.0, 1.0)
+        assert space.quantize((0.13, -2.0)) == (0.25, 0.0)
+
+    def test_key_roundtrip(self):
+        space = self._space()
+        point = space.quantize((0.33, 0.77))
+        assert space.from_key(space.key(point)) == point
+
+    def test_point_from_values_inverts_values(self):
+        space = self._space(resolution=1024)
+        point = space.quantize((0.5, 0.25))
+        values = space.values(point)
+        assert space.point_from_values(values) == point
+
+    def test_point_from_values_missing_dimension_raises(self):
+        with pytest.raises(KeyError):
+            self._space().point_from_values({"a": 0.5})
+
+    def test_duplicate_dimension_names_rejected(self):
+        with pytest.raises(ValueError):
+            SearchSpace(
+                (Continuous("a", 0.0, 1.0), Continuous("a", 0.0, 2.0)),
+                _passthrough_decoder,
+            )
+
+    def test_grid_enumerates_product(self):
+        space = SearchSpace(
+            (Continuous("a", 0.0, 1.0), Categorical("t", ("x", "y", "z"))),
+            _passthrough_decoder,
+        )
+        points = list(space.grid(steps=4))
+        assert len(points) == space.grid_size(4) == 12
+        assert len(set(points)) == 12
+        # Deterministic order.
+        assert points == list(space.grid(steps=4))
+
+
+class TestAttackSearchSpace:
+    def test_scheduled_decode(self):
+        space = attack_search_space(
+            scenario="S2", attack_types=(AttackType.DECELERATION,), max_steps=1000
+        )
+        point = space.point_from_values({"start": 12.0, "duration": 3.0, "magnitude": 0.5})
+        config, strategy = space.decode(point, seed=99)
+        assert isinstance(strategy, ScheduledAttackStrategy)
+        assert strategy.start_range[0] == pytest.approx(12.0, abs=0.05)
+        assert strategy.duration_range[0] == pytest.approx(3.0, abs=0.01)
+        assert config.scenario == "S2"
+        assert config.seed == 99
+        assert config.attack_type is AttackType.DECELERATION
+        assert config.max_steps == 1000
+        limits = config.attack_tuning.corruption_limits
+        assert limits.fixed.accel_max == pytest.approx(0.5 * OPENPILOT_LIMITS.accel_max, rel=0.01)
+        assert limits.strategic.brake_min == pytest.approx(
+            0.5 * ISO_SAFETY_LIMITS.brake_min, rel=0.01
+        )
+
+    def test_decode_builds_fresh_strategies(self):
+        space = attack_search_space()
+        point = space.quantize((0.5, 0.5, 0.5))
+        _, strategy_a = space.decode(point, seed=1)
+        _, strategy_b = space.decode(point, seed=1)
+        assert strategy_a is not strategy_b
+
+    def test_context_aware_decode_carries_threshold(self):
+        space = attack_search_space(
+            attack_types=(AttackType.ACCELERATION,), context_aware=True
+        )
+        point = space.point_from_values({"t_safe": 2.5, "duration": 6.0, "magnitude": 1.0})
+        config, strategy = space.decode(point, seed=0)
+        assert isinstance(strategy, ContextAwareStrategy)
+        assert strategy.max_duration == pytest.approx(6.0, abs=0.01)
+        assert config.attack_tuning.t_safe == pytest.approx(2.5, abs=0.01)
+
+    def test_multi_attack_type_dimension(self):
+        types = (AttackType.DECELERATION, AttackType.STEERING_LEFT)
+        space = attack_search_space(attack_types=types)
+        assert space.dimensions[0].name == "attack_type"
+        point = space.point_from_values(
+            {"attack_type": AttackType.STEERING_LEFT, "start": 10.0,
+             "duration": 2.0, "magnitude": 1.0}
+        )
+        config, _ = space.decode(point, seed=0)
+        assert config.attack_type is AttackType.STEERING_LEFT
+
+    def test_family_parameters_become_dimensions(self):
+        family = next(f for f in DEFAULT_FAMILIES if f.name == "hard-brake")
+        space = attack_search_space(family=family)
+        names = [dim.name for dim in space.dimensions]
+        for key in family.parameters:
+            assert f"scenario:{key}" in names
+        config, _ = space.decode(space.quantize([0.5] * space.ndim), seed=0)
+        assert config.scenario.family == "hard-brake"
+
+    def test_with_safety_margin_flips_only_tracking(self):
+        space = attack_search_space()
+        config, strategy = space.decode(space.quantize((0.5, 0.5, 0.5)), seed=4)
+        assert config.track_safety_margin is False
+        tracked_config, same_strategy = with_safety_margin((config, strategy))
+        assert tracked_config.track_safety_margin is True
+        assert same_strategy is strategy
+        assert tracked_config.seed == config.seed
+
+    def test_needs_attack_types(self):
+        with pytest.raises(ValueError):
+            attack_search_space(attack_types=())
