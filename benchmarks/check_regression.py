@@ -14,10 +14,17 @@ number (the campaign rate divides out the same way) with a generous
 threshold: it exists to catch order-of-magnitude mistakes (an accidental
 de-optimisation of the hot loop), not 5 % jitter.
 
-The search-throughput row (``search_evals_per_s``) is gated the same way
-*when both files carry it* — a baseline predating the search subsystem
-passes trivially, but once the row is in the committed baseline a current
+The search-throughput row (``search_evals_per_s``) and the supervised
+campaign row (``resilient_campaign_runs_per_s``) are gated the same way
+*when both files carry them* — a baseline predating those subsystems
+passes trivially, but once a row is in the committed baseline a current
 run may not silently drop or regress it.
+
+The supervised executor additionally carries an absolute bound: the
+clean-path overhead it records (``resilient_supervision_overhead_pct``,
+supervised vs plain executor on the same workload) may not exceed
+``--max-overhead`` (default 5%) — supervision must stay an invisible
+wrapper when nothing fails.
 """
 
 import argparse
@@ -34,6 +41,13 @@ def main(argv=None) -> int:
         type=float,
         default=0.20,
         help="maximum allowed fractional drop in single-run steps/s (default 0.20)",
+    )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=5.0,
+        help="maximum allowed supervision overhead on the clean path, "
+        "percent (default 5.0)",
     )
     args = parser.parse_args(argv)
 
@@ -57,11 +71,13 @@ def main(argv=None) -> int:
     for key, label, unit, precision in (
         ("single_run_steps_per_second", "single-run throughput", "steps/s", 0),
         ("search_evals_per_s", "attack-search throughput", "evals/s", 2),
+        ("resilient_campaign_runs_per_s", "supervised-campaign throughput", "runs/s", 2),
     ):
         exit_code = max(
             exit_code,
             _check_key(baseline, current, key, label, unit, precision, args.max_regression),
         )
+    exit_code = max(exit_code, _check_overhead(current, args.max_overhead))
     if exit_code == 0:
         print("OK: within the allowed envelope")
     return exit_code
@@ -97,6 +113,33 @@ def _check_key(
         print(
             f"FAIL: {key} regression beyond the allowed {max_regression:.0%} "
             "(see benchmarks/test_bench_throughput.py)"
+        )
+        return 1
+    return 0
+
+
+def _check_overhead(current: dict, max_overhead: float) -> int:
+    """Bound the supervised executor's clean-path overhead (absolute %).
+
+    Unlike the rate gates this compares two rows of the *same* measured
+    run (supervised vs plain executor on the same workload, same
+    machine), so it is immune to runner-speed drift between baseline
+    and current.  A run without the row gates nothing.
+    """
+    try:
+        overhead = float(current["measurements"]["resilient_supervision_overhead_pct"])
+    except (KeyError, TypeError, ValueError):
+        print("current run carries no supervision-overhead measurement; skipping bound")
+        return 0
+    print(
+        f"supervision overhead (clean path): {overhead:+.1f}% "
+        f"(bound {max_overhead:.1f}%)"
+    )
+    if overhead > max_overhead:
+        print(
+            f"FAIL: supervised executor costs {overhead:.1f}% on the clean path, "
+            f"above the allowed {max_overhead:.1f}% "
+            "(see benchmarks/test_bench_throughput.py::test_bench_resilient_campaign)"
         )
         return 1
     return 0

@@ -261,6 +261,54 @@ def test_bench_search_throughput(benchmark):
     print(f"\nattack search: {budget / best:.2f} evals/s (budget {budget}, batch_size=8)")
 
 
+def test_bench_resilient_campaign(benchmark):
+    """Supervised-executor overhead on the clean (fault-free) path.
+
+    Runs the reduced campaign plain and under the supervised executor
+    (same workload, interleaved best-of-2 each way) and records both
+    rates plus the overhead percentage.  The supervision layer's chunk
+    bookkeeping must stay within a few percent of the plain executor —
+    ``benchmarks/check_regression.py`` gates the recorded overhead — and
+    the results must be bit-identical (the resilience layer's core
+    guarantee).
+    """
+    config = _campaign_config(max_steps=2500)
+    total = config.total_runs
+
+    plain_best = float("inf")
+    resilient_best = float("inf")
+    reference = None
+    for _ in range(2):
+        start = time.perf_counter()
+        plain = Campaign(config).run()
+        plain_best = min(plain_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        outcome = Campaign(config).run_resilient(workers=1)
+        resilient_best = min(resilient_best, time.perf_counter() - start)
+        if reference is None:
+            reference = plain
+        assert plain == reference
+        assert outcome.completed_results == reference
+        assert not outcome.report.quarantine
+
+    def resilient_run():
+        return Campaign(config).run_resilient(workers=1)
+
+    final = benchmark.pedantic(resilient_run, rounds=1, iterations=1)
+    assert final.completed_results == reference
+
+    overhead_pct = 100.0 * (resilient_best - plain_best) / plain_best
+    _results["resilient_campaign_total_runs"] = total
+    _results["resilient_campaign_runs_per_s"] = round(total / resilient_best, 2)
+    _results["resilient_plain_runs_per_s"] = round(total / plain_best, 2)
+    _results["resilient_supervision_overhead_pct"] = round(overhead_pct, 2)
+    _write_results()
+    print(
+        f"\nresilient campaign: {total / resilient_best:.2f} runs/s supervised vs "
+        f"{total / plain_best:.2f} runs/s plain ({overhead_pct:+.1f}% overhead)"
+    )
+
+
 def test_bench_campaign_scaling(benchmark):
     """Parallel executor scaling curve: campaign runs/s at workers = 1/2/4.
 

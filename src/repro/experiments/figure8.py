@@ -9,9 +9,12 @@ points all fall inside the critical window and all result in hazards.
 """
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import SupervisionPolicy
 
 from repro.core.attack_types import AttackType
 from repro.core.strategies import ContextAwareStrategy, RandomStartDurationStrategy
@@ -89,6 +92,8 @@ def run_figure8(
     seed: int = 7,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> Figure8Result:
     """Sweep (start time, duration) for one attack type plus Context-Aware runs.
 
@@ -104,6 +109,10 @@ def run_figure8(
         batch_size: Lockstep batch width per worker (> 1 steps that many
             sweep runs through the kernel together; identical points,
             higher per-core throughput).
+        supervision: Fault-tolerance policy for the sweep
+            (:class:`repro.resilience.SupervisionPolicy`).
+        checkpoint_path: Crash-safe checkpoint file; an interrupted sweep
+            rerun with the same path pays only for unfinished points.
     """
     start_times = start_times if start_times is not None else np.arange(5.0, 36.0, 3.0)
     durations = durations if durations is not None else np.arange(0.5, 2.6, 0.5)
@@ -140,9 +149,25 @@ def run_figure8(
         )
         tasks.append((config, ContextAwareStrategy()))
 
-    runs = run_simulations(tasks, workers=workers, batch_size=batch_size)
+    if supervision is not None or checkpoint_path is not None:
+        from repro.resilience.supervisor import run_supervised_simulations
+
+        outcome = run_supervised_simulations(
+            tasks,
+            policy=supervision,
+            workers=workers,
+            batch_size=batch_size,
+            checkpoint_path=checkpoint_path,
+        )
+        # Index-aligned (None where a poison task was quarantined), so the
+        # grid zip below stays correct even with holes.
+        runs = outcome.results
+    else:
+        runs = run_simulations(tasks, workers=workers, batch_size=batch_size)
 
     for (start, duration, strategy_name), run in zip(grid, runs):
+        if run is None:
+            continue
         result.points.append(
             ParameterSpacePoint(
                 start_time=start,
@@ -152,7 +177,7 @@ def run_figure8(
             )
         )
     for run in runs[len(grid):]:
-        if run.attack_activation_time is None:
+        if run is None or run.attack_activation_time is None:
             continue
         result.points.append(
             ParameterSpacePoint(

@@ -6,10 +6,15 @@ alerts, with hazards, with accidents, with hazards-but-no-alerts, the
 lane-invasion rate, and the mean/std Time-To-Hazard.
 """
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.analysis.metrics import RunResult
+from repro.resilience.checkpoint import checkpoint_slug
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import SupervisionPolicy
 from repro.analysis.results import StrategySummary, format_table_iv, summarize_strategy
 from repro.core.strategies import (
     ContextAwareStrategy,
@@ -73,6 +78,8 @@ def run_table4(
     attack_types: Sequence = ALL_ATTACK_TYPES,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Table4Result:
     """Run the Table IV experiment grid and aggregate it.
 
@@ -86,13 +93,30 @@ def run_table4(
         batch_size: Lockstep batch width per worker (> 1 steps that many
             runs through the kernel together; identical results, higher
             per-core throughput).
+        supervision: Fault-tolerance policy for each campaign
+            (:class:`repro.resilience.SupervisionPolicy`).
+        checkpoint_dir: Directory for per-strategy crash-safe
+            checkpoints; an interrupted table run resumed with the same
+            directory pays only for unfinished runs.
     """
     scale = scale or ExperimentScale.from_environment()
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     result = Table4Result()
     for strategy_cls in strategies:
         config = _campaign_for(strategy_cls, scale, attack_types)
         campaign = Campaign(config, strategy_factory=strategy_cls)
-        runs = campaign.run(workers=workers, batch_size=batch_size)
+        checkpoint_path = None
+        if checkpoint_dir is not None:
+            checkpoint_path = os.path.join(
+                checkpoint_dir, f"table4_{checkpoint_slug(strategy_cls.name)}.json"
+            )
+        runs = campaign.run(
+            workers=workers,
+            batch_size=batch_size,
+            supervision=supervision,
+            checkpoint_path=checkpoint_path,
+        )
         result.runs[strategy_cls.name] = runs
         result.summaries.append(summarize_strategy(strategy_cls.name, runs))
     return result

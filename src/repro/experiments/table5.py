@@ -7,10 +7,15 @@ driver's prevented hazards, newly introduced hazards and prevented
 accidents can be computed from paired runs, as the paper's Table V does.
 """
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.analysis.metrics import RunResult
+from repro.resilience.checkpoint import checkpoint_slug
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.resilience.supervisor import SupervisionPolicy
 from repro.analysis.results import AttackTypeSummary, format_table_v, summarize_by_attack_type
 from repro.core.corruption import CorruptionMode
 from repro.core.strategies import ContextAwareStrategy
@@ -49,6 +54,8 @@ def _run_mode(
     driver_enabled: bool,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> List[RunResult]:
     config = CampaignConfig(
         strategy_name=strategy_cls.name,
@@ -60,7 +67,10 @@ def _run_mode(
         master_seed=scale.master_seed,
     )
     return Campaign(config, strategy_factory=strategy_cls).run(
-        workers=workers, batch_size=batch_size
+        workers=workers,
+        batch_size=batch_size,
+        supervision=supervision,
+        checkpoint_path=checkpoint_path,
     )
 
 
@@ -68,6 +78,8 @@ def run_table5(
     scale: Optional[ExperimentScale] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    checkpoint_dir: Optional[str] = None,
 ) -> Table5Result:
     """Run the Table V experiment and aggregate it.
 
@@ -78,19 +90,34 @@ def run_table5(
         batch_size: Lockstep batch width per worker (> 1 steps that many
             runs through the kernel together; identical results, higher
             per-core throughput).
+        supervision: Fault-tolerance policy for each campaign.
+        checkpoint_dir: Directory for per-mode crash-safe checkpoints;
+            an interrupted table resumed with the same directory pays
+            only for unfinished runs.
     """
     scale = scale or ExperimentScale.from_environment()
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
     result = Table5Result()
+
+    def _checkpoint(key: str, driver: str) -> Optional[str]:
+        if checkpoint_dir is None:
+            return None
+        return os.path.join(checkpoint_dir, f"table5_{checkpoint_slug(key)}_{driver}.json")
 
     for key, strategy_cls in (
         ("fixed", ContextAwareFixedValueStrategy),
         ("strategic", ContextAwareStrategy),
     ):
         with_driver = _run_mode(
-            strategy_cls, scale, driver_enabled=True, workers=workers, batch_size=batch_size
+            strategy_cls, scale, driver_enabled=True, workers=workers,
+            batch_size=batch_size, supervision=supervision,
+            checkpoint_path=_checkpoint(key, "driver"),
         )
         without_driver = _run_mode(
-            strategy_cls, scale, driver_enabled=False, workers=workers, batch_size=batch_size
+            strategy_cls, scale, driver_enabled=False, workers=workers,
+            batch_size=batch_size, supervision=supervision,
+            checkpoint_path=_checkpoint(key, "no-driver"),
         )
         result.runs[f"{key}/driver"] = with_driver
         result.runs[f"{key}/no-driver"] = without_driver

@@ -9,7 +9,7 @@ records for aggregation.
 """
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -18,6 +18,10 @@ from repro.core.attack_types import AttackType
 from repro.core.strategies import AttackStrategy, strategy_by_name
 from repro.injection.engine import SimulationConfig, run_simulation
 from repro.sim.scenarios import INITIAL_DISTANCES, Scenario
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.resilience.chaos import ChaosPolicy
+    from repro.resilience.supervisor import SupervisedOutcome, SupervisionPolicy
 
 StrategyFactory = Callable[[], AttackStrategy]
 
@@ -135,6 +139,39 @@ class Campaign:
         config, strategy = self.cell_task(cell)
         return run_simulation(config, strategy)
 
+    def run_resilient(
+        self,
+        progress: Optional[Callable[[int, int], None]] = None,
+        workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        supervision: Optional["SupervisionPolicy"] = None,
+        chaos: Optional["ChaosPolicy"] = None,
+        checkpoint_path: Optional[str] = None,
+        on_result: Optional[Callable[[int, RunResult], None]] = None,
+    ) -> "SupervisedOutcome":
+        """Run under supervision, returning results *and* the recovery trail.
+
+        The :class:`~repro.resilience.SupervisedOutcome` carries the
+        cell-aligned results (``None`` where a poison cell was
+        quarantined) and the :class:`~repro.resilience.ExecutionReport`
+        (retries, pool respawns, degradations, quarantine, sims paid vs
+        loaded from the checkpoint).
+        """
+        from repro.resilience.supervisor import run_supervised_campaign
+
+        return run_supervised_campaign(
+            self,
+            policy=supervision,
+            workers=workers,
+            chunk_size=chunk_size,
+            batch_size=batch_size,
+            progress=progress,
+            chaos=chaos,
+            checkpoint_path=checkpoint_path,
+            on_result=on_result,
+        )
+
     def run(
         self,
         progress: Optional[Callable[[int, int], None]] = None,
@@ -142,6 +179,9 @@ class Campaign:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         batch_size: Optional[int] = None,
+        supervision: Optional["SupervisionPolicy"] = None,
+        chaos: Optional["ChaosPolicy"] = None,
+        checkpoint_path: Optional[str] = None,
     ) -> List[RunResult]:
         """Run the whole campaign.
 
@@ -160,7 +200,27 @@ class Campaign:
                 Python dispatch; see :class:`repro.kernel.BatchRunner`).
                 Composes with ``workers``: each pool worker batches the
                 cells of its chunk.  Results are bit-identical either way.
+            supervision: Fault-tolerance policy
+                (:class:`repro.resilience.SupervisionPolicy`): per-chunk
+                timeouts, seeded retry/backoff, dead-worker respawn,
+                quarantine, graceful degradation.  Results stay
+                bit-identical; quarantined cells are withheld from the
+                returned list (see :meth:`run_resilient` for the report).
+            chaos: Worker fault-injection policy (testing only); implies
+                supervision.
+            checkpoint_path: Crash-safe checkpoint file; a rerun resumes
+                paying only for unfinished cells.  Implies supervision.
         """
+        if supervision is not None or chaos is not None or checkpoint_path is not None:
+            return self.run_resilient(
+                progress=progress,
+                workers=workers,
+                chunk_size=chunk_size,
+                batch_size=batch_size,
+                supervision=supervision,
+                chaos=chaos,
+                checkpoint_path=checkpoint_path,
+            ).completed_results
         if parallel or (workers is not None and workers > 1):
             from repro.injection.executor import ParallelCampaignRunner
 
@@ -187,6 +247,13 @@ def run_campaign(
     strategy_factory: Optional[StrategyFactory] = None,
     workers: Optional[int] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: build and run a campaign."""
-    return Campaign(config, strategy_factory).run(workers=workers, batch_size=batch_size)
+    return Campaign(config, strategy_factory).run(
+        workers=workers,
+        batch_size=batch_size,
+        supervision=supervision,
+        checkpoint_path=checkpoint_path,
+    )

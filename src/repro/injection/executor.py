@@ -45,9 +45,12 @@ from typing import Callable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 from repro.analysis.metrics import RunResult
 from repro.core.strategies import AttackStrategy
 from repro.injection.engine import SimulationConfig, run_simulation
+from repro.resilience.errors import TaskExecutionError, cell_fingerprint, task_fingerprint
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign, CampaignCell
+    from repro.resilience.chaos import ChaosPolicy
+    from repro.resilience.supervisor import SupervisionPolicy
 
 ProgressCallback = Callable[[int, int], None]
 SimulationTask = Tuple[SimulationConfig, Optional[AttackStrategy]]
@@ -83,30 +86,66 @@ def _init_task_worker(batch_size: Optional[int]) -> None:
 
 
 def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int, List[RunResult]]:
-    """Worker body: run one chunk of campaign cells in submission order."""
+    """Worker body: run one chunk of campaign cells in submission order.
+
+    A failing simulation raises :class:`TaskExecutionError` naming the
+    offending task's ``(scenario, attack, seed)`` fingerprint, so the
+    parent sees which run died instead of a bare pool traceback.
+    """
     chunk_index, cells = indexed_chunk
     campaign = _WORKER_CAMPAIGN
     if campaign is None:  # pragma: no cover - defensive
         raise RuntimeError("worker has no campaign installed")
     batch_size = _WORKER_BATCH_SIZE
+    strategy_name = campaign.config.strategy_name
     if batch_size is not None and batch_size > 1 and len(cells) > 1:
         from repro.kernel.batch import run_batched
 
-        return chunk_index, run_batched(
-            [campaign.cell_task(cell) for cell in cells], batch_size=batch_size
-        )
-    return chunk_index, [campaign.run_cell(cell) for cell in cells]
+        try:
+            return chunk_index, run_batched(
+                [campaign.cell_task(cell) for cell in cells], batch_size=batch_size
+            )
+        except Exception as error:
+            raise TaskExecutionError.wrap_batch(
+                [cell_fingerprint(cell, strategy_name) for cell in cells], error
+            ) from error
+    results = []
+    for cell in cells:
+        try:
+            results.append(campaign.run_cell(cell))
+        except Exception as error:
+            raise TaskExecutionError.wrap(
+                cell_fingerprint(cell, strategy_name), error
+            ) from error
+    return chunk_index, results
 
 
 def _run_tasks(indexed_chunk: Tuple[int, Sequence[SimulationTask]]) -> Tuple[int, List[RunResult]]:
-    """Worker body: run one chunk of ad-hoc simulation tasks."""
+    """Worker body: run one chunk of ad-hoc simulation tasks.
+
+    Failures carry the task fingerprint, as in :func:`_run_cells`.
+    """
     chunk_index, tasks = indexed_chunk
     batch_size = _WORKER_BATCH_SIZE
     if batch_size is not None and batch_size > 1 and len(tasks) > 1:
         from repro.kernel.batch import run_batched
 
-        return chunk_index, run_batched(tasks, batch_size=batch_size)
-    return chunk_index, [run_simulation(config, strategy) for config, strategy in tasks]
+        try:
+            return chunk_index, run_batched(tasks, batch_size=batch_size)
+        except Exception as error:
+            raise TaskExecutionError.wrap_batch(
+                [task_fingerprint(config, strategy) for config, strategy in tasks],
+                error,
+            ) from error
+    results = []
+    for config, strategy in tasks:
+        try:
+            results.append(run_simulation(config, strategy))
+        except Exception as error:
+            raise TaskExecutionError.wrap(
+                task_fingerprint(config, strategy), error
+            ) from error
+    return chunk_index, results
 
 
 def _pool_context():
@@ -169,6 +208,19 @@ class ParallelCampaignRunner:
             — the pool scales across cores, the batch amortises per-step
             dispatch within one core.  Chunks are capped at ``~total /
             (workers * 4)`` cells, which also caps the effective batch.
+        supervision: Fault-tolerance policy
+            (:class:`repro.resilience.SupervisionPolicy`).  When given,
+            dispatch goes through the supervised executor: per-chunk
+            timeouts, seeded retry/backoff, dead-worker respawn,
+            poison-task quarantine and graceful degradation — results
+            stay bit-identical to a plain run.
+        chaos: Deterministic fault-injection policy installed in the
+            workers (:class:`repro.resilience.ChaosPolicy`; testing
+            only).  Implies supervision.
+        checkpoint_path: Crash-safe campaign checkpoint
+            (:class:`repro.resilience.CampaignCheckpoint`); a rerun
+            resumes paying only for unfinished cells.  Implies
+            supervision.
     """
 
     def __init__(
@@ -177,11 +229,17 @@ class ParallelCampaignRunner:
         workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
         batch_size: Optional[int] = None,
+        supervision: Optional["SupervisionPolicy"] = None,
+        chaos: Optional["ChaosPolicy"] = None,
+        checkpoint_path: Optional[str] = None,
     ):
         self.campaign = campaign
         self.workers = max(1, workers if workers is not None else default_worker_count())
         self.chunk_size = chunk_size
         self.batch_size = batch_size
+        self.supervision = supervision
+        self.chaos = chaos
+        self.checkpoint_path = checkpoint_path
 
     def _resolve_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -189,8 +247,32 @@ class ParallelCampaignRunner:
         return max(1, -(-total // (self.workers * 4)))
 
     def run(self, progress: Optional[ProgressCallback] = None) -> List[RunResult]:
-        """Run the whole campaign; results are in sequential cell order."""
+        """Run the whole campaign; results are in sequential cell order.
+
+        Under supervision (``supervision``/``chaos``/``checkpoint_path``
+        set) quarantined cells are withheld from the returned list; use
+        :func:`repro.resilience.run_supervised_campaign` directly for
+        the full :class:`~repro.resilience.SupervisedOutcome`.
+        """
         global _FORK_CAMPAIGN
+        if (
+            self.supervision is not None
+            or self.chaos is not None
+            or self.checkpoint_path is not None
+        ):
+            from repro.resilience.supervisor import run_supervised_campaign
+
+            outcome = run_supervised_campaign(
+                self.campaign,
+                policy=self.supervision,
+                workers=self.workers,
+                chunk_size=self.chunk_size,
+                batch_size=self.batch_size,
+                progress=progress,
+                chaos=self.chaos,
+                checkpoint_path=self.checkpoint_path,
+            )
+            return outcome.completed_results
         cells = list(self.campaign.cells())
         total = len(cells)
         if total == 0:
@@ -241,6 +323,9 @@ def run_simulations(
     chunk_size: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     batch_size: Optional[int] = None,
+    supervision: Optional["SupervisionPolicy"] = None,
+    chaos: Optional["ChaosPolicy"] = None,
+    checkpoint_path: Optional[str] = None,
 ) -> List[RunResult]:
     """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
     in parallel and/or lockstep-batched, preserving input order.
@@ -256,8 +341,27 @@ def run_simulations(
     bit-identical to sequential execution.  Batched execution keeps many
     runs live at once, so each task needs its own strategy instance — the
     batch runner rejects shared strategy objects loudly.
+
+    ``supervision``, ``chaos`` or ``checkpoint_path`` route the dispatch
+    through :func:`repro.resilience.run_supervised_simulations`
+    (timeouts, retry, quarantine, crash-safe resume); quarantined tasks
+    are withheld from the returned list.
     """
     tasks = list(tasks)
+    if supervision is not None or chaos is not None or checkpoint_path is not None:
+        from repro.resilience.supervisor import run_supervised_simulations
+
+        outcome = run_supervised_simulations(
+            tasks,
+            policy=supervision,
+            workers=workers,
+            chunk_size=chunk_size,
+            batch_size=batch_size,
+            progress=progress,
+            chaos=chaos,
+            checkpoint_path=checkpoint_path,
+        )
+        return outcome.completed_results
     total = len(tasks)
     if total == 0:
         return []
@@ -269,7 +373,12 @@ def run_simulations(
             return run_batched(tasks, batch_size=batch_size, progress=progress)
         results = []
         for index, (config, strategy) in enumerate(tasks, start=1):
-            results.append(run_simulation(config, strategy))
+            try:
+                results.append(run_simulation(config, strategy))
+            except Exception as error:
+                raise TaskExecutionError.wrap(
+                    task_fingerprint(config, strategy), error
+                ) from error
             if progress is not None:
                 progress(index, total)
         return results

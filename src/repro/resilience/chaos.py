@@ -1,0 +1,148 @@
+"""Deterministic fault injection for the execution layer itself.
+
+A :class:`ChaosPolicy` is installed in pool workers (through the worker
+initializer, next to the campaign and batch width) and fires
+:class:`FaultSpec` faults at chosen absolute task indices:
+
+* ``error`` — raise :class:`ChaosError` before running the task;
+* ``crash`` — hard-kill the worker process (``os._exit``), which the
+  parent observes as a broken pool;
+* ``hang`` — sleep past the supervisor's chunk timeout;
+* ``corrupt`` — replace the task's result with a non-``RunResult``
+  payload after the chunk ran;
+* ``drop`` — drop the task's result from the chunk payload (a short
+  read).
+
+Determinism across retries and pool respawns: every fault fires at most
+``times`` times, accounted in a filesystem ledger (``state_dir``) with
+atomically created marker files — worker processes die mid-fault, so
+in-memory counters cannot work.  A supervised run with a chaos policy of
+finite ``times`` therefore converges to the exact same results as an
+undisturbed run: the fault fires, the supervisor recovers, the retry is
+clean.  ``times=-1`` (always fire) exercises the quarantine path.
+"""
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+#: Fault kinds that fire before the task runs.
+_BEFORE_KINDS = ("error", "crash", "hang")
+#: Fault kinds that mangle the chunk's result payload.
+_AFTER_KINDS = ("corrupt", "drop")
+VALID_KINDS = _BEFORE_KINDS + _AFTER_KINDS
+
+
+class ChaosError(RuntimeError):
+    """The injected worker-side failure (picklable across the pool)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault: what to inject, where, and how many times.
+
+    Attributes:
+        kind: One of ``error | crash | hang | corrupt | drop``.
+        task_index: Absolute task index the fault fires on.
+        times: Firings before the fault goes quiet (``-1`` = always).
+        hang_seconds: Sleep length for ``hang`` faults.
+    """
+
+    kind: str
+    task_index: int
+    times: int = 1
+    hang_seconds: float = 30.0
+
+    def __post_init__(self):
+        if self.kind not in VALID_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (use one of {VALID_KINDS})")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded, replayable set of faults with a filesystem firing ledger."""
+
+    faults: Tuple[FaultSpec, ...]
+    state_dir: str
+    seed: int = 0
+
+    def __post_init__(self):
+        os.makedirs(self.state_dir, exist_ok=True)
+
+    # -- ledger --------------------------------------------------------------
+
+    def _claim(self, fault: FaultSpec) -> bool:
+        """Atomically claim one firing of ``fault`` (False when spent)."""
+        if fault.times < 0:
+            return True
+        for firing in range(fault.times):
+            marker = os.path.join(
+                self.state_dir, f"fault-{fault.task_index}-{fault.kind}-{firing}"
+            )
+            try:
+                handle = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                continue
+            os.close(handle)
+            return True
+        return False
+
+    def firings(self, fault: FaultSpec) -> int:
+        """How many times ``fault`` has fired so far (ledger inspection)."""
+        if fault.times < 0:
+            raise ValueError("always-on faults keep no ledger")
+        count = 0
+        for firing in range(fault.times):
+            marker = os.path.join(
+                self.state_dir, f"fault-{fault.task_index}-{fault.kind}-{firing}"
+            )
+            if os.path.exists(marker):
+                count += 1
+        return count
+
+    # -- worker-side hooks ---------------------------------------------------
+
+    def before_task(self, index: int, fingerprint: str = "") -> None:
+        """Fire any pre-run fault registered for task ``index``."""
+        for fault in self.faults:
+            if fault.task_index != index or fault.kind not in _BEFORE_KINDS:
+                continue
+            if not self._claim(fault):
+                continue
+            if fault.kind == "crash":
+                os._exit(86)
+            if fault.kind == "hang":
+                time.sleep(fault.hang_seconds)
+                continue  # after the nap the task proceeds normally
+            raise ChaosError(
+                f"chaos: injected error at task {index}"
+                + (f" [{fingerprint}]" if fingerprint else "")
+            )
+
+    def after_chunk(self, results: List[Tuple[int, object]]) -> List[Tuple[int, object]]:
+        """Mangle a chunk's ``(index, result)`` payload per the result faults."""
+        mangled = list(results)
+        for fault in self.faults:
+            if fault.kind not in _AFTER_KINDS:
+                continue
+            for position, (index, _result) in enumerate(mangled):
+                if index != fault.task_index:
+                    continue
+                if not self._claim(fault):
+                    break
+                if fault.kind == "corrupt":
+                    mangled[position] = (index, "chaos: corrupted payload")
+                else:  # drop
+                    mangled = mangled[:position] + mangled[position + 1:]
+                break
+        return mangled
+
+
+def chaos_policy(
+    faults: List[FaultSpec], state_dir: str, seed: int = 0
+) -> Optional[ChaosPolicy]:
+    """Convenience builder (``None`` for an empty fault list)."""
+    if not faults:
+        return None
+    return ChaosPolicy(faults=tuple(faults), state_dir=state_dir, seed=seed)

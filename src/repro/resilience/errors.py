@@ -1,0 +1,81 @@
+"""Task fingerprints and the error type that carries them.
+
+A worker-side failure used to surface as a bare pool traceback with no
+indication of *which* simulation died.  Every execution path now tags
+failures with the task's ``(scenario, attack, seed)`` fingerprint so an
+operator (or the quarantine report) can re-run the offending simulation
+in isolation.
+"""
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.core.strategies import AttackStrategy
+    from repro.injection.campaign import CampaignCell
+    from repro.injection.engine import SimulationConfig
+
+
+def _scenario_name(scenario) -> str:
+    if isinstance(scenario, str):
+        return scenario
+    return getattr(scenario, "name", repr(scenario))
+
+
+def task_fingerprint(
+    config: "SimulationConfig", strategy: Optional["AttackStrategy"] = None
+) -> str:
+    """The ``(scenario, attack, seed)`` identity of one simulation task."""
+    attack = config.attack_type.value if config.attack_type is not None else "none"
+    strategy_name = getattr(strategy, "name", "none") if strategy is not None else "none"
+    return (
+        f"scenario={_scenario_name(config.scenario)} attack={attack} "
+        f"seed={config.seed} distance={config.initial_distance} "
+        f"strategy={strategy_name}"
+    )
+
+
+def cell_fingerprint(cell: "CampaignCell", strategy_name: str = "") -> str:
+    """The fingerprint of one campaign grid cell (no strategy build needed)."""
+    attack = cell.attack_type.value if cell.attack_type is not None else "none"
+    suffix = f" strategy={strategy_name}" if strategy_name else ""
+    return (
+        f"scenario={_scenario_name(cell.scenario)} attack={attack} "
+        f"seed={cell.seed} distance={cell.initial_distance} "
+        f"repetition={cell.repetition}{suffix}"
+    )
+
+
+class TaskExecutionError(RuntimeError):
+    """A simulation task failed; the message names the task's fingerprint.
+
+    Raised in pool workers and unpickled in the parent, so it must
+    round-trip through ``__reduce__`` with its ``fingerprint`` attribute
+    intact.
+    """
+
+    def __init__(self, message: str, fingerprint: str = ""):
+        super().__init__(message)
+        self.fingerprint = fingerprint
+
+    def __reduce__(self):
+        return (TaskExecutionError, (self.args[0], self.fingerprint))
+
+    @classmethod
+    def wrap(cls, fingerprint: str, error: BaseException) -> "TaskExecutionError":
+        return cls(
+            f"simulation task [{fingerprint}] failed: "
+            f"{type(error).__name__}: {error}",
+            fingerprint,
+        )
+
+    @classmethod
+    def wrap_batch(cls, fingerprints, error: BaseException) -> "TaskExecutionError":
+        """A batched chunk failed; name the candidate tasks (first few)."""
+        fingerprints = list(fingerprints)
+        shown = "; ".join(fingerprints[:4])
+        more = f" (+{len(fingerprints) - 4} more)" if len(fingerprints) > 4 else ""
+        return cls(
+            f"batched chunk of {len(fingerprints)} tasks failed "
+            f"[{shown}{more}]: {type(error).__name__}: {error}",
+            fingerprints[0] if fingerprints else "",
+        )

@@ -31,7 +31,6 @@ what makes sequential, pooled and batched evaluation agree.
 """
 
 import json
-import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -39,6 +38,7 @@ import numpy as np
 
 from repro.analysis.metrics import RunResult
 from repro.injection.engine import run_simulation
+from repro.resilience.checkpoint import atomic_write_json
 from repro.search.objectives import Objective
 from repro.search.optimizers import Optimizer, Told
 from repro.search.space import (
@@ -231,12 +231,10 @@ class SearchDriver:
         path = self.config.checkpoint_path
         if path is None:
             return
-        payload = self._checkpoint_payload(result)
-        tmp_path = f"{path}.tmp"
-        with open(tmp_path, "w") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        os.replace(tmp_path, path)
+        # Same crash-safe write-rename idiom as the campaign checkpoints
+        # (repro.resilience.checkpoint): a kill at any instant leaves the
+        # previous checkpoint loadable.
+        atomic_write_json(path, self._checkpoint_payload(result))
 
     def _load_checkpoint(
         self, source: Union[str, dict]

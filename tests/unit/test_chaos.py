@@ -1,0 +1,168 @@
+"""Unit tests for the deterministic fault-injection harness, the
+supervision policy's seeded backoff, and the fingerprinted task errors."""
+
+import pickle
+
+import pytest
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import ContextAwareStrategy
+from repro.injection.engine import SimulationConfig
+from repro.resilience import (
+    ChaosError,
+    ChaosPolicy,
+    FaultSpec,
+    SupervisionPolicy,
+    TaskExecutionError,
+    chaos_policy,
+    task_fingerprint,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="meltdown", task_index=0)
+
+    @pytest.mark.parametrize("kind", ["error", "crash", "hang", "corrupt", "drop"])
+    def test_accepts_known_kinds(self, kind):
+        assert FaultSpec(kind=kind, task_index=0).kind == kind
+
+
+class TestChaosLedger:
+    def test_fault_fires_exactly_times(self, tmp_path):
+        policy = ChaosPolicy(
+            faults=(FaultSpec(kind="error", task_index=3, times=2),),
+            state_dir=str(tmp_path),
+        )
+        with pytest.raises(ChaosError):
+            policy.before_task(3)
+        with pytest.raises(ChaosError):
+            policy.before_task(3)
+        policy.before_task(3)  # spent: third visit runs clean
+        assert policy.firings(policy.faults[0]) == 2
+
+    def test_ledger_survives_policy_reconstruction(self, tmp_path):
+        """A respawned worker rebuilds the policy from the same state_dir
+        and must see the fault as already fired."""
+        spec = FaultSpec(kind="error", task_index=0, times=1)
+        first = ChaosPolicy(faults=(spec,), state_dir=str(tmp_path))
+        with pytest.raises(ChaosError):
+            first.before_task(0)
+        rebuilt = ChaosPolicy(faults=(spec,), state_dir=str(tmp_path))
+        rebuilt.before_task(0)  # no raise: the firing was claimed on disk
+        assert rebuilt.firings(spec) == 1
+
+    def test_other_indices_unaffected(self, tmp_path):
+        policy = ChaosPolicy(
+            faults=(FaultSpec(kind="error", task_index=3),), state_dir=str(tmp_path)
+        )
+        policy.before_task(2)
+        policy.before_task(4)
+
+    def test_always_on_fault_never_goes_quiet(self, tmp_path):
+        policy = ChaosPolicy(
+            faults=(FaultSpec(kind="error", task_index=1, times=-1),),
+            state_dir=str(tmp_path),
+        )
+        for _ in range(5):
+            with pytest.raises(ChaosError):
+                policy.before_task(1)
+        with pytest.raises(ValueError, match="ledger"):
+            policy.firings(policy.faults[0])
+
+    def test_corrupt_replaces_payload_entry(self, tmp_path):
+        policy = ChaosPolicy(
+            faults=(FaultSpec(kind="corrupt", task_index=7),), state_dir=str(tmp_path)
+        )
+        mangled = policy.after_chunk([(6, "r6"), (7, "r7")])
+        assert mangled[0] == (6, "r6")
+        assert mangled[1][0] == 7 and mangled[1][1] != "r7"
+        # Spent: the retry payload passes through untouched.
+        assert policy.after_chunk([(6, "r6"), (7, "r7")]) == [(6, "r6"), (7, "r7")]
+
+    def test_drop_shortens_payload(self, tmp_path):
+        policy = ChaosPolicy(
+            faults=(FaultSpec(kind="drop", task_index=6),), state_dir=str(tmp_path)
+        )
+        assert policy.after_chunk([(6, "r6"), (7, "r7")]) == [(7, "r7")]
+        assert policy.after_chunk([(6, "r6"), (7, "r7")]) == [(6, "r6"), (7, "r7")]
+
+    def test_builder_returns_none_for_no_faults(self, tmp_path):
+        assert chaos_policy([], state_dir=str(tmp_path)) is None
+        assert chaos_policy(
+            [FaultSpec(kind="error", task_index=0)], state_dir=str(tmp_path)
+        ) is not None
+
+
+class TestBackoff:
+    def test_backoff_is_deterministic(self):
+        policy = SupervisionPolicy()
+        assert policy.backoff_delay(5, 1) == policy.backoff_delay(5, 1)
+        again = SupervisionPolicy()
+        assert policy.backoff_delay(5, 2) == again.backoff_delay(5, 2)
+
+    def test_backoff_grows_exponentially(self):
+        policy = SupervisionPolicy(backoff_base=0.1, backoff_factor=2.0, backoff_jitter=0.0)
+        assert policy.backoff_delay(0, 1) == pytest.approx(0.1)
+        assert policy.backoff_delay(0, 2) == pytest.approx(0.2)
+        assert policy.backoff_delay(0, 3) == pytest.approx(0.4)
+
+    def test_jitter_is_bounded_and_anchor_dependent(self):
+        policy = SupervisionPolicy(backoff_base=0.1, backoff_factor=1.0, backoff_jitter=0.5)
+        delays = {policy.backoff_delay(anchor, 1) for anchor in range(20)}
+        assert len(delays) > 1  # different chunks draw different jitter
+        for delay in delays:
+            assert 0.1 <= delay <= 0.1 * 1.5
+
+    def test_different_seeds_draw_different_jitter(self):
+        a = SupervisionPolicy(backoff_seed=1)
+        b = SupervisionPolicy(backoff_seed=2)
+        assert a.backoff_delay(0, 1) != b.backoff_delay(0, 1)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_chunk_attempts=0)
+        with pytest.raises(ValueError):
+            SupervisionPolicy(max_pool_respawns=-1)
+
+
+class TestTaskExecutionError:
+    def _config(self) -> SimulationConfig:
+        return SimulationConfig(
+            scenario="S1",
+            initial_distance=50.0,
+            seed=42,
+            attack_type=AttackType.ACCELERATION,
+        )
+
+    def test_fingerprint_names_the_task(self):
+        fingerprint = task_fingerprint(self._config(), ContextAwareStrategy())
+        assert "scenario=S1" in fingerprint
+        assert "seed=42" in fingerprint
+        assert "attack=Acceleration" in fingerprint
+        assert "strategy=Context-Aware" in fingerprint
+
+    def test_wrap_carries_fingerprint(self):
+        error = TaskExecutionError.wrap(
+            task_fingerprint(self._config(), None), ValueError("boom")
+        )
+        assert "scenario=S1" in str(error)
+        assert "boom" in str(error)
+        assert "scenario=S1" in error.fingerprint
+
+    def test_survives_pickling(self):
+        """The pool pickles exceptions back to the parent; the fingerprint
+        must survive the round trip."""
+        error = TaskExecutionError.wrap("scenario=S1 seed=42", ValueError("boom"))
+        clone = pickle.loads(pickle.dumps(error))
+        assert isinstance(clone, TaskExecutionError)
+        assert clone.fingerprint == error.fingerprint
+        assert str(clone) == str(error)
+
+    def test_wrap_batch_truncates_long_lists(self):
+        fingerprints = [f"seed={i}" for i in range(10)]
+        error = TaskExecutionError.wrap_batch(fingerprints, ValueError("boom"))
+        assert "seed=0" in str(error)
+        assert "more" in str(error)
+        assert "seed=9" not in str(error)

@@ -142,3 +142,71 @@ class TestSearchThroughputGate:
         baseline = _bench_file_with_search(tmp_path, "base.json", 10000.0, 5.0)
         current = _bench_file_with_search(tmp_path, "cur.json", 10000.0, None)
         assert _run(tmp_path, baseline, current) == 1
+
+
+def _bench_file_resilient(tmp_path, name, steps=10000.0, resilient=None, overhead=None):
+    path = tmp_path / name
+    measurements = {"single_run_steps_per_second": steps}
+    if resilient is not None:
+        measurements["resilient_campaign_runs_per_s"] = resilient
+    if overhead is not None:
+        measurements["resilient_supervision_overhead_pct"] = overhead
+    path.write_text(json.dumps({"measurements": measurements}))
+    return str(path)
+
+
+def _run_with_overhead(baseline, current, max_overhead=None):
+    argv = ["--baseline", baseline, "--current", current]
+    if max_overhead is not None:
+        argv += ["--max-overhead", str(max_overhead)]
+    return check_regression.main(argv)
+
+
+class TestResilientGate:
+    def test_resilient_regression_beyond_threshold_fails(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json", resilient=8.0)
+        current = _bench_file_resilient(tmp_path, "cur.json", resilient=5.0)  # -37%
+        assert _run_with_overhead(baseline, current) == 1
+
+    def test_resilient_within_threshold_passes(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json", resilient=8.0)
+        current = _bench_file_resilient(tmp_path, "cur.json", resilient=7.5)
+        assert _run_with_overhead(baseline, current) == 0
+
+    def test_baseline_without_resilient_row_passes(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json", resilient=8.0)
+        assert _run_with_overhead(baseline, current) == 0
+
+    def test_current_dropping_the_resilient_row_fails(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json", resilient=8.0)
+        current = _bench_file_resilient(tmp_path, "cur.json")
+        assert _run_with_overhead(baseline, current) == 1
+
+
+class TestSupervisionOverheadBound:
+    def test_overhead_above_bound_fails(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json", overhead=7.5)
+        assert _run_with_overhead(baseline, current) == 1
+
+    def test_overhead_within_bound_passes(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json", overhead=2.1)
+        assert _run_with_overhead(baseline, current) == 0
+
+    def test_negative_overhead_passes(self, tmp_path):
+        # Measurement noise can make the supervised run come out faster.
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json", overhead=-1.3)
+        assert _run_with_overhead(baseline, current) == 0
+
+    def test_missing_overhead_row_gates_nothing(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json")
+        assert _run_with_overhead(baseline, current) == 0
+
+    def test_custom_bound_is_respected(self, tmp_path):
+        baseline = _bench_file_resilient(tmp_path, "base.json")
+        current = _bench_file_resilient(tmp_path, "cur.json", overhead=2.1)
+        assert _run_with_overhead(baseline, current, max_overhead=1.0) == 1
