@@ -20,16 +20,32 @@ campaign row (``resilient_campaign_runs_per_s``) are gated the same way
 passes trivially, but once a row is in the committed baseline a current
 run may not silently drop or regress it.
 
-The supervised executor additionally carries an absolute bound: the
-clean-path overhead it records (``resilient_supervision_overhead_pct``,
-supervised vs plain executor on the same workload) may not exceed
-``--max-overhead`` (default 5%) — supervision must stay an invisible
-wrapper when nothing fails.
+Two rows additionally carry absolute bounds, compared within the *same*
+measured run (so they are immune to runner-speed drift between baseline
+and current):
+
+- ``resilient_supervision_overhead_pct`` (supervised vs plain executor
+  on the same workload) may not exceed ``--max-overhead`` (default 5%)
+  — supervision must stay an invisible wrapper when nothing fails.
+- ``telemetry_overhead_pct`` (probed-at-full-rate vs unprobed single
+  run) may not exceed ``--max-telemetry-overhead`` (default 5%) — the
+  observability layer's contract is "cheap when on, free when off".
+
+Every gate is evaluated even after one fails, so a red CI run reports
+the full set of regressions at once instead of one per push.
 """
 
 import argparse
 import json
 import sys
+from typing import List, Optional
+
+#: Relative gates: (measurement key, human label, unit, display precision).
+RATE_GATES = (
+    ("single_run_steps_per_second", "single-run throughput", "steps/s", 0),
+    ("search_evals_per_s", "attack-search throughput", "evals/s", 2),
+    ("resilient_campaign_runs_per_s", "supervised-campaign throughput", "runs/s", 2),
+)
 
 
 def main(argv=None) -> int:
@@ -47,6 +63,13 @@ def main(argv=None) -> int:
         type=float,
         default=5.0,
         help="maximum allowed supervision overhead on the clean path, "
+        "percent (default 5.0)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=5.0,
+        help="maximum allowed full-rate telemetry overhead on a single run, "
         "percent (default 5.0)",
     )
     args = parser.parse_args(argv)
@@ -67,20 +90,40 @@ def main(argv=None) -> int:
         print("benchmark files must contain a JSON object")
         return 1
 
-    exit_code = 0
-    for key, label, unit, precision in (
-        ("single_run_steps_per_second", "single-run throughput", "steps/s", 0),
-        ("search_evals_per_s", "attack-search throughput", "evals/s", 2),
-        ("resilient_campaign_runs_per_s", "supervised-campaign throughput", "runs/s", 2),
-    ):
-        exit_code = max(
-            exit_code,
-            _check_key(baseline, current, key, label, unit, precision, args.max_regression),
-        )
-    exit_code = max(exit_code, _check_overhead(current, args.max_overhead))
-    if exit_code == 0:
-        print("OK: within the allowed envelope")
-    return exit_code
+    failing: List[str] = []
+
+    def gate(key: str, failed: bool) -> None:
+        if failed:
+            failing.append(key)
+
+    for key, label, unit, precision in RATE_GATES:
+        gate(key, _check_key(baseline, current, key, label, unit, precision, args.max_regression))
+    gate(
+        "resilient_supervision_overhead_pct",
+        _check_overhead(
+            current,
+            key="resilient_supervision_overhead_pct",
+            label="supervision overhead (clean path)",
+            bound=args.max_overhead,
+            hint="benchmarks/test_bench_throughput.py::test_bench_resilient_campaign",
+        ),
+    )
+    gate(
+        "telemetry_overhead_pct",
+        _check_overhead(
+            current,
+            key="telemetry_overhead_pct",
+            label="telemetry overhead (sampling every cycle)",
+            bound=args.max_telemetry_overhead,
+            hint="benchmarks/test_bench_throughput.py::test_bench_telemetry_overhead",
+        ),
+    )
+
+    if failing:
+        print(f"FAIL: {len(failing)} gate(s) failed: {', '.join(failing)}")
+        return 1
+    print("OK: within the allowed envelope")
+    return 0
 
 
 def _check_key(
@@ -91,18 +134,19 @@ def _check_key(
     unit: str,
     precision: int,
     max_regression: float,
-) -> int:
-    """Gate one measurement key; a baseline without the key gates nothing."""
-    try:
-        baseline_rate = float(baseline["measurements"][key])
-    except (KeyError, TypeError, ValueError):
+) -> bool:
+    """Gate one measurement key; a baseline without the key gates nothing.
+
+    Returns ``True`` when the gate failed.
+    """
+    baseline_rate = _measurement(baseline, key)
+    if baseline_rate is None:
         print(f"baseline has no {key} measurement; nothing to compare against")
-        return 0
-    try:
-        current_rate = float(current["measurements"][key])
-    except (KeyError, TypeError, ValueError):
-        print(f"current run produced no {key} measurement")
-        return 1
+        return False
+    current_rate = _measurement(current, key)
+    if current_rate is None:
+        print(f"FAIL: current run produced no {key} measurement")
+        return True
 
     change = (current_rate - baseline_rate) / baseline_rate
     print(
@@ -114,35 +158,34 @@ def _check_key(
             f"FAIL: {key} regression beyond the allowed {max_regression:.0%} "
             "(see benchmarks/test_bench_throughput.py)"
         )
-        return 1
-    return 0
+        return True
+    return False
 
 
-def _check_overhead(current: dict, max_overhead: float) -> int:
-    """Bound the supervised executor's clean-path overhead (absolute %).
+def _check_overhead(current: dict, key: str, label: str, bound: float, hint: str) -> bool:
+    """Bound an overhead row of the current run (absolute %).
 
     Unlike the rate gates this compares two rows of the *same* measured
-    run (supervised vs plain executor on the same workload, same
-    machine), so it is immune to runner-speed drift between baseline
-    and current.  A run without the row gates nothing.
+    run (instrumented vs plain on the same workload, same machine), so
+    it is immune to runner-speed drift between baseline and current.  A
+    run without the row gates nothing.  Returns ``True`` on failure.
     """
+    overhead = _measurement(current, key)
+    if overhead is None:
+        print(f"current run carries no {key} measurement; skipping bound")
+        return False
+    print(f"{label}: {overhead:+.1f}% (bound {bound:.1f}%)")
+    if overhead > bound:
+        print(f"FAIL: {key} is {overhead:.1f}%, above the allowed {bound:.1f}% (see {hint})")
+        return True
+    return False
+
+
+def _measurement(data: dict, key: str) -> Optional[float]:
     try:
-        overhead = float(current["measurements"]["resilient_supervision_overhead_pct"])
+        return float(data["measurements"][key])
     except (KeyError, TypeError, ValueError):
-        print("current run carries no supervision-overhead measurement; skipping bound")
-        return 0
-    print(
-        f"supervision overhead (clean path): {overhead:+.1f}% "
-        f"(bound {max_overhead:.1f}%)"
-    )
-    if overhead > max_overhead:
-        print(
-            f"FAIL: supervised executor costs {overhead:.1f}% on the clean path, "
-            f"above the allowed {max_overhead:.1f}% "
-            "(see benchmarks/test_bench_throughput.py::test_bench_resilient_campaign)"
-        )
-        return 1
-    return 0
+        return None
 
 
 if __name__ == "__main__":

@@ -7,6 +7,13 @@ performance PR starts from data instead of guesses::
     PYTHONPATH=src python benchmarks/profile_run.py
     PYTHONPATH=src python benchmarks/profile_run.py --steps 2000 --top 30
 
+With ``--json`` the cProfile pass is replaced by a telemetry probe run
+(sampling every cycle) and the per-stage wall-time histograms are
+emitted as machine-readable JSON — same data the observability layer
+collects in production runs, so the two views never drift::
+
+    PYTHONPATH=src python benchmarks/profile_run.py --json | python -m json.tool
+
 The attacked run uses the paper's S1/70 m with a Context-Aware
 Deceleration attack (driver engagement, corruption and the eavesdropper
 all on the profile).
@@ -14,11 +21,15 @@ all on the profile).
 
 import argparse
 import cProfile
+import json
 import pstats
+import time
+from typing import Any, Dict, Optional
 
 from repro.core.attack_types import AttackType
 from repro.core.strategies import strategy_by_name
 from repro.injection.engine import SimulationConfig, run_simulation
+from repro.telemetry import STAGE_METRIC, Telemetry, TelemetryConfig
 
 
 def profile_once(label: str, config: SimulationConfig, strategy_name=None, top: int = 20) -> None:
@@ -36,36 +47,103 @@ def profile_once(label: str, config: SimulationConfig, strategy_name=None, top: 
     stats.sort_stats("cumulative").print_stats(top)
 
 
+def probe_once(label: str, config: SimulationConfig, strategy_name=None) -> Dict[str, Any]:
+    """One probed run → per-stage timing summary (the ``--json`` payload).
+
+    Reuses the telemetry layer's per-stage histograms instead of a
+    separate ad-hoc timer, so this benchmark reports exactly what
+    :class:`repro.telemetry.PipelineProbe` measures.  The probe times
+    one stage per cycle round-robin, so ``samples`` is ~steps / stage
+    count per stage and ``share`` compares equally-sampled estimates.
+    """
+    strategy = strategy_by_name(strategy_name) if strategy_name else None
+    telemetry = Telemetry(TelemetryConfig(sample_every=1))
+    start = time.perf_counter()
+    result = run_simulation(config, strategy, telemetry=telemetry)
+    wall_s = time.perf_counter() - start
+
+    prefix, suffix = STAGE_METRIC.split("{name}")
+    snapshot = telemetry.snapshot()
+    stage_rows = {}
+    total_stage_ns = 0
+    for name, data in snapshot["histograms"].items():
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        total_stage_ns += data["sum"]
+    for name, data in snapshot["histograms"].items():
+        if not (name.startswith(prefix) and name.endswith(suffix)):
+            continue
+        stage = name[len(prefix):-len(suffix)]
+        count = data["count"]
+        stage_rows[stage] = {
+            "samples": count,
+            "total_ns": data["sum"],
+            "mean_ns": data["sum"] / count if count else 0.0,
+            "max_ns": data["max"],
+            "share": data["sum"] / total_stage_ns if total_stage_ns else 0.0,
+        }
+    steps = int(snapshot["counters"].get("runs.steps", 0))
+    return {
+        "label": label,
+        "scenario": str(config.scenario),
+        "seed": config.seed,
+        "attack_type": config.attack_type.value if config.attack_type else None,
+        "steps": steps,
+        "wall_seconds": wall_s,
+        "steps_per_second": steps / wall_s if wall_s > 0 else 0.0,
+        "duration_s": result.duration,
+        "hazards": sorted(result.hazards),
+        "accidents": sorted(result.accidents),
+        "stages": dict(sorted(stage_rows.items(), key=lambda kv: -kv[1]["total_ns"])),
+    }
+
+
+def _configs(args) -> list:
+    distance: Optional[float] = 70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None
+    return [
+        (
+            f"attack-free {args.scenario}",
+            SimulationConfig(
+                scenario=args.scenario,
+                initial_distance=distance,
+                seed=args.seed,
+                max_steps=args.steps,
+            ),
+            None,
+        ),
+        (
+            f"attacked {args.scenario} (Context-Aware Deceleration)",
+            SimulationConfig(
+                scenario=args.scenario,
+                initial_distance=distance,
+                seed=args.seed,
+                attack_type=AttackType.DECELERATION,
+                max_steps=args.steps,
+            ),
+            "Context-Aware",
+        ),
+    ]
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--steps", type=int, default=5000, help="control steps per run")
     parser.add_argument("--top", type=int, default=20, help="rows of profile output per run")
     parser.add_argument("--scenario", default="S1", help="scenario name (catalog)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit per-stage telemetry histograms as JSON instead of cProfile text",
+    )
     args = parser.parse_args()
 
-    profile_once(
-        f"attack-free {args.scenario}",
-        SimulationConfig(
-            scenario=args.scenario,
-            initial_distance=70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None,
-            seed=args.seed,
-            max_steps=args.steps,
-        ),
-        top=args.top,
-    )
-    profile_once(
-        f"attacked {args.scenario} (Context-Aware Deceleration)",
-        SimulationConfig(
-            scenario=args.scenario,
-            initial_distance=70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None,
-            seed=args.seed,
-            attack_type=AttackType.DECELERATION,
-            max_steps=args.steps,
-        ),
-        strategy_name="Context-Aware",
-        top=args.top,
-    )
+    if args.json:
+        payload = [probe_once(label, config, name) for label, config, name in _configs(args)]
+        print(json.dumps({"runs": payload}, indent=2))
+        return
+    for label, config, name in _configs(args):
+        profile_once(label, config, name, top=args.top)
 
 
 if __name__ == "__main__":

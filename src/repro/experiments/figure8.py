@@ -15,6 +15,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.telemetry import Telemetry
 
 from repro.core.attack_types import AttackType
 from repro.core.strategies import ContextAwareStrategy, RandomStartDurationStrategy
@@ -94,6 +95,7 @@ def run_figure8(
     batch_size: Optional[int] = None,
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> Figure8Result:
     """Sweep (start time, duration) for one attack type plus Context-Aware runs.
 
@@ -113,6 +115,8 @@ def run_figure8(
             (:class:`repro.resilience.SupervisionPolicy`).
         checkpoint_path: Crash-safe checkpoint file; an interrupted sweep
             rerun with the same path pays only for unfinished points.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` handle
+            recording the sweep's run metrics and sampled stage timings.
     """
     start_times = start_times if start_times is not None else np.arange(5.0, 36.0, 3.0)
     durations = durations if durations is not None else np.arange(0.5, 2.6, 0.5)
@@ -158,12 +162,15 @@ def run_figure8(
             workers=workers,
             batch_size=batch_size,
             checkpoint_path=checkpoint_path,
+            telemetry=telemetry,
         )
         # Index-aligned (None where a poison task was quarantined), so the
         # grid zip below stays correct even with holes.
         runs = outcome.results
     else:
-        runs = run_simulations(tasks, workers=workers, batch_size=batch_size)
+        runs = run_simulations(
+            tasks, workers=workers, batch_size=batch_size, telemetry=telemetry
+        )
 
     for (start, duration, strategy_name), run in zip(grid, runs):
         if run is None:

@@ -15,6 +15,7 @@ from repro.resilience.checkpoint import checkpoint_slug
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.telemetry import Telemetry
 from repro.analysis.results import StrategySummary, format_table_iv, summarize_strategy
 from repro.core.strategies import (
     ContextAwareStrategy,
@@ -80,6 +81,7 @@ def run_table4(
     batch_size: Optional[int] = None,
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> Table4Result:
     """Run the Table IV experiment grid and aggregate it.
 
@@ -98,6 +100,8 @@ def run_table4(
         checkpoint_dir: Directory for per-strategy crash-safe
             checkpoints; an interrupted table run resumed with the same
             directory pays only for unfinished runs.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` handle;
+            all per-strategy campaigns record into the same registry.
     """
     scale = scale or ExperimentScale.from_environment()
     if checkpoint_dir is not None:
@@ -116,6 +120,7 @@ def run_table4(
             batch_size=batch_size,
             supervision=supervision,
             checkpoint_path=checkpoint_path,
+            telemetry=telemetry,
         )
         result.runs[strategy_cls.name] = runs
         result.summaries.append(summarize_strategy(strategy_cls.name, runs))

@@ -16,6 +16,7 @@ from repro.resilience.checkpoint import checkpoint_slug
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.telemetry import Telemetry
 from repro.analysis.results import AttackTypeSummary, format_table_v, summarize_by_attack_type
 from repro.core.corruption import CorruptionMode
 from repro.core.strategies import ContextAwareStrategy
@@ -56,6 +57,7 @@ def _run_mode(
     batch_size: Optional[int] = None,
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> List[RunResult]:
     config = CampaignConfig(
         strategy_name=strategy_cls.name,
@@ -71,6 +73,7 @@ def _run_mode(
         batch_size=batch_size,
         supervision=supervision,
         checkpoint_path=checkpoint_path,
+        telemetry=telemetry,
     )
 
 
@@ -80,6 +83,7 @@ def run_table5(
     batch_size: Optional[int] = None,
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> Table5Result:
     """Run the Table V experiment and aggregate it.
 
@@ -94,6 +98,8 @@ def run_table5(
         checkpoint_dir: Directory for per-mode crash-safe checkpoints;
             an interrupted table resumed with the same directory pays
             only for unfinished runs.
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` handle;
+            all four campaigns record into the same registry.
     """
     scale = scale or ExperimentScale.from_environment()
     if checkpoint_dir is not None:
@@ -112,12 +118,12 @@ def run_table5(
         with_driver = _run_mode(
             strategy_cls, scale, driver_enabled=True, workers=workers,
             batch_size=batch_size, supervision=supervision,
-            checkpoint_path=_checkpoint(key, "driver"),
+            checkpoint_path=_checkpoint(key, "driver"), telemetry=telemetry,
         )
         without_driver = _run_mode(
             strategy_cls, scale, driver_enabled=False, workers=workers,
             batch_size=batch_size, supervision=supervision,
-            checkpoint_path=_checkpoint(key, "no-driver"),
+            checkpoint_path=_checkpoint(key, "no-driver"), telemetry=telemetry,
         )
         result.runs[f"{key}/driver"] = with_driver
         result.runs[f"{key}/no-driver"] = without_driver

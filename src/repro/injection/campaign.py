@@ -8,6 +8,7 @@ with deterministic per-run seeding and returns the :class:`RunResult`
 records for aggregation.
 """
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -18,6 +19,7 @@ from repro.core.attack_types import AttackType
 from repro.core.strategies import AttackStrategy, strategy_by_name
 from repro.injection.engine import SimulationConfig, run_simulation
 from repro.sim.scenarios import INITIAL_DISTANCES, Scenario
+from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.resilience.chaos import ChaosPolicy
@@ -134,10 +136,10 @@ class Campaign:
         strategy = self.strategy_factory() if cell.attack_type is not None else None
         return config, strategy
 
-    def run_cell(self, cell: CampaignCell) -> RunResult:
+    def run_cell(self, cell: CampaignCell, telemetry: Optional[Telemetry] = None) -> RunResult:
         """Run one cell of the grid."""
         config, strategy = self.cell_task(cell)
-        return run_simulation(config, strategy)
+        return run_simulation(config, strategy, telemetry=telemetry)
 
     def run_resilient(
         self,
@@ -149,6 +151,7 @@ class Campaign:
         chaos: Optional["ChaosPolicy"] = None,
         checkpoint_path: Optional[str] = None,
         on_result: Optional[Callable[[int, RunResult], None]] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> "SupervisedOutcome":
         """Run under supervision, returning results *and* the recovery trail.
 
@@ -170,6 +173,7 @@ class Campaign:
             chaos=chaos,
             checkpoint_path=checkpoint_path,
             on_result=on_result,
+            telemetry=telemetry,
         )
 
     def run(
@@ -182,6 +186,7 @@ class Campaign:
         supervision: Optional["SupervisionPolicy"] = None,
         chaos: Optional["ChaosPolicy"] = None,
         checkpoint_path: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ) -> List[RunResult]:
         """Run the whole campaign.
 
@@ -210,6 +215,11 @@ class Campaign:
                 supervision.
             checkpoint_path: Crash-safe checkpoint file; a rerun resumes
                 paying only for unfinished cells.  Implies supervision.
+            telemetry: Optional :class:`~repro.telemetry.Telemetry` handle;
+                when given, the campaign records run/CAN/hazard counters
+                (and, sampled, per-stage timings) into it on every
+                execution path — sequential, batched, pooled and
+                supervised views merge to the same deterministic snapshot.
         """
         if supervision is not None or chaos is not None or checkpoint_path is not None:
             return self.run_resilient(
@@ -220,25 +230,41 @@ class Campaign:
                 supervision=supervision,
                 chaos=chaos,
                 checkpoint_path=checkpoint_path,
+                telemetry=telemetry,
             ).completed_results
+        total = self.config.total_runs
+
+        def campaign_span(mode: str):
+            if telemetry is None:
+                return nullcontext()
+            return telemetry.span("campaign", mode=mode, runs=total)
+
         if parallel or (workers is not None and workers > 1):
             from repro.injection.executor import ParallelCampaignRunner
 
             runner = ParallelCampaignRunner(
-                self, workers=workers, chunk_size=chunk_size, batch_size=batch_size
+                self,
+                workers=workers,
+                chunk_size=chunk_size,
+                batch_size=batch_size,
+                telemetry=telemetry,
             )
-            return runner.run(progress=progress)
+            with campaign_span("parallel"):
+                return runner.run(progress=progress)
         if batch_size is not None and batch_size > 1:
             from repro.kernel.batch import run_batched
 
             tasks = [self.cell_task(cell) for cell in self.cells()]
-            return run_batched(tasks, batch_size=batch_size, progress=progress)
+            with campaign_span("batched"):
+                return run_batched(
+                    tasks, batch_size=batch_size, progress=progress, telemetry=telemetry
+                )
         results: List[RunResult] = []
-        total = self.config.total_runs
-        for index, cell in enumerate(self.cells(), start=1):
-            results.append(self.run_cell(cell))
-            if progress is not None:
-                progress(index, total)
+        with campaign_span("sequential"):
+            for index, cell in enumerate(self.cells(), start=1):
+                results.append(self.run_cell(cell, telemetry=telemetry))
+                if progress is not None:
+                    progress(index, total)
         return results
 
 
@@ -249,6 +275,7 @@ def run_campaign(
     batch_size: Optional[int] = None,
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: build and run a campaign."""
     return Campaign(config, strategy_factory).run(
@@ -256,4 +283,5 @@ def run_campaign(
         batch_size=batch_size,
         supervision=supervision,
         checkpoint_path=checkpoint_path,
+        telemetry=telemetry,
     )

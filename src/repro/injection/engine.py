@@ -39,6 +39,7 @@ from repro.sim.scenarios import Scenario, build_scenario
 from repro.sim.sensors import SensorNoise
 from repro.sim.units import DT, STEPS_PER_SIMULATION
 from repro.sim.world import World, WorldConfig
+from repro.telemetry import Telemetry
 
 
 @dataclass(frozen=True)
@@ -100,9 +101,16 @@ class SimulationConfig:
 class Simulation:
     """A single end-to-end simulation run."""
 
-    def __init__(self, config: SimulationConfig, strategy: Optional[AttackStrategy] = None):
+    def __init__(
+        self,
+        config: SimulationConfig,
+        strategy: Optional[AttackStrategy] = None,
+        telemetry: Optional[Telemetry] = None,
+    ):
         self.config = config
         self.strategy = strategy or NoAttackStrategy()
+        self.telemetry = telemetry
+        self._probe = None
 
         scenario = config.build_scenario()
         self.message_bus = MessageBus()
@@ -211,9 +219,16 @@ class Simulation:
             duration=0.0,
         )
         ctx, pipeline = self.build_pipeline(result)
+        if self.telemetry is not None:
+            probe = self.telemetry.probe()
+            if probe is not None:
+                pipeline = probe.wrap(pipeline)
+                self._probe = probe
         return result, ctx, pipeline
 
-    def finalize(self, result: RunResult, ctx: StepContext) -> RunResult:
+    def finalize(
+        self, result: RunResult, ctx: StepContext, wall_ns: Optional[int] = None
+    ) -> RunResult:
         """Post-loop accounting: durations, driver/attack records, trajectory."""
         result.duration = self.world.time
         result.lane_invasions = ctx.lane_invasions
@@ -231,21 +246,47 @@ class Simulation:
 
         if self.config.record_trajectory:
             result.trajectory = list(self.world.trajectory)
+
+        if self._probe is not None:
+            self._probe.flush()
+        if self.telemetry is not None:
+            self.telemetry.record_run(
+                result,
+                steps=self.world.step_count,
+                can_sent=self.can_bus.sent_count,
+                can_tampered=self.can_bus.tampered_count,
+                wall_ns=wall_ns,
+            )
         return result
 
     def run(self) -> RunResult:
         """Run the simulation to completion and return the result record."""
+        telemetry = self.telemetry
         result, ctx, pipeline = self.prepare()
         run_cycle = pipeline.run_cycle
-        for _ in range(self.config.max_steps):
-            run_cycle(ctx)
-            if ctx.stop:
-                break
-        return self.finalize(result, ctx)
+        if telemetry is None:
+            for _ in range(self.config.max_steps):
+                run_cycle(ctx)
+                if ctx.stop:
+                    break
+            return self.finalize(result, ctx)
+        with telemetry.span(
+            "run", scenario=result.scenario, seed=result.seed,
+            attack=result.attack_type or "none",
+        ):
+            start_ns = telemetry.now_ns()
+            for _ in range(self.config.max_steps):
+                run_cycle(ctx)
+                if ctx.stop:
+                    break
+            wall_ns = telemetry.now_ns() - start_ns
+        return self.finalize(result, ctx, wall_ns=wall_ns)
 
 
 def run_simulation(
-    config: SimulationConfig, strategy: Optional[AttackStrategy] = None
+    config: SimulationConfig,
+    strategy: Optional[AttackStrategy] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> RunResult:
     """Build and run one simulation (convenience wrapper)."""
-    return Simulation(config, strategy).run()
+    return Simulation(config, strategy, telemetry=telemetry).run()

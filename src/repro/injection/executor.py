@@ -46,6 +46,7 @@ from repro.analysis.metrics import RunResult
 from repro.core.strategies import AttackStrategy
 from repro.injection.engine import SimulationConfig, run_simulation
 from repro.resilience.errors import TaskExecutionError, cell_fingerprint, task_fingerprint
+from repro.telemetry import Telemetry, TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign, CampaignCell
@@ -61,6 +62,10 @@ _FORK_CAMPAIGN: Optional["Campaign"] = None
 _WORKER_CAMPAIGN: Optional["Campaign"] = None
 # Per-worker lockstep batch width (None/1 = scalar), set by the initializers.
 _WORKER_BATCH_SIZE: Optional[int] = None
+# Per-worker telemetry config (None = telemetry off), set by the initializers.
+# Workers accumulate into chunk-local registries and ship snapshots back
+# with the results; the parent merges them in chunk order (deterministic).
+_WORKER_TELEMETRY_CONFIG: Optional[TelemetryConfig] = None
 
 
 def default_worker_count() -> int:
@@ -72,39 +77,62 @@ def _chunked(items: Sequence, chunk_size: int) -> List[Sequence]:
     return [items[i : i + chunk_size] for i in range(0, len(items), chunk_size)]
 
 
-def _init_worker(campaign: Optional["Campaign"], batch_size: Optional[int] = None) -> None:
+def _init_worker(
+    campaign: Optional["Campaign"],
+    batch_size: Optional[int] = None,
+    telemetry_config: Optional[TelemetryConfig] = None,
+) -> None:
     """Pool initializer: install the campaign and batch width for this worker."""
-    global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE
+    global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE, _WORKER_TELEMETRY_CONFIG
     _WORKER_CAMPAIGN = campaign if campaign is not None else _FORK_CAMPAIGN
     _WORKER_BATCH_SIZE = batch_size
+    _WORKER_TELEMETRY_CONFIG = telemetry_config
 
 
-def _init_task_worker(batch_size: Optional[int]) -> None:
+def _init_task_worker(
+    batch_size: Optional[int], telemetry_config: Optional[TelemetryConfig] = None
+) -> None:
     """Pool initializer for ad-hoc task chunks: install the batch width."""
-    global _WORKER_BATCH_SIZE
+    global _WORKER_BATCH_SIZE, _WORKER_TELEMETRY_CONFIG
     _WORKER_BATCH_SIZE = batch_size
+    _WORKER_TELEMETRY_CONFIG = telemetry_config
 
 
-def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int, List[RunResult]]:
+def _chunk_telemetry() -> Optional[Telemetry]:
+    """A fresh chunk-local telemetry handle (None when telemetry is off)."""
+    if _WORKER_TELEMETRY_CONFIG is None:
+        return None
+    return Telemetry(_WORKER_TELEMETRY_CONFIG)
+
+
+def _run_cells(
+    indexed_chunk: Tuple[int, Sequence["CampaignCell"]],
+) -> Tuple[int, List[RunResult], Optional[dict]]:
     """Worker body: run one chunk of campaign cells in submission order.
 
     A failing simulation raises :class:`TaskExecutionError` naming the
     offending task's ``(scenario, attack, seed)`` fingerprint, so the
-    parent sees which run died instead of a bare pool traceback.
+    parent sees which run died instead of a bare pool traceback.  The
+    third element is the chunk's metrics snapshot (None with telemetry
+    off); the parent merges snapshots in chunk order.
     """
     chunk_index, cells = indexed_chunk
     campaign = _WORKER_CAMPAIGN
     if campaign is None:  # pragma: no cover - defensive
         raise RuntimeError("worker has no campaign installed")
     batch_size = _WORKER_BATCH_SIZE
+    telemetry = _chunk_telemetry()
     strategy_name = campaign.config.strategy_name
     if batch_size is not None and batch_size > 1 and len(cells) > 1:
         from repro.kernel.batch import run_batched
 
         try:
-            return chunk_index, run_batched(
-                [campaign.cell_task(cell) for cell in cells], batch_size=batch_size
+            results = run_batched(
+                [campaign.cell_task(cell) for cell in cells],
+                batch_size=batch_size,
+                telemetry=telemetry,
             )
+            return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
         except Exception as error:
             raise TaskExecutionError.wrap_batch(
                 [cell_fingerprint(cell, strategy_name) for cell in cells], error
@@ -112,26 +140,32 @@ def _run_cells(indexed_chunk: Tuple[int, Sequence["CampaignCell"]]) -> Tuple[int
     results = []
     for cell in cells:
         try:
-            results.append(campaign.run_cell(cell))
+            results.append(campaign.run_cell(cell, telemetry=telemetry))
         except Exception as error:
             raise TaskExecutionError.wrap(
                 cell_fingerprint(cell, strategy_name), error
             ) from error
-    return chunk_index, results
+    return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
 
 
-def _run_tasks(indexed_chunk: Tuple[int, Sequence[SimulationTask]]) -> Tuple[int, List[RunResult]]:
+def _run_tasks(
+    indexed_chunk: Tuple[int, Sequence[SimulationTask]],
+) -> Tuple[int, List[RunResult], Optional[dict]]:
     """Worker body: run one chunk of ad-hoc simulation tasks.
 
-    Failures carry the task fingerprint, as in :func:`_run_cells`.
+    Failures carry the task fingerprint, as in :func:`_run_cells`; the
+    third element is the chunk's metrics snapshot (None with telemetry
+    off).
     """
     chunk_index, tasks = indexed_chunk
     batch_size = _WORKER_BATCH_SIZE
+    telemetry = _chunk_telemetry()
     if batch_size is not None and batch_size > 1 and len(tasks) > 1:
         from repro.kernel.batch import run_batched
 
         try:
-            return chunk_index, run_batched(tasks, batch_size=batch_size)
+            results = run_batched(tasks, batch_size=batch_size, telemetry=telemetry)
+            return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
         except Exception as error:
             raise TaskExecutionError.wrap_batch(
                 [task_fingerprint(config, strategy) for config, strategy in tasks],
@@ -140,12 +174,12 @@ def _run_tasks(indexed_chunk: Tuple[int, Sequence[SimulationTask]]) -> Tuple[int
     results = []
     for config, strategy in tasks:
         try:
-            results.append(run_simulation(config, strategy))
+            results.append(run_simulation(config, strategy, telemetry=telemetry))
         except Exception as error:
             raise TaskExecutionError.wrap(
                 task_fingerprint(config, strategy), error
             ) from error
-    return chunk_index, results
+    return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
 
 
 def _pool_context():
@@ -165,15 +199,19 @@ def _dispatch(
     context,
     initializer: Optional[Callable] = None,
     initargs: tuple = (),
+    telemetry: Optional[Telemetry] = None,
 ) -> List[RunResult]:
     """Fan chunks out over a pool; collect results back in chunk order.
 
     Progress callbacks fire with the cumulative completed-run count as
     chunks *complete* (possibly out of order); the returned flat list is
     re-ordered by chunk index, so it reproduces the sequential result
-    order exactly.
+    order exactly.  Worker metrics snapshots are likewise merged into
+    ``telemetry`` in chunk order after collection, so the merged view is
+    independent of chunk completion order.
     """
     ordered: List[Optional[List[RunResult]]] = [None] * len(chunks)
+    snapshots: List[Optional[dict]] = [None] * len(chunks)
     completed_runs = 0
     with ProcessPoolExecutor(
         max_workers=min(workers, len(chunks)),
@@ -185,11 +223,16 @@ def _dispatch(
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                chunk_index, results = future.result()
+                chunk_index, results, snapshot = future.result()
                 ordered[chunk_index] = results
+                snapshots[chunk_index] = snapshot
                 completed_runs += len(results)
                 if progress is not None:
                     progress(completed_runs, total)
+    if telemetry is not None:
+        for snapshot in snapshots:
+            if snapshot is not None:
+                telemetry.merge(snapshot)
     return [result for chunk in ordered if chunk is not None for result in chunk]
 
 
@@ -232,6 +275,7 @@ class ParallelCampaignRunner:
         supervision: Optional["SupervisionPolicy"] = None,
         chaos: Optional["ChaosPolicy"] = None,
         checkpoint_path: Optional[str] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.campaign = campaign
         self.workers = max(1, workers if workers is not None else default_worker_count())
@@ -240,6 +284,7 @@ class ParallelCampaignRunner:
         self.supervision = supervision
         self.chaos = chaos
         self.checkpoint_path = checkpoint_path
+        self.telemetry = telemetry
 
     def _resolve_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -271,8 +316,10 @@ class ParallelCampaignRunner:
                 progress=progress,
                 chaos=self.chaos,
                 checkpoint_path=self.checkpoint_path,
+                telemetry=self.telemetry,
             )
             return outcome.completed_results
+        telemetry = self.telemetry
         cells = list(self.campaign.cells())
         total = len(cells)
         if total == 0:
@@ -284,24 +331,27 @@ class ParallelCampaignRunner:
                 from repro.kernel.batch import run_batched
 
                 tasks = [self.campaign.cell_task(cell) for cell in cells]
-                return run_batched(tasks, batch_size=batch_size, progress=progress)
+                return run_batched(
+                    tasks, batch_size=batch_size, progress=progress, telemetry=telemetry
+                )
             results = []
             for index, cell in enumerate(cells, start=1):
-                results.append(self.campaign.run_cell(cell))
+                results.append(self.campaign.run_cell(cell, telemetry=telemetry))
                 if progress is not None:
                     progress(index, total)
             return results
 
         chunks = list(enumerate(_chunked(cells, self._resolve_chunk_size(total))))
         context, forked = _pool_context()
+        worker_telemetry = telemetry.worker_config() if telemetry is not None else None
         if forked:
             # Forked workers inherit the campaign object (works for any
             # strategy factory, including closures); non-fork platforms
             # pickle it through the initializer instead.
             _FORK_CAMPAIGN = self.campaign
-            initargs: tuple = (None, self.batch_size)
+            initargs: tuple = (None, self.batch_size, worker_telemetry)
         else:
-            initargs = (self.campaign, self.batch_size)
+            initargs = (self.campaign, self.batch_size, worker_telemetry)
         try:
             return _dispatch(
                 _run_cells,
@@ -312,6 +362,7 @@ class ParallelCampaignRunner:
                 context,
                 initializer=_init_worker,
                 initargs=initargs,
+                telemetry=telemetry,
             )
         finally:
             _FORK_CAMPAIGN = None
@@ -326,6 +377,7 @@ def run_simulations(
     supervision: Optional["SupervisionPolicy"] = None,
     chaos: Optional["ChaosPolicy"] = None,
     checkpoint_path: Optional[str] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> List[RunResult]:
     """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
     in parallel and/or lockstep-batched, preserving input order.
@@ -360,6 +412,7 @@ def run_simulations(
             progress=progress,
             chaos=chaos,
             checkpoint_path=checkpoint_path,
+            telemetry=telemetry,
         )
         return outcome.completed_results
     total = len(tasks)
@@ -370,11 +423,13 @@ def run_simulations(
         if batch_size is not None and batch_size > 1 and total > 1:
             from repro.kernel.batch import run_batched
 
-            return run_batched(tasks, batch_size=batch_size, progress=progress)
+            return run_batched(
+                tasks, batch_size=batch_size, progress=progress, telemetry=telemetry
+            )
         results = []
         for index, (config, strategy) in enumerate(tasks, start=1):
             try:
-                results.append(run_simulation(config, strategy))
+                results.append(run_simulation(config, strategy, telemetry=telemetry))
             except Exception as error:
                 raise TaskExecutionError.wrap(
                     task_fingerprint(config, strategy), error
@@ -387,6 +442,7 @@ def run_simulations(
         chunk_size = max(1, -(-total // (workers * 4)))
     chunks = list(enumerate(_chunked(tasks, chunk_size)))
     context, _ = _pool_context()
+    worker_telemetry = telemetry.worker_config() if telemetry is not None else None
     return _dispatch(
         _run_tasks,
         chunks,
@@ -395,5 +451,6 @@ def run_simulations(
         progress,
         context,
         initializer=_init_task_worker,
-        initargs=(batch_size,),
+        initargs=(batch_size, worker_telemetry),
+        telemetry=telemetry,
     )

@@ -42,6 +42,7 @@ Composition with the process pool: batching amortises Python dispatch
 together with ``batch_size=M`` runs N lockstep batches of M.
 """
 
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Callable, Iterator, List, Optional, Sequence, Tuple, cast
 
 import numpy as np
@@ -56,6 +57,7 @@ from repro.sim.units import clamp
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.strategies import AttackStrategy
     from repro.injection.engine import Simulation, SimulationConfig
+    from repro.telemetry import Telemetry
 
 #: One unit of batched work: a simulation configuration plus the strategy
 #: instance for that run (``None`` for attack-free runs).  Strategy
@@ -214,12 +216,25 @@ class BatchRunner:
     Args:
         batch_size: Lockstep width (number of preallocated run slots and
             the row count of the shared SoA arrays).
+        telemetry: Optional :class:`~repro.telemetry.Telemetry` handle.
+            The batched cost model is per lockstep *cycle*, not per run,
+            so the runner records sampled whole-cycle timings
+            (``perf.batch.cycle_ns``, with the active-row count in
+            ``perf.batch.cycle_rows``) plus the same run-completion
+            metrics the scalar path records at retirement.  The slot
+            simulations themselves run unprobed — per-run stage wrapping
+            would defeat the lockstep amortisation it is measuring.
     """
 
-    def __init__(self, batch_size: int = DEFAULT_BATCH_SIZE):
+    def __init__(
+        self,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        telemetry: Optional["Telemetry"] = None,
+    ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
+        self.telemetry = telemetry
         self.kinematics = BatchKinematics(batch_size)
         # The signal sets mirror the scalar call sites exactly; signals the
         # scalar code passes as constants are folded into the accumulator
@@ -281,9 +296,24 @@ class BatchRunner:
         while len(active) < self.batch_size and admit():
             pass
 
+        telemetry = self.telemetry
+        cycle_hist = cycle_rows = sample_every = None
+        cycle_index = 0
+        if telemetry is not None:
+            cycle_hist = telemetry.metrics.histogram("perf.batch.cycle_ns")
+            cycle_rows = telemetry.metrics.counter("perf.batch.cycle_rows")
+            sample_every = telemetry.config.sample_every
+
         completed = 0
         while active:
-            self._cycle(active)
+            if cycle_hist is not None and cycle_index % sample_every == 0:
+                start_ns = perf_counter_ns()
+                self._cycle(active)
+                cycle_hist.record(perf_counter_ns() - start_ns)
+                cycle_rows.inc(len(active))
+            else:
+                self._cycle(active)
+            cycle_index += 1
             retired = False
             for position in range(len(active) - 1, -1, -1):
                 slot = active[position]
@@ -291,6 +321,13 @@ class BatchRunner:
                 if not (slot.ctx.stop or slot.remaining <= 0):
                     continue
                 results[slot.index] = slot.sim.finalize(slot.result, slot.ctx)
+                if telemetry is not None:
+                    telemetry.record_run(
+                        slot.result,
+                        steps=slot.world.step_count,
+                        can_sent=slot.world.can_bus.sent_count,
+                        can_tampered=slot.world.can_bus.tampered_count,
+                    )
                 strategy = tasks[slot.index][1]
                 if strategy is not None:
                     live_strategies.discard(id(strategy))
@@ -490,6 +527,9 @@ def run_batched(
     tasks: Sequence[BatchTask],
     batch_size: int = DEFAULT_BATCH_SIZE,
     progress: Optional[ProgressCallback] = None,
+    telemetry: Optional["Telemetry"] = None,
 ) -> List[RunResult]:
     """Run ``(SimulationConfig, strategy)`` tasks through a lockstep batch."""
-    return BatchRunner(batch_size=batch_size).run_tasks(tasks, progress=progress)
+    return BatchRunner(batch_size=batch_size, telemetry=telemetry).run_tasks(
+        tasks, progress=progress
+    )

@@ -56,6 +56,8 @@ from repro.analysis.metrics import RunResult
 from repro.resilience.chaos import ChaosError, ChaosPolicy
 from repro.resilience.checkpoint import CampaignCheckpoint, fingerprint_strings
 from repro.resilience.errors import TaskExecutionError, cell_fingerprint, task_fingerprint
+from repro.sim.units import DT
+from repro.telemetry import MetricsRegistry, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign
@@ -172,6 +174,7 @@ class ExecutionReport:
     timeouts: int = 0                  # chunk attempts killed by the timeout
     pool_respawns: int = 0             # pools killed and restarted
     scalar_fallbacks: int = 0          # batched chunks retried scalar
+    backoff_seconds: float = 0.0       # retry backoff time the schedule paid
     degraded_to_sequential: bool = False
     quarantine: QuarantineReport = field(default_factory=QuarantineReport)
 
@@ -179,6 +182,51 @@ class ExecutionReport:
     def sims_paid(self) -> int:
         """Simulations actually paid for by this process (fresh results)."""
         return self.completed
+
+    def summary(self) -> str:
+        """Human-readable recovery trail (what the supervisor absorbed)."""
+        lines = [
+            f"supervised execution: {self.completed}/{self.total} fresh"
+            + (
+                f", {self.loaded_from_checkpoint} from checkpoint"
+                if self.loaded_from_checkpoint
+                else ""
+            ),
+            f"  retries={self.retries} bisections={self.bisections} "
+            f"timeouts={self.timeouts} pool_respawns={self.pool_respawns} "
+            f"scalar_fallbacks={self.scalar_fallbacks} "
+            f"backoff={self.backoff_seconds:.2f}s"
+            + (" degraded-to-sequential" if self.degraded_to_sequential else ""),
+            f"  {self.quarantine.summary()}",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.summary()
+
+    def metrics_snapshot(self) -> dict:
+        """The report as a mergeable metrics snapshot (``supervisor.*``).
+
+        Merge it into a campaign-level registry with
+        :meth:`~repro.telemetry.MetricsRegistry.merge` — the supervised
+        entry points do this automatically when given a telemetry handle.
+        """
+        registry = MetricsRegistry()
+        registry.counter("supervisor.tasks").inc(self.total)
+        registry.counter("supervisor.completed").inc(self.completed)
+        registry.counter("supervisor.loaded_from_checkpoint").inc(
+            self.loaded_from_checkpoint
+        )
+        registry.counter("supervisor.retries").inc(self.retries)
+        registry.counter("supervisor.bisections").inc(self.bisections)
+        registry.counter("supervisor.timeouts").inc(self.timeouts)
+        registry.counter("supervisor.pool_respawns").inc(self.pool_respawns)
+        registry.counter("supervisor.scalar_fallbacks").inc(self.scalar_fallbacks)
+        registry.counter("supervisor.quarantined").inc(len(self.quarantine.tasks))
+        if self.degraded_to_sequential:
+            registry.counter("supervisor.degraded_to_sequential").inc()
+        registry.gauge("perf.supervisor.backoff_s").set(self.backoff_seconds)
+        return registry.snapshot()
 
 
 @dataclass
@@ -306,12 +354,20 @@ class SupervisedExecutor:
         chunk_size: Optional[int] = None,
         batch_size: Optional[int] = None,
         chaos: Optional[ChaosPolicy] = None,
+        telemetry: Optional[Telemetry] = None,
     ):
         self.policy = policy or SupervisionPolicy()
         self.workers = max(1, workers if workers is not None else 1)
         self.chunk_size = chunk_size
         self.batch_size = batch_size
         self.chaos = chaos
+        # Telemetry on the supervised path is parent-side only: the
+        # worker payload protocol doubles as the corruption-detection
+        # surface (see _validate) and stays untouched.  Run metrics are
+        # derived from the returned results (steps from the recorded
+        # duration; per-run CAN frame counts are not available here), and
+        # retry/bisection/quarantine markers land in the trace.
+        self.telemetry = telemetry
         self._mode = "tasks"
         self._campaign: Optional["Campaign"] = None
 
@@ -628,9 +684,12 @@ class SupervisedExecutor:
         progress: Optional[ProgressCallback],
         on_result: Optional[ResultCallback],
     ) -> None:
+        telemetry = self.telemetry
         for index, result in payload:
             results[index] = result
             report.completed += 1
+            if telemetry is not None:
+                telemetry.record_run(result, steps=int(round(result.duration / DT)))
             if on_result is not None:
                 on_result(index, result)
         if progress is not None:
@@ -646,6 +705,7 @@ class SupervisedExecutor:
     ) -> None:
         work.attempts += 1
         work.last_error = error
+        tracer = self.telemetry.tracer if self.telemetry is not None else None
         if work.attempts >= self.policy.max_chunk_attempts:
             if len(work.entries) > 1:
                 # Bisect: isolate the poison task instead of retrying the
@@ -654,6 +714,10 @@ class SupervisedExecutor:
                 mid = len(work.entries) // 2
                 pending.append(_ChunkWork(work.entries[:mid]))
                 pending.append(_ChunkWork(work.entries[mid:]))
+                if tracer is not None:
+                    tracer.instant(
+                        "supervisor.bisect", anchor=work.anchor, tasks=len(work.entries)
+                    )
             else:
                 index, item = work.entries[0]
                 fingerprint = getattr(error, "fingerprint", "") or self._fingerprint_item(
@@ -667,6 +731,8 @@ class SupervisedExecutor:
                         attempts=work.attempts,
                     )
                 )
+                if tracer is not None:
+                    tracer.instant("supervisor.quarantine", task=index)
             return
         report.retries += 1
         if (
@@ -677,6 +743,14 @@ class SupervisedExecutor:
         ):
             report.scalar_fallbacks += 1  # the retry below runs scalar
         delay = self.policy.backoff_delay(work.anchor, work.attempts)
+        report.backoff_seconds += delay
+        if tracer is not None:
+            tracer.instant(
+                "supervisor.retry",
+                anchor=work.anchor,
+                attempt=work.attempts,
+                backoff_s=round(delay, 4),
+            )
         delayed.append((time.monotonic() + delay, work))
 
 
@@ -710,6 +784,7 @@ def _run_with_checkpoint(
     chaos: Optional[ChaosPolicy],
     checkpoint_path: Optional[str],
     on_result: Optional[ResultCallback],
+    telemetry: Optional[Telemetry] = None,
 ) -> SupervisedOutcome:
     total = len(items)
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -729,6 +804,7 @@ def _run_with_checkpoint(
         chunk_size=chunk_size,
         batch_size=batch_size,
         chaos=chaos,
+        telemetry=telemetry,
     )
     loaded = len(done)
     flush_every = executor.resolve_chunk_size(max(1, len(pending_indices)))
@@ -776,6 +852,10 @@ def _run_with_checkpoint(
     outcome.results = merged
     outcome.report.total = total
     outcome.report.loaded_from_checkpoint = loaded
+    if telemetry is not None:
+        # Merged last so loaded_from_checkpoint is final; run metrics were
+        # recorded per result as chunks completed.
+        telemetry.merge(outcome.report.metrics_snapshot())
     return outcome
 
 
@@ -789,6 +869,7 @@ def run_supervised_simulations(
     chaos: Optional[ChaosPolicy] = None,
     checkpoint_path: Optional[str] = None,
     on_result: Optional[ResultCallback] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :func:`run_simulations`.
 
@@ -799,7 +880,7 @@ def run_supervised_simulations(
     fingerprints = [task_fingerprint(config, strategy) for config, strategy in tasks]
     return _run_with_checkpoint(
         "tasks", None, tasks, fingerprints, [], policy, workers, chunk_size,
-        batch_size, progress, chaos, checkpoint_path, on_result,
+        batch_size, progress, chaos, checkpoint_path, on_result, telemetry,
     )
 
 
@@ -813,6 +894,7 @@ def run_supervised_campaign(
     chaos: Optional[ChaosPolicy] = None,
     checkpoint_path: Optional[str] = None,
     on_result: Optional[ResultCallback] = None,
+    telemetry: Optional[Telemetry] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :meth:`Campaign.run`.
 
@@ -832,4 +914,5 @@ def run_supervised_campaign(
     return _run_with_checkpoint(
         "cells", campaign, cells, fingerprints, identity, policy, workers,
         chunk_size, batch_size, progress, chaos, checkpoint_path, on_result,
+        telemetry,
     )

@@ -40,6 +40,7 @@ from repro.analysis.metrics import RunResult
 from repro.injection.engine import run_simulation
 from repro.resilience.checkpoint import atomic_write_json
 from repro.search.objectives import Objective
+from repro.telemetry import Telemetry
 from repro.search.optimizers import Optimizer, Told
 from repro.search.space import (
     Point,
@@ -201,11 +202,17 @@ class SearchDriver:
         objective: Objective,
         optimizer_factory: Callable[[SearchSpace], Optimizer],
         config: SearchConfig = SearchConfig(),
+        telemetry: Optional[Telemetry] = None,
     ):
         self.space = space
         self.objective = objective
         self.optimizer_factory = optimizer_factory
         self.config = config
+        # Optional observation: search.* counters (evaluations,
+        # simulations, memo hits, generations) are pure functions of the
+        # deterministic search trajectory, so they agree across the three
+        # execution modes; rates land under perf.*.
+        self.telemetry = telemetry
 
     # -- checkpointing -------------------------------------------------------
 
@@ -286,17 +293,24 @@ class SearchDriver:
     def _execute(self, tasks: Sequence[SearchTask]) -> List[RunResult]:
         """Run tasks batched / pooled / sequentially (identical results)."""
         config = self.config
+        telemetry = self.telemetry
         if config.workers is not None and config.workers > 1 and len(tasks) > 1:
             from repro.injection.executor import run_simulations
 
             return run_simulations(
-                tasks, workers=config.workers, batch_size=config.batch_size
+                tasks,
+                workers=config.workers,
+                batch_size=config.batch_size,
+                telemetry=telemetry,
             )
         if config.batch_size is not None and config.batch_size > 1 and len(tasks) > 1:
             from repro.kernel.batch import run_batched
 
-            return run_batched(tasks, batch_size=config.batch_size)
-        return [run_simulation(task_config, strategy) for task_config, strategy in tasks]
+            return run_batched(tasks, batch_size=config.batch_size, telemetry=telemetry)
+        return [
+            run_simulation(task_config, strategy, telemetry=telemetry)
+            for task_config, strategy in tasks
+        ]
 
     # -- the search loop -----------------------------------------------------
 
@@ -312,6 +326,8 @@ class SearchDriver:
                 one.
         """
         config = self.config
+        telemetry = self.telemetry
+        search_start_ns = telemetry.now_ns() if telemetry is not None else 0
         optimizer = self.optimizer_factory(self.space)
         result = SearchResult(
             space_name=self.space.name,
@@ -329,6 +345,7 @@ class SearchDriver:
         stalled = 0
         stop = False
         while not stop and len(memo) < config.budget:
+            generation_start_ns = telemetry.now_ns() if telemetry is not None else 0
             generation = optimizer.ask()
             if not generation:
                 break  # the grid baseline is exhausted
@@ -424,8 +441,53 @@ class SearchDriver:
                     memo_hits=memo_hits,
                 )
             )
+            if telemetry is not None:
+                metrics = telemetry.metrics
+                metrics.counter("search.generations").inc()
+                metrics.counter("search.evaluations").inc(len(fresh))
+                metrics.counter("search.simulations").inc(len(tasks))
+                metrics.counter("search.memo_hits").inc(sum(memo_hits))
+                if telemetry.tracer is not None:
+                    telemetry.tracer.add_complete(
+                        "search.generation",
+                        generation_start_ns,
+                        telemetry.now_ns() - generation_start_ns,
+                        category="search",
+                        args={
+                            "generation": generation_index,
+                            "fresh": len(fresh),
+                            "memo_hits": sum(memo_hits),
+                        },
+                    )
             generation_index += 1
             self._write_checkpoint(result)
+
+        if telemetry is not None:
+            metrics = telemetry.metrics
+            if result.best is not None:
+                metrics.gauge("search.best_score").set(result.best.score)
+                # Evaluations spent after the incumbent was found — how
+                # far the search has stalled (0 = still improving).
+                metrics.gauge("search.evals_since_improvement").set(
+                    float(len(result.evaluations) - (result.best.index + 1))
+                )
+            wall_s = (telemetry.now_ns() - search_start_ns) / 1e9
+            if wall_s > 0.0 and result.evaluations:
+                metrics.gauge("perf.search.evals_per_s").set(
+                    len(result.evaluations) / wall_s
+                )
+            if telemetry.tracer is not None:
+                telemetry.tracer.add_complete(
+                    "search",
+                    search_start_ns,
+                    telemetry.now_ns() - search_start_ns,
+                    category="search",
+                    args={
+                        "optimizer": result.optimizer_name,
+                        "evaluations": len(result.evaluations),
+                        "simulations": result.simulations_run,
+                    },
+                )
         return result
 
 

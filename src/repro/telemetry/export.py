@@ -1,0 +1,159 @@
+"""Exporters: Prometheus text, JSON snapshots, trace files, summary table.
+
+Everything here consumes the plain snapshot dicts produced by
+:meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` (or a live
+registry), so exports work identically on a local registry and on a
+merged cross-worker view.
+"""
+
+import json
+import re
+from typing import IO, List, Optional, Union
+
+from repro.telemetry.metrics import MetricsRegistry
+from repro.telemetry.tracing import Tracer
+
+#: Prefix of every exported Prometheus metric name.
+PROMETHEUS_NAMESPACE = "repro"
+
+_INVALID_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus name grammar."""
+    return f"{PROMETHEUS_NAMESPACE}_{_INVALID_CHARS.sub('_', name)}"
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(source: Union[MetricsRegistry, dict]) -> str:
+    """Render a registry (or snapshot dict) in Prometheus text format.
+
+    Counters and gauges become single samples; histograms become the
+    standard ``_bucket{le=...}`` / ``_sum`` / ``_count`` series with
+    cumulative bucket counts and a ``+Inf`` bucket.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines: List[str] = []
+    for name, value in snapshot.get("counters", {}).items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, value in snapshot.get("gauges", {}).items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+    for name, data in snapshot.get("histograms", {}).items():
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}')
+        cumulative += data["counts"][-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(float(data['sum']))}")
+        lines.append(f"{metric}_count {data['count']}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(source: Union[MetricsRegistry, dict], path: str) -> None:
+    """Write the Prometheus text exposition to ``path``."""
+    with open(path, "w") as handle:
+        handle.write(prometheus_text(source))
+
+
+def write_json_snapshot(
+    source: Union[MetricsRegistry, dict], path: str, extra: Optional[dict] = None
+) -> None:
+    """Write the metrics snapshot (plus optional ``extra`` keys) as JSON."""
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else dict(source)
+    if extra:
+        snapshot = {**snapshot, **extra}
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def write_trace_jsonl(tracer: Tracer, path_or_handle: Union[str, IO[str]]) -> int:
+    """Write the trace as JSONL: one Trace Event Format object per line.
+
+    Each line parses as a standalone JSON object (streaming-friendly and
+    what the CI artifact check asserts); the whole file is also what
+    Perfetto's JSON tokenizer accepts as a newline-separated event list.
+    Returns the number of events written.
+    """
+    events = tracer.chrome_events()
+    if isinstance(path_or_handle, str):
+        with open(path_or_handle, "w") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True))
+                handle.write("\n")
+    else:
+        for event in events:
+            path_or_handle.write(json.dumps(event, sort_keys=True))
+            path_or_handle.write("\n")
+    return len(events)
+
+
+def write_chrome_trace(tracer: Tracer, path: str) -> int:
+    """Write the classic ``{"traceEvents": [...]}`` JSON envelope.
+
+    This is the most broadly compatible form: load it directly in
+    ``chrome://tracing`` or drag it into https://ui.perfetto.dev.
+    Returns the number of events written.
+    """
+    events = tracer.chrome_events()
+    with open(path, "w") as handle:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, handle)
+        handle.write("\n")
+    return len(events)
+
+
+def summary(source: Union[MetricsRegistry, dict], title: str = "telemetry") -> str:
+    """A human-readable summary table of everything recorded.
+
+    Counters and gauges print name/value; histograms print count, mean,
+    p50/p95 (bucket-resolution) and max, with nanosecond histograms
+    scaled to microseconds for readability.
+    """
+    snapshot = source.snapshot() if isinstance(source, MetricsRegistry) else source
+    lines = [f"=== {title} ==="]
+    counters = snapshot.get("counters", {})
+    gauges = snapshot.get("gauges", {})
+    histograms = snapshot.get("histograms", {})
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            lines.append(f"  {name:<{width}}  {_format_value(value)}")
+    if gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            lines.append(f"  {name:<{width}}  {_format_value(round(float(value), 3))}")
+    if histograms:
+        lines.append("histograms:                                  "
+                     "count       mean        p50        p95        max")
+        for name, data in histograms.items():
+            count = data["count"]
+            if count == 0:
+                lines.append(f"  {name:<42} {0:>6}")
+                continue
+            histogram = MetricsRegistry.from_snapshot({"histograms": {name: data}}).get(name)
+            scale, unit = (1e3, "us") if name.endswith(".ns") or name.endswith("_ns") else (1.0, "")
+            mean = histogram.mean / scale  # type: ignore[union-attr]
+            p50 = histogram.quantile(0.5) / scale  # type: ignore[union-attr]
+            p95 = histogram.quantile(0.95) / scale  # type: ignore[union-attr]
+            peak = (data["max"] or 0.0) / scale
+            lines.append(
+                f"  {name:<42} {count:>6} {mean:>10.1f} {p50:>10.1f} "
+                f"{p95:>10.1f} {peak:>10.1f} {unit}"
+            )
+    if len(lines) == 1:
+        lines.append("(nothing recorded)")
+    return "\n".join(lines)

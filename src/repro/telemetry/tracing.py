@@ -1,0 +1,151 @@
+"""Lightweight span tracing with Chrome trace-event / Perfetto export.
+
+A :class:`Tracer` records *complete* spans (name, category, start, and
+duration from :func:`time.perf_counter_ns`) into a bounded ring buffer,
+so tracing a long campaign costs a fixed amount of memory: when the
+buffer is full the oldest spans are dropped and counted.
+
+The recorded spans map 1:1 onto the Trace Event Format's ``"X"``
+(complete) events, which both ``chrome://tracing`` and Perfetto load
+directly; :func:`repro.telemetry.export.write_trace_jsonl` writes one
+event per line (each line is a standalone JSON object) and
+:func:`repro.telemetry.export.write_chrome_trace` writes the classic
+``{"traceEvents": [...]}`` envelope.
+
+Span hierarchy used across the library::
+
+    campaign                      (one per Campaign.run / table / figure)
+      chunk                       (parallel dispatch unit)
+        run                       (one simulation)
+          stage.<name>            (optional, sampled pipeline stages)
+      supervisor.retry / supervisor.bisect
+    search                        (one per SearchDriver.run)
+      search.generation           (one per optimizer generation)
+
+Determinism: the tracer only ever *reads* clocks — it never touches an
+RNG stream or a :class:`~repro.kernel.context.StepContext`, so enabling
+tracing cannot change simulation results (pinned by the golden suite).
+"""
+
+import os
+import time
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+#: A recorded span: (name, category, start_ns, duration_ns, args-or-None).
+Span = Tuple[str, str, int, int, Optional[dict]]
+
+#: Default ring-buffer capacity (spans); campaign-level spans are few,
+#: per-run spans are one per simulation, so this holds hours of work.
+DEFAULT_CAPACITY = 65536
+
+
+class SpanHandle:
+    """Context manager recording one complete span into its tracer."""
+
+    __slots__ = ("tracer", "name", "category", "args", "start_ns")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, args: Optional[dict]):
+        self.tracer = tracer
+        self.name = name
+        self.category = category
+        self.args = args
+        self.start_ns = 0
+
+    def __enter__(self) -> "SpanHandle":
+        self.start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.tracer.add_complete(
+            self.name,
+            self.start_ns,
+            time.perf_counter_ns() - self.start_ns,
+            category=self.category,
+            args=self.args,
+        )
+
+    def annotate(self, **args) -> None:
+        """Attach (or extend) the span's ``args`` payload before it closes."""
+        if self.args is None:
+            self.args = {}
+        self.args.update(args)
+
+
+class Tracer:
+    """A bounded ring buffer of complete spans.
+
+    Args:
+        capacity: Maximum retained spans; older spans are dropped (and
+            counted in :attr:`dropped`) once the buffer is full.
+    """
+
+    __slots__ = ("capacity", "_spans", "dropped", "pid")
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.pid = os.getpid()
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def span(self, name: str, category: str = "repro", **args) -> SpanHandle:
+        """A context manager that records a complete span on exit."""
+        return SpanHandle(self, name, category, args or None)
+
+    def add_complete(
+        self,
+        name: str,
+        start_ns: int,
+        duration_ns: int,
+        category: str = "repro",
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record one already-measured complete span."""
+        if len(self._spans) == self.capacity:
+            self.dropped += 1
+        self._spans.append((name, category, start_ns, duration_ns, args))
+
+    def instant(self, name: str, category: str = "repro", **args) -> None:
+        """Record a zero-duration marker (rendered as an instant event)."""
+        self.add_complete(name, time.perf_counter_ns(), 0, category, args or None)
+
+    def merge(self, other: "Tracer") -> None:
+        """Append another tracer's spans (no timestamp realignment)."""
+        self.dropped += other.dropped
+        for span in other._spans:
+            self.add_complete(span[0], span[2], span[3], span[1], span[4])
+
+    def chrome_events(self) -> List[dict]:
+        """The recorded spans as Trace Event Format ``"X"`` event dicts.
+
+        Timestamps and durations are microseconds (the format's unit);
+        zero-duration spans become ``"i"`` (instant) events so markers
+        stay visible in the viewer.
+        """
+        events = []
+        pid = self.pid
+        for name, category, start_ns, duration_ns, args in self._spans:
+            event = {
+                "name": name,
+                "cat": category,
+                "ph": "X" if duration_ns else "i",
+                "ts": start_ns / 1000.0,
+                "pid": pid,
+                "tid": 0,
+            }
+            if duration_ns:
+                event["dur"] = duration_ns / 1000.0
+            else:
+                event["s"] = "t"  # instant-event scope: thread
+            if args:
+                event["args"] = args
+            events.append(event)
+        return events

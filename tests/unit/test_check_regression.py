@@ -210,3 +210,94 @@ class TestSupervisionOverheadBound:
         baseline = _bench_file_resilient(tmp_path, "base.json")
         current = _bench_file_resilient(tmp_path, "cur.json", overhead=2.1)
         assert _run_with_overhead(baseline, current, max_overhead=1.0) == 1
+
+
+def _bench_file_telemetry(tmp_path, name, steps=10000.0, telemetry_overhead=None):
+    path = tmp_path / name
+    measurements = {"single_run_steps_per_second": steps}
+    if telemetry_overhead is not None:
+        measurements["telemetry_overhead_pct"] = telemetry_overhead
+    path.write_text(json.dumps({"measurements": measurements}))
+    return str(path)
+
+
+class TestTelemetryOverheadBound:
+    def test_overhead_above_bound_fails(self, tmp_path):
+        baseline = _bench_file_telemetry(tmp_path, "base.json")
+        current = _bench_file_telemetry(tmp_path, "cur.json", telemetry_overhead=8.2)
+        assert _run(tmp_path, baseline, current) == 1
+
+    def test_overhead_within_bound_passes(self, tmp_path):
+        baseline = _bench_file_telemetry(tmp_path, "base.json")
+        current = _bench_file_telemetry(tmp_path, "cur.json", telemetry_overhead=2.4)
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_negative_overhead_passes(self, tmp_path):
+        baseline = _bench_file_telemetry(tmp_path, "base.json")
+        current = _bench_file_telemetry(tmp_path, "cur.json", telemetry_overhead=-0.8)
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_missing_row_gates_nothing(self, tmp_path):
+        baseline = _bench_file_telemetry(tmp_path, "base.json")
+        current = _bench_file_telemetry(tmp_path, "cur.json")
+        assert _run(tmp_path, baseline, current) == 0
+
+    def test_custom_bound_is_respected(self, tmp_path):
+        baseline = _bench_file_telemetry(tmp_path, "base.json")
+        current = _bench_file_telemetry(tmp_path, "cur.json", telemetry_overhead=2.4)
+        argv = ["--baseline", baseline, "--current", current, "--max-telemetry-overhead", "1.0"]
+        assert check_regression.main(argv) == 1
+
+
+class TestAllFailuresReported:
+    def test_every_failing_gate_is_listed_in_one_run(self, tmp_path, capsys):
+        # Two independent regressions → one run must name both keys.
+        base = tmp_path / "base.json"
+        base.write_text(
+            json.dumps(
+                {
+                    "measurements": {
+                        "single_run_steps_per_second": 10000.0,
+                        "search_evals_per_s": 5.0,
+                    }
+                }
+            )
+        )
+        cur = tmp_path / "cur.json"
+        cur.write_text(
+            json.dumps(
+                {
+                    "measurements": {
+                        "single_run_steps_per_second": 5000.0,  # -50%
+                        "search_evals_per_s": 2.0,  # -60%
+                        "telemetry_overhead_pct": 9.9,  # above 5% bound
+                    }
+                }
+            )
+        )
+        assert _run(tmp_path, str(base), str(cur)) == 1
+        out = capsys.readouterr().out
+        summary = [line for line in out.splitlines() if line.startswith("FAIL: 3 gate(s)")]
+        assert len(summary) == 1
+        assert "single_run_steps_per_second" in summary[0]
+        assert "search_evals_per_s" in summary[0]
+        assert "telemetry_overhead_pct" in summary[0]
+
+    def test_later_gates_still_run_after_early_failure(self, tmp_path, capsys):
+        # The first gate failing must not mask the overhead check's output.
+        baseline = _bench_file(tmp_path, "base.json", 10000.0)
+        cur = tmp_path / "cur.json"
+        cur.write_text(
+            json.dumps(
+                {
+                    "measurements": {
+                        "single_run_steps_per_second": 1000.0,  # -90%
+                        "telemetry_overhead_pct": 1.2,  # fine
+                    }
+                }
+            )
+        )
+        assert _run(tmp_path, baseline, str(cur)) == 1
+        out = capsys.readouterr().out
+        assert "telemetry overhead" in out
+        assert "FAIL: 1 gate(s) failed: single_run_steps_per_second" in out

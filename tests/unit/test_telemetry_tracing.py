@@ -1,0 +1,100 @@
+"""Unit tests for the span tracer and its Chrome-trace/JSONL exports."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import Tracer, write_chrome_trace, write_trace_jsonl
+
+
+class TestTracer:
+    def test_span_context_manager_records_complete_span(self):
+        tracer = Tracer()
+        with tracer.span("work", "test", detail=1) as span:
+            span.annotate(more=2)
+        spans = list(tracer)
+        assert len(spans) == 1
+        name, category, start_ns, duration_ns, args = spans[0]
+        assert name == "work" and category == "test"
+        assert start_ns > 0 and duration_ns >= 0
+        assert args == {"detail": 1, "more": 2}
+
+    def test_instant_records_zero_duration_marker(self):
+        tracer = Tracer()
+        tracer.instant("marker", task=3)
+        ((name, _, _, duration_ns, args),) = list(tracer)
+        assert name == "marker" and duration_ns == 0 and args == {"task": 3}
+
+    def test_ring_buffer_bounds_memory_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.add_complete(f"s{index}", index, 1)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        assert [span[0] for span in tracer] == ["s6", "s7", "s8", "s9"]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_merge_appends_spans_and_drop_counts(self):
+        a, b = Tracer(), Tracer(capacity=2)
+        a.add_complete("mine", 1, 1)
+        for index in range(3):
+            b.add_complete(f"other{index}", index, 1)
+        a.merge(b)
+        assert [span[0] for span in a] == ["mine", "other1", "other2"]
+        assert a.dropped == 1
+
+
+class TestChromeEvents:
+    def test_complete_span_maps_to_x_event_in_microseconds(self):
+        tracer = Tracer()
+        tracer.add_complete("run", 2_000, 1_500, category="repro", args={"seed": 7})
+        (event,) = tracer.chrome_events()
+        assert event["ph"] == "X"
+        assert event["name"] == "run" and event["cat"] == "repro"
+        assert event["ts"] == 2.0 and event["dur"] == 1.5  # ns → µs
+        assert event["args"] == {"seed": 7}
+        assert event["pid"] == tracer.pid
+
+    def test_zero_duration_span_becomes_instant_event(self):
+        tracer = Tracer()
+        tracer.instant("marker")
+        (event,) = tracer.chrome_events()
+        assert event["ph"] == "i"
+        assert event["s"] == "t"
+        assert "dur" not in event
+
+
+class TestTraceFiles:
+    def _tracer(self):
+        tracer = Tracer()
+        with tracer.span("outer", "test"):
+            tracer.instant("inner-marker", step=1)
+        return tracer
+
+    def test_jsonl_lines_each_parse_as_an_event(self, tmp_path):
+        tracer = self._tracer()
+        path = tmp_path / "trace.jsonl"
+        written = write_trace_jsonl(tracer, str(path))
+        lines = path.read_text().splitlines()
+        assert written == len(lines) == 2
+        events = [json.loads(line) for line in lines]
+        assert {event["name"] for event in events} == {"outer", "inner-marker"}
+        assert all({"ph", "ts", "pid", "tid"} <= event.keys() for event in events)
+
+    def test_jsonl_accepts_open_handles(self):
+        buffer = io.StringIO()
+        written = write_trace_jsonl(self._tracer(), buffer)
+        assert written == 2
+        assert len(buffer.getvalue().splitlines()) == 2
+
+    def test_chrome_trace_envelope_parses(self, tmp_path):
+        path = tmp_path / "trace.json"
+        written = write_chrome_trace(self._tracer(), str(path))
+        payload = json.loads(path.read_text())
+        assert written == 2
+        assert payload["displayTimeUnit"] == "ms"
+        assert len(payload["traceEvents"]) == 2
