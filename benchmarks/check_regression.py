@@ -45,6 +45,8 @@ RATE_GATES = (
     ("single_run_steps_per_second", "single-run throughput", "steps/s", 0),
     ("search_evals_per_s", "attack-search throughput", "evals/s", 2),
     ("resilient_campaign_runs_per_s", "supervised-campaign throughput", "runs/s", 2),
+    ("dense_batch_steps_per_s_64", "dense-batch throughput (batch 64)", "steps/s", 0),
+    ("dense_batch_steps_per_s_256", "dense-batch throughput (batch 256)", "steps/s", 0),
 )
 
 

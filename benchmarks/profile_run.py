@@ -17,6 +17,15 @@ collects in production runs, so the two views never drift::
 The attacked run uses the paper's S1/70 m with a Context-Aware
 Deceleration attack (driver engagement, corruption and the eavesdropper
 all on the profile).
+
+With ``--batch N`` the workload becomes N attack-free runs through the
+lockstep batch executor instead of the two sequential runs, so the
+dense SoA column path is what lands on the profile; combined with
+``--json`` the per-stage shares come from the batch runner's own
+``perf.stage.*`` histograms (one timing sample per stage column per
+sampled cycle) — the before/after view for stage vectorisation work::
+
+    PYTHONPATH=src python benchmarks/profile_run.py --batch 64 --json
 """
 
 import argparse
@@ -62,9 +71,28 @@ def probe_once(label: str, config: SimulationConfig, strategy_name=None) -> Dict
     result = run_simulation(config, strategy, telemetry=telemetry)
     wall_s = time.perf_counter() - start
 
-    prefix, suffix = STAGE_METRIC.split("{name}")
     snapshot = telemetry.snapshot()
-    stage_rows = {}
+    stage_rows = _stage_rows(snapshot)
+    steps = int(snapshot["counters"].get("runs.steps", 0))
+    return {
+        "label": label,
+        "scenario": str(config.scenario),
+        "seed": config.seed,
+        "attack_type": config.attack_type.value if config.attack_type else None,
+        "steps": steps,
+        "wall_seconds": wall_s,
+        "steps_per_second": steps / wall_s if wall_s > 0 else 0.0,
+        "duration_s": result.duration,
+        "hazards": sorted(result.hazards),
+        "accidents": sorted(result.accidents),
+        "stages": dict(sorted(stage_rows.items(), key=lambda kv: -kv[1]["total_ns"])),
+    }
+
+
+def _stage_rows(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """Per-stage timing summary rows from a telemetry snapshot."""
+    prefix, suffix = STAGE_METRIC.split("{name}")
+    stage_rows: Dict[str, Any] = {}
     total_stage_ns = 0
     for name, data in snapshot["histograms"].items():
         if not (name.startswith(prefix) and name.endswith(suffix)):
@@ -82,20 +110,72 @@ def probe_once(label: str, config: SimulationConfig, strategy_name=None) -> Dict
             "max_ns": data["max"],
             "share": data["sum"] / total_stage_ns if total_stage_ns else 0.0,
         }
+    return stage_rows
+
+
+def _batch_tasks(args) -> list:
+    distance: Optional[float] = 70.0 if args.scenario in ("S1", "S2", "S3", "S4") else None
+    return [
+        (
+            SimulationConfig(
+                scenario=args.scenario,
+                initial_distance=distance,
+                seed=args.seed + i,
+                max_steps=args.steps,
+            ),
+            None,
+        )
+        for i in range(args.batch)
+    ]
+
+
+def probe_batch(args) -> Dict[str, Any]:
+    """One probed lockstep-batched workload → per-stage column timings.
+
+    The batch runner times each stage *column* (all rows of one stage)
+    per sampled cycle into the same ``perf.stage.*`` histograms the
+    scalar pipeline probe uses, plus whole-cycle ``perf.batch.cycle_ns``
+    rows, so scalar and batched profiles stay directly comparable.
+    """
+    from repro.kernel import run_batched
+
+    telemetry = Telemetry(TelemetryConfig(sample_every=1))
+    start = time.perf_counter()
+    results = run_batched(_batch_tasks(args), batch_size=args.batch, telemetry=telemetry)
+    wall_s = time.perf_counter() - start
+
+    snapshot = telemetry.snapshot()
     steps = int(snapshot["counters"].get("runs.steps", 0))
+    cycle = snapshot["histograms"].get("perf.batch.cycle_ns", {})
     return {
-        "label": label,
-        "scenario": str(config.scenario),
-        "seed": config.seed,
-        "attack_type": config.attack_type.value if config.attack_type else None,
+        "label": f"batched attack-free {args.scenario} x{args.batch}",
+        "scenario": args.scenario,
+        "batch_size": args.batch,
+        "runs": len(results),
         "steps": steps,
         "wall_seconds": wall_s,
         "steps_per_second": steps / wall_s if wall_s > 0 else 0.0,
-        "duration_s": result.duration,
-        "hazards": sorted(result.hazards),
-        "accidents": sorted(result.accidents),
-        "stages": dict(sorted(stage_rows.items(), key=lambda kv: -kv[1]["total_ns"])),
+        "cycles_sampled": int(cycle.get("count", 0)),
+        "mean_cycle_ns": (cycle["sum"] / cycle["count"]) if cycle.get("count") else 0.0,
+        "stages": dict(
+            sorted(_stage_rows(snapshot).items(), key=lambda kv: -kv[1]["total_ns"])
+        ),
     }
+
+
+def profile_batch(args, top: int = 20) -> None:
+    """cProfile pass over the same lockstep-batched workload."""
+    from repro.kernel import run_batched
+
+    tasks = _batch_tasks(args)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    results = run_batched(tasks, batch_size=args.batch)
+    profiler.disable()
+    print(f"\n=== batched attack-free {args.scenario} x{args.batch} ===")
+    print(f"{len(results)} runs, batch_size={args.batch}")
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative").print_stats(top)
 
 
 def _configs(args) -> list:
@@ -136,8 +216,22 @@ def main() -> None:
         action="store_true",
         help="emit per-stage telemetry histograms as JSON instead of cProfile text",
     )
+    parser.add_argument(
+        "--batch",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile N attack-free runs through the lockstep batch executor "
+        "(dense SoA column path) instead of the two sequential runs",
+    )
     args = parser.parse_args()
 
+    if args.batch:
+        if args.json:
+            print(json.dumps({"runs": [probe_batch(args)]}, indent=2))
+        else:
+            profile_batch(args, top=args.top)
+        return
     if args.json:
         payload = [probe_once(label, config, name) for label, config, name in _configs(args)]
         print(json.dumps({"runs": payload}, indent=2))

@@ -31,6 +31,12 @@ SEED_BASELINE = {
     "campaign_runs_per_second": 5.10,
 }
 
+#: PR 4's lockstep batch executor (fused CAN codec, scalar planner and
+#: physics) measured 19.2k steps/s per core on the same attack-free S1
+#: grid used by test_bench_dense_batch_scaling — the reference the SoA
+#: dense-column path is gated against (>= 1.5x at batch >= 64).
+DENSE_BATCH_BASELINE_STEPS_PER_S = 19179.0
+
 _results = {}
 
 
@@ -206,6 +212,67 @@ def test_bench_batched_campaign(benchmark):
         f"\nbatched campaign: {total / batched_best:.2f} runs/s at batch_size={batch_size} "
         f"vs {total / sequential_best:.2f} runs/s sequential "
         f"({sequential_best / batched_best:.2f}x, same {total}-run workload)"
+    )
+
+
+def test_bench_dense_batch_scaling(benchmark):
+    """Dense SoA batch kernel: per-core steps/s at batch 8/64/256.
+
+    Runs attack-free S1 workloads (one run per batch row, 1500 steps
+    each) through :func:`repro.kernel.run_batched` so every row rides
+    the dense column path end to end, and records the scaling curve as
+    ``dense_batch_steps_per_s_{8,64,256}`` rows.  The acceptance bar is
+    relative to the PR 4 batched-campaign *per-core* step throughput
+    (the fused-codec lockstep without SoA residency): batch >= 64 must
+    show >= 1.5x.  Bit-for-bit equivalence of the dense path is pinned
+    separately by tests/integration/test_batch_equivalence.py; this
+    case only spot-checks one width against the sequential runner.
+    """
+    from repro.kernel import run_batched
+
+    def tasks_for(width):
+        return [
+            (
+                SimulationConfig(
+                    scenario="S1", initial_distance=70.0, seed=i, max_steps=1500
+                ),
+                None,
+            )
+            for i in range(width)
+        ]
+
+    rates = {}
+    for width in (8, 64, 256):
+        best = float("inf")
+        results = None
+        for _ in range(2):
+            batch = tasks_for(width)
+            start = time.perf_counter()
+            results = run_batched(batch, batch_size=width)
+            best = min(best, time.perf_counter() - start)
+        rates[width] = (1500 * len(results)) / best
+        if width == 8:
+            sequential = [run_simulation(config) for config, _ in tasks_for(width)]
+            assert results == sequential
+
+    def final_pass():
+        return run_batched(tasks_for(256), batch_size=256)
+
+    start = time.perf_counter()
+    final = benchmark.pedantic(final_pass, rounds=1, iterations=1)
+    elapsed = time.perf_counter() - start
+    rates[256] = max(rates[256], (1500 * len(final)) / elapsed)
+
+    baseline = DENSE_BATCH_BASELINE_STEPS_PER_S
+    for width, rate in rates.items():
+        _results[f"dense_batch_steps_per_s_{width}"] = round(rate, 1)
+    _results["dense_batch_speedup_vs_pr4_lockstep"] = round(rates[256] / baseline, 2)
+    _write_results()
+    print(
+        "\ndense batch scaling: "
+        + ", ".join(f"{rate:,.0f} steps/s @ {width}" for width, rate in rates.items())
+        + f" (PR 4 lockstep per-core: {baseline:,.0f}; "
+        f"best speedup {rates[256] / baseline:.2f}x)"
     )
 
 

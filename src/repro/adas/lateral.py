@@ -11,11 +11,17 @@ alert (the only alert the paper observed during attacks).
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.adas.limits import OPENPILOT_LIMITS, SafetyLimits
 from repro.messaging.messages import CarState, ModelV2
-from repro.sim.units import clamp, rad_to_deg
+from repro.sim.units import RAD_TO_DEG, clamp, rad_to_deg
 from repro.sim.vehicle import VehicleParams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.batch import BatchState
 
 
 @dataclass(slots=True)
@@ -116,3 +122,53 @@ class LateralPlanner:
         plan.output_steering_deg = output_steering_deg
         plan.saturated = self._saturated_count >= params.saturation_frames
         return plan
+
+
+def update_lat_columns(state: "BatchState", n: int) -> None:
+    """Vectorised :meth:`LateralPlanner.update_into` over batch rows.
+
+    Rows whose perception model is absent (``plan_has_model`` False) take
+    OpenPilot's no-model fallback: hold the measured steering angle, zero
+    curvature, saturation counter unchanged, not saturated — exactly the
+    scalar branch in :meth:`repro.adas.openpilot.OpenPilot._plan_cycle`.
+    ``math.atan`` stays a per-row loop (``np.arctan`` differs in the last
+    ulp on this platform); everything else is in-place ufuncs over the
+    shared scratch columns.
+    """
+    has_model = state.plan_has_model[:n]
+    steer_meas = state.plan_steer_meas[:n]
+    curv = state.w0[:n]
+    w1 = state.w1[:n]
+    w2 = state.w2[:n]
+
+    np.negative(state.plan_lat_off[:n], out=curv)
+    np.multiply(state.p_lane_gain[:n], curv, out=curv)
+    np.negative(state.plan_head_err[:n], out=w1)
+    np.multiply(state.p_heading_gain[:n], w1, out=w1)
+    np.add(curv, w1, out=curv)
+    np.multiply(state.p_curv_ff[:n], state.plan_model_curv[:n], out=w1)
+    np.add(curv, w1, out=curv)
+
+    np.multiply(curv, state.p_lat_wheelbase[:n], out=w1)
+    atan = math.atan
+    for j in range(n):
+        w1[j] = atan(w1[j])
+    np.multiply(w1, RAD_TO_DEG, out=w1)
+    np.multiply(w1, state.p_lat_steer_ratio[:n], out=w1)
+    np.minimum(w1, state.p_lat_max_steer[:n], out=w1)
+    np.negative(state.p_lat_max_steer[:n], out=w2)
+    np.maximum(w1, w2, out=w1)
+
+    np.subtract(w1, steer_meas, out=w2)
+    np.abs(w2, out=w2)
+    counts = state.plan_sat_count[:n]
+    new_counts = np.where(w2 > state.p_sat_angle[:n], counts + 1, 0)
+    np.copyto(counts, np.where(has_model, new_counts, counts))
+    np.copyto(
+        state.plan_saturated[:n], has_model & (counts >= state.p_sat_frames[:n])
+    )
+
+    np.copyto(state.plan_curvature[:n], np.where(has_model, curv, 0.0))
+    desired = state.plan_desired_deg[:n]
+    np.copyto(desired, np.where(has_model, w1, steer_meas))
+    np.copyto(state.plan_output_deg[:n], desired)

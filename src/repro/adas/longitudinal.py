@@ -10,11 +10,16 @@ tied to the brake output crossing OpenPilot's safety threshold.
 """
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.adas.limits import ISO_SAFETY_LIMITS, SafetyLimits
 from repro.messaging.messages import CarState, RadarState
 from repro.sim.units import clamp
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.batch import BatchState
 
 
 @dataclass(slots=True)
@@ -107,3 +112,72 @@ class LongitudinalPlanner:
         plan.time_to_collision = ttc
         plan.required_decel = required_decel
         return plan
+
+
+def update_long_columns(state: "BatchState", n: int) -> None:
+    """Vectorised :meth:`LongitudinalPlanner.update_into` over batch rows.
+
+    Reads the gathered plan inputs (``plan_v_ego``, ``plan_v_cruise``,
+    ``plan_d_rel``, ``plan_v_rel``, ``plan_has_lead``) and per-run planner
+    parameters from :class:`repro.kernel.batch.BatchState`, and writes the
+    longitudinal plan output columns, bit-identically to the scalar
+    planner for every row.  Rows without a lead carry garbage in the
+    radar columns; every use of them is masked by ``plan_has_lead``.
+    The one non-ufunc piece — ``closing_speed ** 2`` uses Python float
+    pow in the scalar path — stays a (rare) per-row loop.
+    """
+    v_ego = state.plan_v_ego[:n]
+    v_cruise = state.plan_v_cruise[:n]
+    has_lead = state.plan_has_lead[:n]
+    cruise = state.w0[:n]
+    gap = state.w1[:n]
+    v_lead = state.w2[:n]
+    desired_gap = state.w3[:n]
+    follow = state.w4[:n]
+    w5 = state.w5[:n]
+
+    np.subtract(v_cruise, v_ego, out=cruise)
+    np.multiply(state.p_cruise_gain[:n], cruise, out=cruise)
+
+    np.maximum(state.plan_d_rel[:n], 0.0, out=gap)
+    np.add(v_ego, state.plan_v_rel[:n], out=v_lead)
+    np.maximum(v_lead, 0.0, out=v_lead)
+    np.multiply(state.p_follow_headway[:n], v_ego, out=desired_gap)
+    np.add(state.p_standstill[:n], desired_gap, out=desired_gap)
+    np.subtract(gap, desired_gap, out=follow)
+    np.multiply(state.p_gap_gain[:n], follow, out=follow)
+    np.subtract(v_lead, v_ego, out=w5)
+    np.multiply(state.p_closing_gain[:n], w5, out=w5)
+    np.add(follow, w5, out=follow)
+
+    desired = state.plan_accel[:n]
+    np.minimum(cruise, follow, out=w5)
+    np.copyto(desired, np.where(has_lead, w5, cruise))
+    np.minimum(desired, state.p_long_accel_max[:n], out=desired)
+    np.maximum(desired, state.p_long_brake_min[:n], out=desired)
+
+    closing = w5
+    np.subtract(v_ego, v_lead, out=closing)
+    ttc = state.plan_ttc[:n]
+    ttc.fill(np.inf)
+    np.divide(gap, closing, out=ttc, where=has_lead & (closing > 0.1))
+
+    decel = state.plan_req_decel[:n]
+    decel.fill(0.0)
+    closing_rows = np.flatnonzero(has_lead & (closing > 0.0))
+    if closing_rows.size:
+        eff = cruise  # scratch reuse; the cruise accel is folded in already
+        np.divide(state.p_standstill[:n], 2.0, out=eff)
+        np.subtract(gap, eff, out=eff)
+        np.maximum(eff, 0.5, out=eff)
+        for j in closing_rows:
+            c = float(closing[j])
+            decel[j] = c ** 2 / (2.0 * float(eff[j]))
+
+    near = gap < desired_gap
+    np.copyto(
+        state.plan_v_target[:n],
+        np.where(has_lead & near, np.minimum(v_cruise, v_lead), v_cruise),
+    )
+    np.copyto(state.plan_lead_dist[:n], np.where(has_lead, gap, np.inf))
+    np.copyto(state.plan_lead_speed[:n], np.where(has_lead, v_lead, 0.0))

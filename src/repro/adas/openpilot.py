@@ -17,7 +17,9 @@ Each control cycle the :class:`OpenPilot` object
 """
 
 from dataclasses import dataclass, field
-from typing import Callable, List
+from typing import TYPE_CHECKING, Callable, List
+
+import numpy as np
 
 from repro.adas.alerts import Alert, AlertManager, AlertThresholds
 from repro.adas.driver_monitoring import DriverMonitoring
@@ -32,6 +34,9 @@ from repro.messaging.messages import Actuators, CarControl, CarState, ControlsSt
 from repro.messaging.pubsub import PubMaster, SubMaster
 from repro.sim.units import clamp
 from repro.sim.vehicle import ActuatorCommand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.batch import BatchState
 
 # An output hook receives (time, command, car_state) and returns the —
 # possibly corrupted — command to send to the car.
@@ -214,6 +219,24 @@ class OpenPilot:
         self.can_bus.send(CANFrame(self._addr_acc_control, acc_payload, timestamp=time))
         self._previous_steering_deg = steering_angle_deg
 
+    def plan_prelude(self, time: float, car_state: CarState, dt: float):
+        """Perception reads + driver-monitoring publishes of the plan stage.
+
+        Exactly the first half of :meth:`_plan_cycle` — the messaging
+        round trip that stays per-run even on the batch fast path (each
+        run owns its buses).  Returns ``(model, radar)`` for the planner
+        half; the lockstep batch executor calls this per row and then
+        runs the planner arithmetic as vectorised columns.
+        """
+        self.sub_master.update()
+        model = self.sub_master["modelV2"]
+        radar = self.sub_master["radarState"]
+
+        dm_state = self.driver_monitoring.update(time, dt)
+        self.pub_master.send("driverMonitoringState", dm_state)
+        self.pub_master.send("carState", car_state)
+        return model, radar
+
     # -- cycle internals ---------------------------------------------------
 
     def _plan_cycle(
@@ -226,13 +249,7 @@ class OpenPilot:
         pre_hook: ActuatorCommand,
     ) -> None:
         """Perception + planning half of the cycle, writing into the given objects."""
-        self.sub_master.update()
-        model = self.sub_master["modelV2"]
-        radar = self.sub_master["radarState"]
-
-        dm_state = self.driver_monitoring.update(time, dt)
-        self.pub_master.send("driverMonitoringState", dm_state)
-        self.pub_master.send("carState", car_state)
+        model, radar = self.plan_prelude(time, car_state, dt)
 
         self.long_planner.update_into(long_plan, car_state, radar)
         if model is not None:
@@ -365,3 +382,30 @@ class OpenPilot:
                 timestamp=time,
             )
         )
+
+
+def apply_output_limit_columns(state: "BatchState", n: int) -> None:
+    """Vectorised output-limit tail of :meth:`OpenPilot._plan_cycle`.
+
+    Splits the planned acceleration into gas/brake channels and applies
+    the per-frame steering rate limit against the previously commanded
+    angle, writing the actuator pre-hook command columns (``cmd_*``).
+    ``max(0.0, x)`` is realised as ``np.where(x > 0, x, 0.0)`` so the
+    zero branch carries the scalar path's exact ``+0.0``.
+    """
+    accel = state.plan_accel[:n]
+    w0 = state.w0[:n]
+    w1 = state.w1[:n]
+
+    np.minimum(accel, state.p_out_accel_max[:n], out=w0)
+    np.maximum(w0, state.p_out_brake_min[:n], out=w0)
+    np.copyto(state.cmd_accel[:n], np.where(w0 > 0.0, w0, 0.0))
+    np.negative(w0, out=w1)
+    np.copyto(state.cmd_brake[:n], np.where(w1 > 0.0, w1, 0.0))
+
+    prev = state.plan_prev_steer[:n]
+    np.subtract(state.plan_output_deg[:n], prev, out=w0)
+    np.minimum(w0, state.p_steer_delta_max[:n], out=w0)
+    np.negative(state.p_steer_delta_max[:n], out=w1)
+    np.maximum(w0, w1, out=w0)
+    np.add(prev, w0, out=state.cmd_steer[:n])

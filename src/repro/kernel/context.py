@@ -28,6 +28,13 @@ Contract
   then, matching :meth:`repro.sim.world.World.lead_observation`).
 * Constants (``dt``, ``cruise_speed``, ego geometry, road landmarks,
   ``follower``, ``others``) are filled once at construction.
+* Under the batch executor's dense path the per-cycle observation
+  fields (``end_time``, ego pose/geometry, ``lead_gap``,
+  ``lead_speed``) are scattered into the context from the
+  :class:`repro.kernel.batch.BatchState` SoA columns instead of being
+  written by :meth:`repro.sim.world.World.observe_into` — same fields,
+  same values to the last bit, so detector stages and any row demoted
+  to the scalar path read an indistinguishable context.
 """
 
 from typing import List, Optional, Sequence

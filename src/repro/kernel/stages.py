@@ -26,6 +26,17 @@ Stage order (one 10 ms cycle)::
 Behavioural equivalence with the pre-kernel loop is bit-for-bit and is
 pinned by the golden-run suite (``tests/integration/
 test_golden_equivalence.py``); any reordering here must keep it green.
+
+These classes are also the **scalar fallback** of the lockstep batch
+executor: :class:`repro.kernel.batch.BatchRunner` steps dense rows
+through vectorised *column* implementations of the same eight stages
+(SoA numpy columns in :class:`repro.kernel.batch.BatchState`) and runs
+any row that diverges from the fast path — active alert, CAN
+transformer, driver intervention, non-vectorisable actor scripts —
+through these per-run ``run(ctx)`` methods instead.  A stage edit here
+therefore changes *both* paths' reference semantics: keep the golden
+batch-equivalence suite (``tests/integration/test_batch_equivalence.py``,
+batch sizes 1/8/64/256) green alongside the sequential goldens.
 """
 
 from repro.kernel.context import StepContext

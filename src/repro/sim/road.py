@@ -13,6 +13,8 @@ centreline, positive to the **left**.
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class RoadSpec:
@@ -117,3 +119,29 @@ class Road:
         theta = self.heading(s)
         # Lateral offset is applied along the local normal (left of tangent).
         return x - d * math.sin(theta), y + d * math.cos(theta)
+
+
+def curvature_columns(
+    s: np.ndarray,
+    curve_start: np.ndarray,
+    curve_transition: np.ndarray,
+    curvature_max: np.ndarray,
+    out: np.ndarray,
+) -> None:
+    """Vectorised :meth:`Road.curvature` over per-run road parameters.
+
+    Bit-identical to the scalar method for every row: the straight
+    section, the finished ramp and the cosine ramp are computed with the
+    same operation order (``np.cos`` matches ``math.cos`` to the last bit
+    on this platform — pinned by the golden batch-equivalence suite).
+    """
+    progress = (s - curve_start) / curve_transition
+    ramp = (curvature_max * 0.5) * (1.0 - np.cos(np.pi * progress))
+    np.copyto(
+        out,
+        np.where(
+            s <= curve_start,
+            0.0,
+            np.where(progress >= 1.0, curvature_max, ramp),
+        ),
+    )

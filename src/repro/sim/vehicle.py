@@ -10,9 +10,15 @@ the lead vehicle and the lane.  A kinematic bicycle model integrated at
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.sim.road import Road
-from repro.sim.units import DT, deg_to_rad
+import numpy as np
+
+from repro.sim.road import Road, curvature_columns
+from repro.sim.units import DEG_TO_RAD, DT, deg_to_rad
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.kernel.batch import BatchState
 
 
 @dataclass(frozen=True)
@@ -184,3 +190,108 @@ class EgoVehicle:
             math.sin(state.heading_error), math.cos(state.heading_error)
         )
         return state
+
+
+def step_ego_columns(state: "BatchState", n: int) -> None:
+    """Vectorised :meth:`EgoVehicle.step` over the first ``n`` batch rows.
+
+    Reads the actuator-command columns (``ex_*``) and physics columns
+    (``ph_*``) of :class:`repro.kernel.batch.BatchState` and advances the
+    physics columns in place, bit-identically to the scalar bicycle model.
+    ``np.sin``/``np.cos``/``np.copysign`` match their ``math`` twins on
+    this platform, but ``np.tan``/``np.arctan2`` do not — those two stay
+    per-row ``math`` loops so the golden replays hold to the last bit.
+    """
+    accel = state.ph_accel[:n]
+    speed = state.ph_speed[:n]
+    steer = state.ph_steer[:n]
+    s = state.ph_s[:n]
+    d = state.ph_d[:n]
+    heading = state.ph_heading[:n]
+    yaw = state.ph_yaw[:n]
+    w0 = state.w0[:n]
+    w1 = state.w1[:n]
+    w2 = state.w2[:n]
+    w3 = state.w3[:n]
+    w4 = state.w4[:n]
+    w5 = state.w5[:n]
+    w6 = state.w6[:n]
+    w7 = state.w7[:n]
+
+    # Longitudinal: first-order lag towards the net requested accel,
+    # clipped to the physically achievable envelope.
+    np.subtract(state.ex_accel[:n], state.ex_brake[:n], out=w0)
+    np.minimum(w0, state.p_max_accel_phys[:n], out=w0)
+    np.maximum(w0, state.p_max_decel_phys[:n], out=w0)
+    np.subtract(w0, accel, out=w0)
+    np.multiply(state.p_accel_alpha[:n], w0, out=w0)
+    np.add(accel, w0, out=accel)
+    np.multiply(accel, DT, out=w0)
+    np.add(speed, w0, out=speed)
+    stopped = speed < 0.0
+    speed[stopped] = 0.0
+    accel[stopped] = 0.0
+
+    # Steering: slew-rate limited first-order lag towards the command.
+    np.minimum(state.ex_steer[:n], state.p_max_steer_deg[:n], out=w1)
+    np.negative(state.p_max_steer_deg[:n], out=w2)
+    np.maximum(w1, w2, out=w1)
+    np.subtract(w1, steer, out=w1)
+    np.multiply(state.p_steer_beta[:n], w1, out=w1)
+    np.minimum(w1, state.p_steer_max_change[:n], out=w1)
+    np.negative(state.p_steer_max_change[:n], out=w2)
+    np.maximum(w1, w2, out=w1)
+    np.add(steer, w1, out=steer)
+
+    # Kinematic bicycle curvature; ``math.tan`` row loop (see docstring).
+    np.divide(steer, state.p_steer_ratio[:n], out=w1)
+    np.multiply(w1, DEG_TO_RAD, out=w1)
+    tan = math.tan
+    for j in range(n):
+        w2[j] = tan(w1[j])
+    np.divide(w2, state.p_wheelbase[:n], out=w2)
+    # Environmental disturbance curvature.  The scalar path returns an
+    # exact +0.0 when the amplitude is zero, so mask those rows after the
+    # vectorised sin (which could produce -0.0 via amp * sin).
+    amp = state.p_dist_amp[:n]
+    np.multiply(state.p_dist_omega[:n], state.ph_time[:n], out=w3)
+    np.add(w3, state.p_dist_phase[:n], out=w3)
+    np.sin(w3, out=w3)
+    np.multiply(amp, w3, out=w3)
+    w3[amp == 0.0] = 0.0
+    np.add(w2, w3, out=w2)
+    np.multiply(speed, w2, out=yaw)
+
+    # Frenet derivatives at the pre-update arc length / offset / heading.
+    curvature_columns(
+        s,
+        state.p_curve_start[:n],
+        state.p_curve_transition[:n],
+        state.p_curvature_max[:n],
+        out=w3,
+    )
+    np.multiply(d, w3, out=w4)
+    np.subtract(1.0, w4, out=w4)
+    small = np.abs(w4) < 1e-3
+    if small.any():
+        w4[small] = np.copysign(1e-3, w4[small])
+    np.cos(heading, out=w5)
+    np.sin(heading, out=w6)
+    np.multiply(speed, w5, out=w5)
+    np.divide(w5, w4, out=w5)        # s_dot
+    np.multiply(speed, w6, out=w6)   # d_dot
+    np.multiply(w3, w5, out=w7)
+    np.subtract(yaw, w7, out=w7)     # heading_error_dot
+
+    np.multiply(w5, DT, out=w5)
+    np.add(s, w5, out=s)
+    np.multiply(w6, DT, out=w6)
+    np.add(d, w6, out=d)
+    np.multiply(w7, DT, out=w7)
+    np.add(heading, w7, out=heading)
+    # Wrap into (-pi, pi]; ``math.atan2`` row loop (np.arctan2 differs).
+    np.sin(heading, out=w5)
+    np.cos(heading, out=w6)
+    atan2 = math.atan2
+    for j in range(n):
+        heading[j] = atan2(w5[j], w6[j])

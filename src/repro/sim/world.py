@@ -423,8 +423,19 @@ class World:
         same pieces for the legacy single-call API.
         """
         self._last_command = command
-
         self.ego.step(command, DT, disturbance_curvature=self.disturbance_curvature(self.time))
+        self.advance_traffic()
+
+    def advance_traffic(self) -> None:
+        """The tail of :meth:`integrate` after the ego physics: scripted
+        traffic, lead selection, the follower and the clock.
+
+        Split out so the lockstep batch executor can integrate the ego
+        vehicles of a whole batch as one vectorised column
+        (:func:`repro.sim.vehicle.step_ego_columns`) and then advance each
+        run's traffic with the exact per-run code below; the scalar
+        :meth:`integrate` composes the same two halves.
+        """
         if self.scenario_lead is not None:
             self.scenario_lead.step(self.time, DT)
         if self.scripted_actors:

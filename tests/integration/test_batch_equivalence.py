@@ -8,7 +8,9 @@ to sequential results —
 
 * every golden run (all catalog scenarios attack-free plus one attacked
   S1 run per attack type) replays identically through ``batch_size`` 1,
-  4 and 8;
+  8, 64 and 256 — covering the scalar lockstep fallback, the fused codec
+  path and the SoA dense column path at widths where the whole golden
+  set rides in one batch;
 * a sampled-family campaign produces identical results batched,
   sequential, and batched-inside-parallel-workers;
 * the lockstep machinery itself (retirement, refill, progress, strategy
@@ -56,7 +58,7 @@ def _golden_tasks():
 
 
 class TestGoldenBatchEquivalence:
-    @pytest.mark.parametrize("batch_size", [1, 4, 8])
+    @pytest.mark.parametrize("batch_size", [1, 8, 64, 256])
     def test_all_goldens_replay_through_batch_runner(self, batch_size, golden_runs):
         keys, tasks = _golden_tasks()
         results = run_batched(tasks, batch_size=batch_size)
