@@ -47,6 +47,8 @@ RATE_GATES = (
     ("resilient_campaign_runs_per_s", "supervised-campaign throughput", "runs/s", 2),
     ("dense_batch_steps_per_s_64", "dense-batch throughput (batch 64)", "steps/s", 0),
     ("dense_batch_steps_per_s_256", "dense-batch throughput (batch 256)", "steps/s", 0),
+    ("cached_campaign_warm_runs_per_s", "warm cache serving rate", "runs/s", 2),
+    ("cache_hit_rate", "warm cache hit rate", "", 4),
 )
 
 

@@ -482,3 +482,56 @@ def test_bench_campaign_scaling(benchmark):
     _results["campaign_scaling_runs_per_second"] = scaling
     _write_results()
     print(f"\ncampaign scaling (runs/s by workers): {scaling}")
+
+
+def test_bench_cached_campaign(benchmark, tmp_path):
+    """Run-cache reuse: warm campaign runs/s served from blobs, zero paid.
+
+    Cold pass populates a fresh content-addressed cache, warm passes
+    answer the same grid from disk through a *fresh* ``RunCache`` handle
+    (so counters describe each pass alone).  Records the warm serving
+    rate and the warm hit rate; the warm pass must pay zero simulations
+    and return results bit-identical to the uncached campaign.
+    """
+    from repro.service import RunCache
+
+    config = _campaign_config(max_steps=2500)
+    total = config.total_runs
+    cache_dir = str(tmp_path / "run-cache")
+
+    reference = Campaign(config).run()
+    cold_cache = RunCache(cache_dir)
+    start = time.perf_counter()
+    cold = Campaign(config).run(cache=cold_cache)
+    cold_elapsed = time.perf_counter() - start
+    assert cold == reference
+    assert cold_cache.stats.writes == total
+
+    warm_best = float("inf")
+    warm_stats = None
+    for _ in range(2):
+        warm_cache = RunCache(cache_dir)
+        start = time.perf_counter()
+        warm = Campaign(config).run(cache=warm_cache)
+        warm_best = min(warm_best, time.perf_counter() - start)
+        assert warm == reference
+        assert warm_cache.stats.misses == 0, warm_cache.stats.as_dict()
+        assert warm_cache.stats.hits == total
+        warm_stats = warm_cache.stats
+
+    def warm_run():
+        return Campaign(config).run(cache=RunCache(cache_dir))
+
+    final = benchmark.pedantic(warm_run, rounds=1, iterations=1)
+    assert final == reference
+
+    _results["cached_campaign_total_runs"] = total
+    _results["cached_campaign_cold_runs_per_s"] = round(total / cold_elapsed, 2)
+    _results["cached_campaign_warm_runs_per_s"] = round(total / warm_best, 2)
+    _results["cache_hit_rate"] = round(warm_stats.hit_rate, 4)
+    _write_results()
+    print(
+        f"\ncached campaign: {total / warm_best:.2f} runs/s warm "
+        f"(hit rate {warm_stats.hit_rate:.0%}) vs {total / cold_elapsed:.2f} runs/s cold "
+        f"({cold_elapsed / warm_best:.1f}x, {total}-run grid, zero simulations paid warm)"
+    )

@@ -1,0 +1,98 @@
+"""CI cache-smoke gate: cold → warm → corrupt-and-repair, at smoke scale.
+
+Three passes of the smoke-scale Table IV campaign against one persistent
+run cache, each pass through a *fresh* :class:`RunCache` handle so its
+counters describe that pass alone:
+
+1. **cold** — empty cache: every run is a miss, every result is written;
+2. **warm** — same grid: zero simulations paid (``misses == 0``,
+   ``hits == total``) and the result is bit-identical to the cold pass;
+3. **repair** — one blob is corrupted in place: exactly that entry is
+   detected (``corruptions == 1``), quarantined, recomputed
+   (``misses == 1``, ``writes == 1``) and rewritten, while every other
+   entry still hits; the result is again bit-identical.
+
+Exits non-zero (assertion) on any violation.  Usage::
+
+    PYTHONPATH=src python scripts/cache_smoke.py [--cache-dir DIR]
+"""
+
+import argparse
+import glob
+import os
+import sys
+
+from repro.experiments.scale import ExperimentScale
+from repro.experiments.table4 import run_table4
+from repro.service import RunCache
+
+
+def run_pass(label: str, cache_dir: str):
+    cache = RunCache(cache_dir)
+    result = run_table4(ExperimentScale.smoke(), cache=cache)
+    stats = cache.stats
+    print(f"{label:>6}: {stats.as_dict()}")
+    assert stats.bypasses == 0, f"{label} pass bypassed the cache: {stats.as_dict()}"
+    return result, stats
+
+
+def signature(result):
+    """Everything that must be bit-identical across passes.
+
+    The raw per-strategy runs plus the formatted table — *not* the
+    summary dataclasses directly, whose NaN TTH fields (attack-free
+    rows) break ``==`` even for identical bits.
+    """
+    return (result.runs, result.format())
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cache-dir", default="run-cache")
+    args = parser.parse_args(argv)
+
+    cold, cold_stats = run_pass("cold", args.cache_dir)
+    total = cold_stats.misses
+    assert total > 0 and cold_stats.writes == total and cold_stats.hits == 0, (
+        f"cold pass did not populate the cache: {cold_stats.as_dict()}"
+    )
+
+    warm, warm_stats = run_pass("warm", args.cache_dir)
+    assert warm_stats.misses == 0, (
+        f"warm rerun paid {warm_stats.misses} simulations: {warm_stats.as_dict()}"
+    )
+    assert warm_stats.hits == total, f"expected {total} hits: {warm_stats.as_dict()}"
+    assert signature(warm) == signature(cold), "warm rerun is not bit-identical to the cold pass"
+
+    blobs = sorted(glob.glob(os.path.join(args.cache_dir, "*", "*", "*.json.z")))
+    assert len(blobs) == total, f"expected {total} blobs, found {len(blobs)}"
+    victim = blobs[0]
+    with open(victim, "wb") as handle:
+        handle.write(b"flipped bits, truncated payload")
+    print(f"corrupted {os.path.relpath(victim, args.cache_dir)}")
+
+    repaired, repair_stats = run_pass("repair", args.cache_dir)
+    assert repair_stats.corruptions == 1, (
+        f"corruption not detected exactly once: {repair_stats.as_dict()}"
+    )
+    assert repair_stats.misses == 1 and repair_stats.writes == 1, (
+        f"expected exactly the corrupted entry recomputed: {repair_stats.as_dict()}"
+    )
+    assert repair_stats.hits == total - 1, (
+        f"healthy entries should still hit: {repair_stats.as_dict()}"
+    )
+    assert signature(repaired) == signature(cold), "repair pass is not bit-identical to the cold pass"
+    assert os.path.exists(victim), "recomputed blob was not written back"
+    assert RunCache(args.cache_dir).get(
+        os.path.basename(victim).removesuffix(".json.z")
+    ) is not None, "rewritten blob does not verify"
+
+    print(
+        f"cache smoke OK: {total} runs — warm paid 0, "
+        "corrupt blob detected, quarantined and repaired"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

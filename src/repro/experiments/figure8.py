@@ -15,6 +15,7 @@ import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.service.cache import RunCache
     from repro.telemetry import Telemetry
 
 from repro.core.attack_types import AttackType
@@ -96,6 +97,7 @@ def run_figure8(
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
     telemetry: Optional["Telemetry"] = None,
+    cache: Optional["RunCache"] = None,
 ) -> Figure8Result:
     """Sweep (start time, duration) for one attack type plus Context-Aware runs.
 
@@ -117,6 +119,9 @@ def run_figure8(
             rerun with the same path pays only for unfinished points.
         telemetry: Optional :class:`~repro.telemetry.Telemetry` handle
             recording the sweep's run metrics and sampled stage timings.
+        cache: Optional shared run cache
+            (:class:`repro.service.RunCache`) consulted per point before
+            simulating; a warm rerun of the same sweep pays for nothing.
     """
     start_times = start_times if start_times is not None else np.arange(5.0, 36.0, 3.0)
     durations = durations if durations is not None else np.arange(0.5, 2.6, 0.5)
@@ -163,13 +168,15 @@ def run_figure8(
             batch_size=batch_size,
             checkpoint_path=checkpoint_path,
             telemetry=telemetry,
+            cache=cache,
         )
         # Index-aligned (None where a poison task was quarantined), so the
         # grid zip below stays correct even with holes.
         runs = outcome.results
     else:
         runs = run_simulations(
-            tasks, workers=workers, batch_size=batch_size, telemetry=telemetry
+            tasks, workers=workers, batch_size=batch_size, telemetry=telemetry,
+            cache=cache,
         )
 
     for (start, duration, strategy_name), run in zip(grid, runs):

@@ -15,6 +15,7 @@ from repro.resilience.checkpoint import checkpoint_slug
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.service.cache import RunCache
     from repro.telemetry import Telemetry
 from repro.analysis.results import StrategySummary, format_table_iv, summarize_strategy
 from repro.core.strategies import (
@@ -82,6 +83,7 @@ def run_table4(
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
     telemetry: Optional["Telemetry"] = None,
+    cache: Optional["RunCache"] = None,
 ) -> Table4Result:
     """Run the Table IV experiment grid and aggregate it.
 
@@ -102,6 +104,10 @@ def run_table4(
             directory pays only for unfinished runs.
         telemetry: Optional :class:`~repro.telemetry.Telemetry` handle;
             all per-strategy campaigns record into the same registry.
+        cache: Optional shared run cache
+            (:class:`repro.service.RunCache`); a warm rerun of the same
+            grid pays for zero simulations and returns bit-identical
+            results.
     """
     scale = scale or ExperimentScale.from_environment()
     if checkpoint_dir is not None:
@@ -121,6 +127,7 @@ def run_table4(
             supervision=supervision,
             checkpoint_path=checkpoint_path,
             telemetry=telemetry,
+            cache=cache,
         )
         result.runs[strategy_cls.name] = runs
         result.summaries.append(summarize_strategy(strategy_cls.name, runs))

@@ -16,10 +16,12 @@ from repro.resilience.checkpoint import checkpoint_slug
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.service.cache import RunCache
     from repro.telemetry import Telemetry
 from repro.analysis.results import AttackTypeSummary, format_table_v, summarize_by_attack_type
 from repro.core.corruption import CorruptionMode
 from repro.core.strategies import ContextAwareStrategy
+from repro.service.fingerprint import register_strategy_fingerprint
 from repro.experiments.scale import ExperimentScale
 from repro.injection.campaign import ALL_ATTACK_TYPES, Campaign, CampaignConfig
 
@@ -35,6 +37,11 @@ class ContextAwareFixedValueStrategy(ContextAwareStrategy):
 
     name = "Context-Aware (fixed values)"
     corruption_mode = CorruptionMode.FIXED
+
+
+# Same constructor surface as the parent, but a distinct class identity —
+# the run cache must never serve a fixed-value run for a strategic one.
+register_strategy_fingerprint(ContextAwareFixedValueStrategy, ("max_duration", "stop_on_hazard"))
 
 
 @dataclass
@@ -58,6 +65,7 @@ def _run_mode(
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
     telemetry: Optional["Telemetry"] = None,
+    cache: Optional["RunCache"] = None,
 ) -> List[RunResult]:
     config = CampaignConfig(
         strategy_name=strategy_cls.name,
@@ -74,6 +82,7 @@ def _run_mode(
         supervision=supervision,
         checkpoint_path=checkpoint_path,
         telemetry=telemetry,
+        cache=cache,
     )
 
 
@@ -84,6 +93,7 @@ def run_table5(
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_dir: Optional[str] = None,
     telemetry: Optional["Telemetry"] = None,
+    cache: Optional["RunCache"] = None,
 ) -> Table5Result:
     """Run the Table V experiment and aggregate it.
 
@@ -100,6 +110,9 @@ def run_table5(
             only for unfinished runs.
         telemetry: Optional :class:`~repro.telemetry.Telemetry` handle;
             all four campaigns record into the same registry.
+        cache: Optional shared run cache
+            (:class:`repro.service.RunCache`) consulted by all four
+            campaigns before simulating.
     """
     scale = scale or ExperimentScale.from_environment()
     if checkpoint_dir is not None:
@@ -119,11 +132,13 @@ def run_table5(
             strategy_cls, scale, driver_enabled=True, workers=workers,
             batch_size=batch_size, supervision=supervision,
             checkpoint_path=_checkpoint(key, "driver"), telemetry=telemetry,
+            cache=cache,
         )
         without_driver = _run_mode(
             strategy_cls, scale, driver_enabled=False, workers=workers,
             batch_size=batch_size, supervision=supervision,
             checkpoint_path=_checkpoint(key, "no-driver"), telemetry=telemetry,
+            cache=cache,
         )
         result.runs[f"{key}/driver"] = with_driver
         result.runs[f"{key}/no-driver"] = without_driver

@@ -24,6 +24,7 @@ from repro.telemetry import Telemetry
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.resilience.chaos import ChaosPolicy
     from repro.resilience.supervisor import SupervisedOutcome, SupervisionPolicy
+    from repro.service.cache import RunCache
 
 StrategyFactory = Callable[[], AttackStrategy]
 
@@ -152,6 +153,7 @@ class Campaign:
         checkpoint_path: Optional[str] = None,
         on_result: Optional[Callable[[int, RunResult], None]] = None,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional["RunCache"] = None,
     ) -> "SupervisedOutcome":
         """Run under supervision, returning results *and* the recovery trail.
 
@@ -159,7 +161,7 @@ class Campaign:
         cell-aligned results (``None`` where a poison cell was
         quarantined) and the :class:`~repro.resilience.ExecutionReport`
         (retries, pool respawns, degradations, quarantine, sims paid vs
-        loaded from the checkpoint).
+        loaded from the checkpoint and/or the shared run ``cache``).
         """
         from repro.resilience.supervisor import run_supervised_campaign
 
@@ -174,6 +176,7 @@ class Campaign:
             checkpoint_path=checkpoint_path,
             on_result=on_result,
             telemetry=telemetry,
+            cache=cache,
         )
 
     def run(
@@ -187,6 +190,7 @@ class Campaign:
         chaos: Optional["ChaosPolicy"] = None,
         checkpoint_path: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        cache: Optional["RunCache"] = None,
     ) -> List[RunResult]:
         """Run the whole campaign.
 
@@ -220,6 +224,14 @@ class Campaign:
                 (and, sampled, per-stage timings) into it on every
                 execution path — sequential, batched, pooled and
                 supervised views merge to the same deterministic snapshot.
+            cache: Optional shared run cache
+                (:class:`repro.service.RunCache`): every cell the cache
+                already holds is served without simulating, and fresh
+                results are stored back under their content fingerprints
+                — the returned list is bit-identical to an uncached run.
+                With ``cache`` and ``workers > 1`` the cells are pickled
+                to the pool as tasks, so the strategy factory must
+                produce picklable strategies on that path.
         """
         if supervision is not None or chaos is not None or checkpoint_path is not None:
             return self.run_resilient(
@@ -231,6 +243,7 @@ class Campaign:
                 chaos=chaos,
                 checkpoint_path=checkpoint_path,
                 telemetry=telemetry,
+                cache=cache,
             ).completed_results
         total = self.config.total_runs
 
@@ -239,6 +252,22 @@ class Campaign:
                 return nullcontext()
             return telemetry.span("campaign", mode=mode, runs=total)
 
+        if cache is not None:
+            from repro.injection.executor import default_worker_count, run_simulations
+
+            if (parallel or workers is not None) and workers is None:
+                workers = default_worker_count()
+            tasks = [self.cell_task(cell) for cell in self.cells()]
+            with campaign_span("cached"):
+                return run_simulations(
+                    tasks,
+                    workers=workers,
+                    chunk_size=chunk_size,
+                    progress=progress,
+                    batch_size=batch_size,
+                    telemetry=telemetry,
+                    cache=cache,
+                )
         if parallel or (workers is not None and workers > 1):
             from repro.injection.executor import ParallelCampaignRunner
 
@@ -276,6 +305,7 @@ def run_campaign(
     supervision: Optional["SupervisionPolicy"] = None,
     checkpoint_path: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    cache: Optional["RunCache"] = None,
 ) -> List[RunResult]:
     """Convenience wrapper: build and run a campaign."""
     return Campaign(config, strategy_factory).run(
@@ -284,4 +314,5 @@ def run_campaign(
         supervision=supervision,
         checkpoint_path=checkpoint_path,
         telemetry=telemetry,
+        cache=cache,
     )

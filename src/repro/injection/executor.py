@@ -52,6 +52,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign, CampaignCell
     from repro.resilience.chaos import ChaosPolicy
     from repro.resilience.supervisor import SupervisionPolicy
+    from repro.service.cache import RunCache
 
 ProgressCallback = Callable[[int, int], None]
 SimulationTask = Tuple[SimulationConfig, Optional[AttackStrategy]]
@@ -378,6 +379,7 @@ def run_simulations(
     chaos: Optional["ChaosPolicy"] = None,
     checkpoint_path: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
+    cache: Optional["RunCache"] = None,
 ) -> List[RunResult]:
     """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
     in parallel and/or lockstep-batched, preserving input order.
@@ -398,6 +400,11 @@ def run_simulations(
     through :func:`repro.resilience.run_supervised_simulations`
     (timeouts, retry, quarantine, crash-safe resume); quarantined tasks
     are withheld from the returned list.
+
+    ``cache`` (:class:`repro.service.RunCache`) serves every task the
+    content-addressed cache already holds and pays (then stores) only
+    the misses; the returned list stays bit-identical to an uncached
+    run.  Cache hits count toward ``progress`` up front.
     """
     tasks = list(tasks)
     if supervision is not None or chaos is not None or checkpoint_path is not None:
@@ -413,11 +420,38 @@ def run_simulations(
             chaos=chaos,
             checkpoint_path=checkpoint_path,
             telemetry=telemetry,
+            cache=cache,
         )
         return outcome.completed_results
     total = len(tasks)
     if total == 0:
         return []
+    if cache is not None:
+        from repro.service.cache import partition_tasks
+
+        cached, pending, keys = partition_tasks(tasks, cache)
+        sub_progress: Optional[ProgressCallback] = None
+        if progress is not None:
+            if cached:
+                progress(len(cached), total)
+            hits = len(cached)
+            sub_progress = lambda completed, _total: progress(hits + completed, total)  # noqa: E731
+        fresh: dict = {}
+        if pending:
+            computed = run_simulations(
+                [tasks[index] for index in pending],
+                workers=workers,
+                chunk_size=chunk_size,
+                progress=sub_progress,
+                batch_size=batch_size,
+                telemetry=telemetry,
+            )
+            for index, result in zip(pending, computed):
+                fresh[index] = result
+                key = keys[index]
+                if key is not None:
+                    cache.put(key, result)
+        return [cached[i] if i in cached else fresh[i] for i in range(total)]
     workers = max(1, workers if workers is not None else 1)
     if workers == 1 or total == 1:
         if batch_size is not None and batch_size > 1 and total > 1:

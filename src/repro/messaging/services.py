@@ -7,7 +7,7 @@ immediately, which keeps the bus strongly typed without a schema compiler.
 """
 
 from dataclasses import dataclass
-from typing import Dict, Type
+from typing import Dict
 
 from repro.messaging import messages as m
 

@@ -26,8 +26,10 @@ from repro.resilience.chaos import ChaosError, ChaosPolicy, FaultSpec, chaos_pol
 from repro.resilience.checkpoint import (
     CampaignCheckpoint,
     CheckpointMismatch,
+    atomic_write_bytes,
     atomic_write_json,
     checkpoint_slug,
+    fsync_directory,
 )
 from repro.resilience.errors import TaskExecutionError, cell_fingerprint, task_fingerprint
 from repro.resilience.supervisor import (
@@ -42,7 +44,9 @@ from repro.resilience.supervisor import (
 )
 
 __all__ = [
+    "atomic_write_bytes",
     "atomic_write_json",
+    "fsync_directory",
     "CampaignCheckpoint",
     "cell_fingerprint",
     "chaos_policy",

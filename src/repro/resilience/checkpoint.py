@@ -15,6 +15,7 @@ import hashlib
 import json
 import os
 import re
+import tempfile
 from typing import Dict, Iterable, Optional
 
 from repro.analysis.metrics import RunResult
@@ -27,21 +28,64 @@ class CheckpointMismatch(ValueError):
     """The checkpoint on disk does not belong to this task list."""
 
 
-def atomic_write_json(path: str, payload: dict) -> None:
-    """Write ``payload`` as JSON via write-to-temp + atomic rename.
+def fsync_directory(path: str) -> None:
+    """fsync the directory containing ``path`` (no-op where unsupported).
+
+    ``os.replace`` makes the rename itself atomic, but the *directory
+    entry* pointing at the new file is only durable once the directory's
+    own metadata reaches disk — without this a crash shortly after the
+    rename can lose a "committed" checkpoint or cache entry entirely.
+    Platforms that reject directory file descriptors (e.g. Windows) fall
+    back to a no-op: the rename atomicity still holds there, only the
+    durability-after-crash window is platform-defined.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write ``data`` via write-to-temp + fsync + atomic rename + dir fsync.
 
     ``os.replace`` is atomic on POSIX and Windows, so a reader (or a
     resumed process after a crash) only ever observes the previous file
-    or the complete new one.  The temp file lives next to the target so
-    the rename never crosses a filesystem boundary.
+    or the complete new one.  The temp file is uniquely named (safe for
+    concurrent writers racing on the same target — last rename wins,
+    never a torn file) and lives next to the target so the rename never
+    crosses a filesystem boundary.  The containing directory is fsynced
+    after the rename so the committed entry survives a crash.
     """
-    tmp_path = f"{path}.tmp"
-    with open(tmp_path, "w") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.write("\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp_path, path)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(path)
+
+
+def atomic_write_json(path: str, payload: dict) -> None:
+    """Write ``payload`` as JSON with the :func:`atomic_write_bytes` contract."""
+    data = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    atomic_write_bytes(path, data.encode())
 
 
 def fingerprint_strings(parts: Iterable[str]) -> str:

@@ -61,6 +61,7 @@ from repro.telemetry import MetricsRegistry, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign
+    from repro.service.cache import RunCache
 
 ProgressCallback = Callable[[int, int], None]
 ResultCallback = Callable[[int, RunResult], None]
@@ -169,6 +170,7 @@ class ExecutionReport:
     total: int = 0                     # tasks in the campaign
     completed: int = 0                 # fresh results produced this process
     loaded_from_checkpoint: int = 0    # results restored instead of re-run
+    loaded_from_cache: int = 0         # results served by the shared run cache
     retries: int = 0                   # chunk attempts after the first
     bisections: int = 0                # failing chunks split to isolate a task
     timeouts: int = 0                  # chunk attempts killed by the timeout
@@ -191,7 +193,8 @@ class ExecutionReport:
                 f", {self.loaded_from_checkpoint} from checkpoint"
                 if self.loaded_from_checkpoint
                 else ""
-            ),
+            )
+            + (f", {self.loaded_from_cache} from cache" if self.loaded_from_cache else ""),
             f"  retries={self.retries} bisections={self.bisections} "
             f"timeouts={self.timeouts} pool_respawns={self.pool_respawns} "
             f"scalar_fallbacks={self.scalar_fallbacks} "
@@ -217,6 +220,7 @@ class ExecutionReport:
         registry.counter("supervisor.loaded_from_checkpoint").inc(
             self.loaded_from_checkpoint
         )
+        registry.counter("supervisor.loaded_from_cache").inc(self.loaded_from_cache)
         registry.counter("supervisor.retries").inc(self.retries)
         registry.counter("supervisor.bisections").inc(self.bisections)
         registry.counter("supervisor.timeouts").inc(self.timeouts)
@@ -785,6 +789,7 @@ def _run_with_checkpoint(
     checkpoint_path: Optional[str],
     on_result: Optional[ResultCallback],
     telemetry: Optional[Telemetry] = None,
+    cache: Optional["RunCache"] = None,
 ) -> SupervisedOutcome:
     total = len(items)
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -796,6 +801,34 @@ def _run_with_checkpoint(
             total,
         )
         done = checkpoint.load()
+    loaded_from_checkpoint = len(done)
+
+    def task_of(index: int) -> Tuple:
+        if mode == "cells":
+            assert campaign is not None
+            return campaign.cell_task(items[index])
+        return items[index]
+
+    # The shared run cache answers before any simulation is paid for:
+    # every task not already restored by the checkpoint is looked up by
+    # content fingerprint, and the hits join `done` exactly as checkpoint
+    # results do.  Fresh results are stored back from the result hook, so
+    # resume-by-replay degenerates to cache lookup on the next run.
+    cache_keys: Dict[int, str] = {}
+    loaded_from_cache = 0
+    if cache is not None:
+        for index in range(total):
+            if index in done:
+                continue
+            config, strategy = task_of(index)
+            key = cache.fingerprint(config, strategy)
+            if key is None:
+                continue
+            cache_keys[index] = key
+            hit = cache.get(key)
+            if hit is not None:
+                done[index] = hit
+                loaded_from_cache += 1
 
     pending_indices = [index for index in range(total) if index not in done]
     executor = SupervisedExecutor(
@@ -818,6 +851,8 @@ def _run_with_checkpoint(
             if fresh_since_flush >= flush_every:
                 checkpoint.flush()
                 fresh_since_flush = 0
+        if cache is not None and index in cache_keys:
+            cache.put(cache_keys[index], result)
         if on_result is not None:
             on_result(index, result)
 
@@ -851,7 +886,8 @@ def _run_with_checkpoint(
         merged[index] = outcome.results[position]
     outcome.results = merged
     outcome.report.total = total
-    outcome.report.loaded_from_checkpoint = loaded
+    outcome.report.loaded_from_checkpoint = loaded_from_checkpoint
+    outcome.report.loaded_from_cache = loaded_from_cache
     if telemetry is not None:
         # Merged last so loaded_from_checkpoint is final; run metrics were
         # recorded per result as chunks completed.
@@ -870,17 +906,21 @@ def run_supervised_simulations(
     checkpoint_path: Optional[str] = None,
     on_result: Optional[ResultCallback] = None,
     telemetry: Optional[Telemetry] = None,
+    cache: Optional["RunCache"] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :func:`run_simulations`.
 
     Results are bit-identical to a plain sequential run; with
-    ``checkpoint_path`` a resumed call pays only for unfinished tasks.
+    ``checkpoint_path`` a resumed call pays only for unfinished tasks,
+    and with ``cache`` (:class:`repro.service.RunCache`) only for tasks
+    the shared content-addressed cache cannot serve.
     """
     tasks = list(tasks)
     fingerprints = [task_fingerprint(config, strategy) for config, strategy in tasks]
     return _run_with_checkpoint(
         "tasks", None, tasks, fingerprints, [], policy, workers, chunk_size,
         batch_size, progress, chaos, checkpoint_path, on_result, telemetry,
+        cache,
     )
 
 
@@ -895,6 +935,7 @@ def run_supervised_campaign(
     checkpoint_path: Optional[str] = None,
     on_result: Optional[ResultCallback] = None,
     telemetry: Optional[Telemetry] = None,
+    cache: Optional["RunCache"] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :meth:`Campaign.run`.
 
@@ -914,5 +955,5 @@ def run_supervised_campaign(
     return _run_with_checkpoint(
         "cells", campaign, cells, fingerprints, identity, policy, workers,
         chunk_size, batch_size, progress, chaos, checkpoint_path, on_result,
-        telemetry,
+        telemetry, cache,
     )

@@ -32,7 +32,17 @@ what makes sequential, pooled and batched evaluation agree.
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 import numpy as np
 
@@ -49,6 +59,9 @@ from repro.search.space import (
     SearchTask,
     with_safety_margin,
 )
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.service.cache import RunCache
 
 #: JSON checkpoint format version (bumped on incompatible changes).
 CHECKPOINT_VERSION = 1
@@ -203,6 +216,8 @@ class SearchDriver:
         optimizer_factory: Callable[[SearchSpace], Optimizer],
         config: SearchConfig = SearchConfig(),
         telemetry: Optional[Telemetry] = None,
+        run_cache: Optional["RunCache"] = None,
+        on_generation: Optional[Callable[[SearchResult], None]] = None,
     ):
         self.space = space
         self.objective = objective
@@ -213,6 +228,16 @@ class SearchDriver:
         # deterministic search trajectory, so they agree across the three
         # execution modes; rates land under perf.*.
         self.telemetry = telemetry
+        # Optional shared run cache (repro.service.RunCache): every
+        # repetition the cache already holds is served without
+        # simulating, and simulations_run counts only what was paid —
+        # the search trajectory itself is unchanged (bit-identical
+        # results either way).
+        self.run_cache = run_cache
+        # Optional per-generation observer (the campaign service streams
+        # progress events from it); called with the partial SearchResult
+        # after every completed generation.
+        self.on_generation = on_generation
 
     # -- checkpointing -------------------------------------------------------
 
@@ -291,7 +316,18 @@ class SearchDriver:
         return tasks, seeds
 
     def _execute(self, tasks: Sequence[SearchTask]) -> List[RunResult]:
-        """Run tasks batched / pooled / sequentially (identical results)."""
+        """Run tasks batched / pooled / sequentially (identical results).
+
+        With a ``run_cache``, cached repetitions are served directly and
+        only the misses reach the execution back-end.
+        """
+        if self.run_cache is not None:
+            from repro.service.cache import run_tasks_cached
+
+            return run_tasks_cached(tasks, self.run_cache, self._execute_uncached)
+        return self._execute_uncached(tasks)
+
+    def _execute_uncached(self, tasks: Sequence[SearchTask]) -> List[RunResult]:
         config = self.config
         telemetry = self.telemetry
         if config.workers is not None and config.workers > 1 and len(tasks) > 1:
@@ -377,8 +413,17 @@ class SearchDriver:
                 point_tasks, seeds = self._build_tasks(point)
                 tasks.extend(point_tasks)
                 seeds_by_point.append(seeds)
-            outputs = self._execute(tasks) if tasks else []
-            result.simulations_run += len(tasks)
+            if tasks and self.run_cache is not None:
+                stats = self.run_cache.stats
+                paid_before = stats.misses + stats.bypasses
+                outputs = self._execute(tasks)
+                # Misses and bypasses are the tasks that actually hit the
+                # simulator; hits cost nothing.
+                paid = (stats.misses + stats.bypasses) - paid_before
+            else:
+                outputs = self._execute(tasks) if tasks else []
+                paid = len(tasks)
+            result.simulations_run += paid
             reps = config.repetitions
             simulated: Dict[PointKey, Tuple[float, List[RepetitionOutcome]]] = {}
             for position, point in enumerate(to_simulate):
@@ -445,7 +490,7 @@ class SearchDriver:
                 metrics = telemetry.metrics
                 metrics.counter("search.generations").inc()
                 metrics.counter("search.evaluations").inc(len(fresh))
-                metrics.counter("search.simulations").inc(len(tasks))
+                metrics.counter("search.simulations").inc(paid)
                 metrics.counter("search.memo_hits").inc(sum(memo_hits))
                 if telemetry.tracer is not None:
                     telemetry.tracer.add_complete(
@@ -461,6 +506,8 @@ class SearchDriver:
                     )
             generation_index += 1
             self._write_checkpoint(result)
+            if self.on_generation is not None:
+                self.on_generation(result)
 
         if telemetry is not None:
             metrics = telemetry.metrics

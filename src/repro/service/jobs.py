@@ -1,0 +1,150 @@
+"""Job model of the campaign service.
+
+A *job* is one queued unit of platform work — a whole campaign grid
+(:class:`CampaignJobSpec`) or a budgeted attack search
+(:class:`SearchJobSpec`).  The :class:`~repro.service.CampaignService`
+accepts jobs, executes them against the pool/batch back-end behind the
+shared run cache, and streams :class:`JobEvent` records per job while
+partial results accumulate on the :class:`Job` handle.
+
+Events carry a *globally* monotonic sequence number (one counter across
+all jobs of a service), so the interleaving of concurrent jobs is
+observable and testable: two jobs running together produce interleaved
+sequence numbers, a serialized queue produces disjoint ranges.
+"""
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, List, Optional, TYPE_CHECKING
+
+from repro.analysis.metrics import RunResult
+from repro.injection.campaign import CampaignConfig, StrategyFactory
+from repro.search.objectives import Objective
+from repro.search.optimizers import Optimizer
+from repro.search.space import SearchSpace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    import asyncio
+
+    from repro.resilience.supervisor import SupervisionPolicy
+    from repro.search.driver import SearchConfig
+
+
+class JobStatus(Enum):
+    """Lifecycle of one queued job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class CampaignJobSpec:
+    """One campaign grid to run as a service job.
+
+    Attributes:
+        config: The campaign grid.
+        strategy_factory: Optional strategy factory (defaults to the
+            config's ``strategy_name`` lookup, as in
+            :class:`~repro.injection.campaign.Campaign`).
+        workers: Process-pool width per executed chunk.
+        batch_size: Lockstep batch width per worker.
+        supervision: Optional fault-tolerance policy for each chunk.
+        chunk_runs: Runs per service-level chunk (each chunk is one
+            ``run_in_executor`` dispatch and one progress event); the
+            service default splits a job into ~4 chunks.
+    """
+
+    config: CampaignConfig
+    strategy_factory: Optional[StrategyFactory] = None
+    workers: Optional[int] = None
+    batch_size: Optional[int] = None
+    supervision: Optional["SupervisionPolicy"] = None
+    chunk_runs: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SearchJobSpec:
+    """One budgeted attack search to run as a service job.
+
+    Attributes:
+        space / objective / optimizer_factory / config: Exactly the
+            :class:`~repro.search.driver.SearchDriver` constructor
+            surface; the service adds the shared run cache and streams
+            one progress event per completed generation.
+    """
+
+    space: SearchSpace
+    objective: Objective
+    optimizer_factory: Callable[[SearchSpace], Optimizer]
+    config: "SearchConfig"
+
+
+#: Event kinds, in lifecycle order.
+EVENT_QUEUED = "queued"
+EVENT_STARTED = "started"
+EVENT_PROGRESS = "progress"
+EVENT_COMPLETED = "completed"
+EVENT_FAILED = "failed"
+
+_event_sequence = itertools.count()
+
+
+@dataclass(frozen=True)
+class JobEvent:
+    """One observable step of a job's execution.
+
+    Attributes:
+        job_id: The job this event belongs to.
+        kind: One of the ``EVENT_*`` constants.
+        seq: Globally monotonic sequence number (service-wide, so the
+            interleaving of concurrent jobs is observable).
+        payload: Kind-specific detail (e.g. ``completed``/``total`` run
+            counts for campaign progress, ``evaluations``/``simulations``
+            for search progress).
+    """
+
+    job_id: int
+    kind: str
+    seq: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+def next_event_seq() -> int:
+    """The next service-wide event sequence number."""
+    return next(_event_sequence)
+
+
+class Job:
+    """Handle of one submitted job (created by the service, not directly).
+
+    Attributes:
+        id: Service-assigned job id (submission order).
+        spec: The :class:`CampaignJobSpec` or :class:`SearchJobSpec`.
+        status: Current :class:`JobStatus`.
+        partial_results: Completed :class:`RunResult` records so far, in
+            task order *per streamed chunk* (campaign jobs; grows as
+            progress events are emitted).
+        result: The finished payload — the full result list for campaign
+            jobs, the :class:`~repro.search.driver.SearchResult` for
+            search jobs — once ``status`` is ``COMPLETED``.
+        error: The failure message once ``status`` is ``FAILED``.
+    """
+
+    def __init__(self, job_id: int, spec: Any, events: "asyncio.Queue[JobEvent]"):
+        self.id = job_id
+        self.spec = spec
+        self.status = JobStatus.QUEUED
+        self.events = events
+        self.partial_results: List[RunResult] = []
+        self.result: Any = None
+        self.error: Optional[str] = None
+
+    @property
+    def total_runs(self) -> Optional[int]:
+        """The job's total simulation count, when knowable up front."""
+        if isinstance(self.spec, CampaignJobSpec):
+            return self.spec.config.total_runs
+        return None

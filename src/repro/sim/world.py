@@ -16,7 +16,7 @@ the paper's architecture (Fig. 5).
 """
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

@@ -1,0 +1,157 @@
+"""Unit tests for the canonical task fingerprint (repro.service.fingerprint).
+
+The fingerprint is the run cache's key contract: equal tasks must hash
+identically however they were constructed (scenario name vs resolved
+spec, repeated strategy instances), every behavior-relevant field must
+change the hash, and anything the canonical model cannot describe must
+refuse loudly (→ cache bypass) instead of colliding silently.
+"""
+
+import pytest
+
+from repro.core.attack_types import AttackType
+from repro.core.strategies import (
+    ContextAwareStrategy,
+    NoAttackStrategy,
+    RandomDurationStrategy,
+    RandomStartDurationStrategy,
+    RandomStartStrategy,
+)
+from repro.injection.engine import SimulationConfig
+from repro.service.fingerprint import (
+    FingerprintUnavailable,
+    canonical_json,
+    canonical_task,
+    compute_code_epoch,
+    fingerprint_task,
+    register_strategy_fingerprint,
+)
+
+EPOCH = "test-epoch"
+
+
+def _config(**overrides) -> SimulationConfig:
+    values = dict(
+        scenario="S1",
+        initial_distance=70.0,
+        seed=42,
+        attack_type=AttackType.DECELERATION,
+    )
+    values.update(overrides)
+    return SimulationConfig(**values)
+
+
+class TestStability:
+    def test_equal_tasks_hash_identically(self):
+        a = fingerprint_task(_config(), RandomStartDurationStrategy(), code_epoch=EPOCH)
+        b = fingerprint_task(_config(), RandomStartDurationStrategy(), code_epoch=EPOCH)
+        assert a == b
+
+    def test_scenario_name_and_resolved_spec_hash_identically(self):
+        by_name = _config()
+        by_spec = _config(scenario=by_name.build_scenario())
+        strategy = ContextAwareStrategy()
+        assert fingerprint_task(by_name, strategy, code_epoch=EPOCH) == fingerprint_task(
+            by_spec, strategy, code_epoch=EPOCH
+        )
+
+    def test_canonical_json_round_trip_is_byte_stable(self):
+        import json
+
+        payload = canonical_task(_config(), ContextAwareStrategy())
+        dumped = canonical_json(payload)
+        assert canonical_json(json.loads(dumped)) == dumped
+
+    def test_canonical_json_is_key_order_independent(self):
+        payload = canonical_task(_config(), ContextAwareStrategy())
+        reversed_payload = dict(reversed(list(payload.items())))
+        assert canonical_json(reversed_payload) == canonical_json(payload)
+
+
+class TestInvalidation:
+    def test_seed_changes_the_fingerprint(self):
+        s = ContextAwareStrategy()
+        assert fingerprint_task(_config(seed=1), s, code_epoch=EPOCH) != fingerprint_task(
+            _config(seed=2), s, code_epoch=EPOCH
+        )
+
+    def test_every_grid_dimension_changes_the_fingerprint(self):
+        s = ContextAwareStrategy()
+        base = fingerprint_task(_config(), s, code_epoch=EPOCH)
+        for overrides in (
+            {"scenario": "S2"},
+            {"initial_distance": 50.0},
+            {"attack_type": AttackType.ACCELERATION},
+            {"driver_enabled": False},
+            {"max_steps": 100},
+            {"track_safety_margin": True},
+        ):
+            assert fingerprint_task(_config(**overrides), s, code_epoch=EPOCH) != base
+
+    def test_strategy_class_and_parameters_change_the_fingerprint(self):
+        base = fingerprint_task(_config(), RandomStartDurationStrategy(), code_epoch=EPOCH)
+        other_class = fingerprint_task(_config(), RandomDurationStrategy(), code_epoch=EPOCH)
+        other_params = fingerprint_task(
+            _config(),
+            RandomStartDurationStrategy(start_range=(1.0, 2.0)),
+            code_epoch=EPOCH,
+        )
+        assert other_class != base
+        assert other_params != base
+
+    def test_code_epoch_invalidates(self):
+        s = ContextAwareStrategy()
+        assert fingerprint_task(_config(), s, code_epoch="a") != fingerprint_task(
+            _config(), s, code_epoch="b"
+        )
+
+    def test_env_var_overrides_the_computed_epoch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CODE_EPOCH", "pinned")
+        assert compute_code_epoch() == "env:pinned"
+
+    def test_default_epoch_derives_from_the_golden_fixture(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CODE_EPOCH", raising=False)
+        assert compute_code_epoch().startswith("golden:")
+
+
+class TestInertStrategies:
+    def test_attack_free_run_hashes_by_strategy_name_only(self):
+        config = _config(attack_type=None)
+        token_none = canonical_task(config, None)["strategy"]
+        token_noattack = canonical_task(config, NoAttackStrategy())["strategy"]
+        assert token_none == token_noattack == {"inert": True, "name": NoAttackStrategy.name}
+
+    def test_inert_strategies_with_different_names_differ(self):
+        config = _config(attack_type=None)
+        a = fingerprint_task(config, NoAttackStrategy(), code_epoch=EPOCH)
+        b = fingerprint_task(config, None, code_epoch=EPOCH)
+        c = fingerprint_task(config, ContextAwareStrategy(), code_epoch=EPOCH)
+        assert a == b        # same name reaches the result either way
+        assert c != a        # the result records a different strategy name
+
+
+class TestRefusal:
+    def test_unregistered_strategy_class_is_refused(self):
+        class Custom(RandomStartStrategy):
+            pass
+
+        with pytest.raises(FingerprintUnavailable):
+            fingerprint_task(_config(), Custom(), code_epoch=EPOCH)
+
+    def test_registration_opts_a_custom_strategy_in(self):
+        class Registered(RandomStartStrategy):
+            pass
+
+        register_strategy_fingerprint(Registered, ("start_range", "duration_range"))
+        fp = fingerprint_task(_config(), Registered(), code_epoch=EPOCH)
+        parent = fingerprint_task(_config(), RandomStartStrategy(), code_epoch=EPOCH)
+        assert fp != parent  # class identity is always part of the token
+
+    def test_table5_fixed_value_strategy_is_registered(self):
+        from repro.experiments.table5 import ContextAwareFixedValueStrategy
+
+        fixed = fingerprint_task(
+            _config(), ContextAwareFixedValueStrategy(), code_epoch=EPOCH
+        )
+        strategic = fingerprint_task(_config(), ContextAwareStrategy(), code_epoch=EPOCH)
+        assert fixed != strategic
