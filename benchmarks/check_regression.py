@@ -30,6 +30,10 @@ and current):
 - ``telemetry_overhead_pct`` (probed-at-full-rate vs unprobed single
   run) may not exceed ``--max-telemetry-overhead`` (default 5%) — the
   observability layer's contract is "cheap when on, free when off".
+- ``flight_recorder_overhead_pct`` (full-rate ring capture vs untapped
+  single run) may not exceed ``--max-flight-recorder-overhead``
+  (default 3%) — the black box must stay cheap enough to leave on for
+  whole campaigns.
 
 Every gate is evaluated even after one fails, so a red CI run reports
 the full set of regressions at once instead of one per push.
@@ -76,6 +80,13 @@ def main(argv=None) -> int:
         help="maximum allowed full-rate telemetry overhead on a single run, "
         "percent (default 5.0)",
     )
+    parser.add_argument(
+        "--max-flight-recorder-overhead",
+        type=float,
+        default=3.0,
+        help="maximum allowed full-rate flight-recorder overhead on a single "
+        "run, percent (default 3.0)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -120,6 +131,16 @@ def main(argv=None) -> int:
             label="telemetry overhead (sampling every cycle)",
             bound=args.max_telemetry_overhead,
             hint="benchmarks/test_bench_throughput.py::test_bench_telemetry_overhead",
+        ),
+    )
+    gate(
+        "flight_recorder_overhead_pct",
+        _check_overhead(
+            current,
+            key="flight_recorder_overhead_pct",
+            label="flight-recorder overhead (capture every cycle)",
+            bound=args.max_flight_recorder_overhead,
+            hint="benchmarks/test_bench_throughput.py::test_bench_flight_recorder_overhead",
         ),
     )
 

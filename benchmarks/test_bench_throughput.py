@@ -446,6 +446,78 @@ def test_bench_telemetry_overhead(benchmark):
     )
 
 
+def test_bench_flight_recorder_overhead(benchmark):
+    """Full-rate flight-recorder cost on a single run (the "<3%" bound).
+
+    Runs one attack-free 50 s simulation plain and with the flight
+    recorder capturing every cycle into its ring (the most expensive
+    setting; the run is boring, so nothing flushes and the measured cost
+    is pure capture).  Methodology follows the telemetry bench above:
+    nine order-alternating plain/tapped pairs on the same machine state,
+    overhead is the *median of paired ratios* so runner drift and
+    throttling outliers cannot fake a regression —
+    ``benchmarks/check_regression.py`` gates the recorded row at 3%.
+    The tapped result must be bit-identical to the plain one (the
+    recorder's core guarantee: observe, never perturb).
+    """
+    import statistics
+    import tempfile
+
+    from repro.obs.recorder import FlightRecorderConfig
+
+    config = SimulationConfig(scenario="S1", initial_distance=70.0, seed=0)
+    recorder = FlightRecorderConfig(
+        output_dir=tempfile.mkdtemp(prefix="bench-flight-"),
+        capacity=300,
+        capture_every=1,
+    )
+
+    def plain_run():
+        return run_simulation(config)
+
+    def tapped_run():
+        return run_simulation(config, recorder=recorder)
+
+    def timed(runner):
+        start = time.perf_counter()
+        result = runner()
+        return result, time.perf_counter() - start
+
+    plain_best = float("inf")
+    tapped_best = float("inf")
+    ratios = []
+    reference = None
+    steps = 0
+    for pair in range(9):
+        if pair % 2 == 0:
+            plain, plain_elapsed = timed(plain_run)
+            tapped, tapped_elapsed = timed(tapped_run)
+        else:
+            tapped, tapped_elapsed = timed(tapped_run)
+            plain, plain_elapsed = timed(plain_run)
+        plain_best = min(plain_best, plain_elapsed)
+        tapped_best = min(tapped_best, tapped_elapsed)
+        ratios.append(tapped_elapsed / plain_elapsed)
+        if reference is None:
+            reference = plain
+            steps = round(plain.duration / 0.01)
+        assert plain == reference
+        assert tapped == reference
+
+    final = benchmark.pedantic(tapped_run, rounds=1, iterations=1)
+    assert final == reference
+
+    overhead_pct = 100.0 * (statistics.median(ratios) - 1.0)
+    _results["flight_recorder_steps_per_second"] = round(steps / tapped_best, 1)
+    _results["flight_recorder_plain_steps_per_second"] = round(steps / plain_best, 1)
+    _results["flight_recorder_overhead_pct"] = round(overhead_pct, 2)
+    _write_results()
+    print(
+        f"\nflight recorder overhead: {steps / tapped_best:.0f} steps/s tapped (full rate) vs "
+        f"{steps / plain_best:.0f} steps/s plain ({overhead_pct:+.1f}%)"
+    )
+
+
 def test_bench_campaign_scaling(benchmark):
     """Parallel executor scaling curve: campaign runs/s at workers = 1/2/4.
 

@@ -1,0 +1,105 @@
+"""Post-mortem CLI over the event journal and flight-record artifacts.
+
+Subcommands:
+
+* ``timeline`` — the causal event timeline of a journal (optionally one
+  job's slice): every record on one line, warnings/errors flagged;
+* ``jobs`` — one summary line per job rebuilt from the journal (status,
+  runs served, chunks, retries/respawns/quarantines, cache traffic,
+  every quarantined fingerprint);
+* ``hazards`` — the forensics view of each flight record in a
+  directory: identity, flush trigger, and the final captured cycles as
+  a table;
+* ``run`` — every journal event touching one task fingerprint (prefix
+  match), for tracing a single simulation across retries and chunks.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_report.py timeline --journal runs/journal.jsonl
+    PYTHONPATH=src python scripts/obs_report.py jobs --journal runs/journal.jsonl
+    PYTHONPATH=src python scripts/obs_report.py hazards --flight-dir runs/flight
+    PYTHONPATH=src python scripts/obs_report.py run --journal runs/journal.jsonl \
+        --fingerprint "scenario=S2 attack=deceleration"
+"""
+
+import argparse
+import sys
+
+from repro.obs.journal import read_journal
+from repro.obs.query import (
+    hazard_view,
+    iter_flight_records,
+    job_summaries,
+    run_events,
+    timeline_lines,
+)
+
+
+def cmd_timeline(args) -> int:
+    records = read_journal(args.journal)
+    lines = timeline_lines(records, job_id=args.job)
+    for line in lines:
+        print(line)
+    if not lines:
+        print("(no events)")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    lines = job_summaries(read_journal(args.journal))
+    for line in lines:
+        print(line)
+    if not lines:
+        print("(no jobs)")
+    return 0
+
+
+def cmd_hazards(args) -> int:
+    shown = 0
+    for record in iter_flight_records(args.flight_dir):
+        print(hazard_view(record, final_cycles=args.cycles))
+        print()
+        shown += 1
+    if not shown:
+        print(f"(no flight records under {args.flight_dir})")
+    return 0
+
+
+def cmd_run(args) -> int:
+    events = run_events(read_journal(args.journal), args.fingerprint)
+    for line in timeline_lines(events):
+        print(line)
+    if not events:
+        print(f"(no events match fingerprint prefix {args.fingerprint!r})")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    timeline = commands.add_parser("timeline", help="causal event timeline")
+    timeline.add_argument("--journal", required=True)
+    timeline.add_argument("--job", type=int, default=None, help="restrict to one job id")
+    timeline.set_defaults(func=cmd_timeline)
+
+    jobs = commands.add_parser("jobs", help="per-job causal summaries")
+    jobs.add_argument("--journal", required=True)
+    jobs.set_defaults(func=cmd_jobs)
+
+    hazards = commands.add_parser("hazards", help="flight-record forensics")
+    hazards.add_argument("--flight-dir", required=True)
+    hazards.add_argument("--cycles", type=int, default=20, help="final cycles to show")
+    hazards.set_defaults(func=cmd_hazards)
+
+    run = commands.add_parser("run", help="events of one task fingerprint")
+    run.add_argument("--journal", required=True)
+    run.add_argument("--fingerprint", required=True, help="fingerprint prefix to match")
+    run.set_defaults(func=cmd_run)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

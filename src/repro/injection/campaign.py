@@ -22,6 +22,7 @@ from repro.sim.scenarios import INITIAL_DISTANCES, Scenario
 from repro.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.recorder import FlightRecorderConfig
     from repro.resilience.chaos import ChaosPolicy
     from repro.resilience.supervisor import SupervisedOutcome, SupervisionPolicy
     from repro.service.cache import RunCache
@@ -137,10 +138,15 @@ class Campaign:
         strategy = self.strategy_factory() if cell.attack_type is not None else None
         return config, strategy
 
-    def run_cell(self, cell: CampaignCell, telemetry: Optional[Telemetry] = None) -> RunResult:
+    def run_cell(
+        self,
+        cell: CampaignCell,
+        telemetry: Optional[Telemetry] = None,
+        recorder: Optional["FlightRecorderConfig"] = None,
+    ) -> RunResult:
         """Run one cell of the grid."""
         config, strategy = self.cell_task(cell)
-        return run_simulation(config, strategy, telemetry=telemetry)
+        return run_simulation(config, strategy, telemetry=telemetry, recorder=recorder)
 
     def run_resilient(
         self,

@@ -35,6 +35,8 @@ from repro.kernel import (
     StepPipeline,
 )
 from repro.messaging.bus import MessageBus
+from repro.obs.recorder import FlightRecorder, FlightRecorderConfig
+from repro.obs.tap import TappedPipeline
 from repro.sim.scenarios import Scenario, build_scenario
 from repro.sim.sensors import SensorNoise
 from repro.sim.units import DT, STEPS_PER_SIMULATION
@@ -106,6 +108,7 @@ class Simulation:
         config: SimulationConfig,
         strategy: Optional[AttackStrategy] = None,
         telemetry: Optional[Telemetry] = None,
+        recorder: Optional[FlightRecorderConfig] = None,
     ):
         self.config = config
         self.strategy = strategy or NoAttackStrategy()
@@ -155,6 +158,12 @@ class Simulation:
             ),
         )
         self.hazard_monitor = HazardMonitor(config.hazard_params)
+
+        # The per-run flight recorder (black box): filled by a pipeline
+        # tap, flushed in finalize() when the run turns interesting.
+        self.flight: Optional[FlightRecorder] = None
+        if recorder is not None:
+            self.flight = recorder.recorder_for(self)
 
     def build_pipeline(self, result: RunResult) -> "tuple[StepContext, StepPipeline]":
         """Assemble the kernel step pipeline and its preallocated context.
@@ -224,6 +233,10 @@ class Simulation:
             if probe is not None:
                 pipeline = probe.wrap(pipeline)
                 self._probe = probe
+        # Tap outermost so the capture observes the completed cycle and
+        # a stacked probe keeps timing the bare stages, not the tap.
+        if self.flight is not None:
+            pipeline = TappedPipeline(pipeline, self.flight.capture)
         return result, ctx, pipeline
 
     def finalize(
@@ -247,6 +260,8 @@ class Simulation:
         if self.config.record_trajectory:
             result.trajectory = list(self.world.trajectory)
 
+        if self.flight is not None:
+            self.flight.finalize(result)
         if self._probe is not None:
             self._probe.flush()
         if self.telemetry is not None:
@@ -282,11 +297,24 @@ class Simulation:
             wall_ns = telemetry.now_ns() - start_ns
         return self.finalize(result, ctx, wall_ns=wall_ns)
 
+    def flush_flight(self, trigger: str = "failure") -> None:
+        """Best-effort black-box flush when the run dies mid-loop."""
+        if self.flight is not None:
+            self.flight.abort(trigger)
+
 
 def run_simulation(
     config: SimulationConfig,
     strategy: Optional[AttackStrategy] = None,
     telemetry: Optional[Telemetry] = None,
+    recorder: Optional[FlightRecorderConfig] = None,
 ) -> RunResult:
     """Build and run one simulation (convenience wrapper)."""
-    return Simulation(config, strategy, telemetry=telemetry).run()
+    sim = Simulation(config, strategy, telemetry=telemetry, recorder=recorder)
+    if recorder is None:
+        return sim.run()
+    try:
+        return sim.run()
+    except BaseException:
+        sim.flush_flight()
+        raise

@@ -50,6 +50,8 @@ from repro.telemetry import Telemetry, TelemetryConfig
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign, CampaignCell
+    from repro.obs.journal import EventJournal
+    from repro.obs.recorder import FlightRecorderConfig
     from repro.resilience.chaos import ChaosPolicy
     from repro.resilience.supervisor import SupervisionPolicy
     from repro.service.cache import RunCache
@@ -67,6 +69,11 @@ _WORKER_BATCH_SIZE: Optional[int] = None
 # Workers accumulate into chunk-local registries and ship snapshots back
 # with the results; the parent merges them in chunk order (deterministic).
 _WORKER_TELEMETRY_CONFIG: Optional[TelemetryConfig] = None
+# Per-worker flight-recorder config (None = recording off), set by the
+# initializers.  Workers write their own flight-record artifacts (the
+# config is a small frozen dataclass, cheap to pickle); the journal, by
+# contrast, stays parent-side only and is never shipped to workers.
+_WORKER_RECORDER: Optional["FlightRecorderConfig"] = None
 
 
 def default_worker_count() -> int:
@@ -82,21 +89,27 @@ def _init_worker(
     campaign: Optional["Campaign"],
     batch_size: Optional[int] = None,
     telemetry_config: Optional[TelemetryConfig] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
 ) -> None:
     """Pool initializer: install the campaign and batch width for this worker."""
     global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE, _WORKER_TELEMETRY_CONFIG
+    global _WORKER_RECORDER
     _WORKER_CAMPAIGN = campaign if campaign is not None else _FORK_CAMPAIGN
     _WORKER_BATCH_SIZE = batch_size
     _WORKER_TELEMETRY_CONFIG = telemetry_config
+    _WORKER_RECORDER = recorder
 
 
 def _init_task_worker(
-    batch_size: Optional[int], telemetry_config: Optional[TelemetryConfig] = None
+    batch_size: Optional[int],
+    telemetry_config: Optional[TelemetryConfig] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
 ) -> None:
     """Pool initializer for ad-hoc task chunks: install the batch width."""
-    global _WORKER_BATCH_SIZE, _WORKER_TELEMETRY_CONFIG
+    global _WORKER_BATCH_SIZE, _WORKER_TELEMETRY_CONFIG, _WORKER_RECORDER
     _WORKER_BATCH_SIZE = batch_size
     _WORKER_TELEMETRY_CONFIG = telemetry_config
+    _WORKER_RECORDER = recorder
 
 
 def _chunk_telemetry() -> Optional[Telemetry]:
@@ -123,6 +136,7 @@ def _run_cells(
         raise RuntimeError("worker has no campaign installed")
     batch_size = _WORKER_BATCH_SIZE
     telemetry = _chunk_telemetry()
+    recorder = _WORKER_RECORDER
     strategy_name = campaign.config.strategy_name
     if batch_size is not None and batch_size > 1 and len(cells) > 1:
         from repro.kernel.batch import run_batched
@@ -132,6 +146,7 @@ def _run_cells(
                 [campaign.cell_task(cell) for cell in cells],
                 batch_size=batch_size,
                 telemetry=telemetry,
+                recorder=recorder,
             )
             return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
         except Exception as error:
@@ -141,7 +156,7 @@ def _run_cells(
     results = []
     for cell in cells:
         try:
-            results.append(campaign.run_cell(cell, telemetry=telemetry))
+            results.append(campaign.run_cell(cell, telemetry=telemetry, recorder=recorder))
         except Exception as error:
             raise TaskExecutionError.wrap(
                 cell_fingerprint(cell, strategy_name), error
@@ -161,11 +176,14 @@ def _run_tasks(
     chunk_index, tasks = indexed_chunk
     batch_size = _WORKER_BATCH_SIZE
     telemetry = _chunk_telemetry()
+    recorder = _WORKER_RECORDER
     if batch_size is not None and batch_size > 1 and len(tasks) > 1:
         from repro.kernel.batch import run_batched
 
         try:
-            results = run_batched(tasks, batch_size=batch_size, telemetry=telemetry)
+            results = run_batched(
+                tasks, batch_size=batch_size, telemetry=telemetry, recorder=recorder
+            )
             return chunk_index, results, telemetry.snapshot() if telemetry is not None else None
         except Exception as error:
             raise TaskExecutionError.wrap_batch(
@@ -175,7 +193,9 @@ def _run_tasks(
     results = []
     for config, strategy in tasks:
         try:
-            results.append(run_simulation(config, strategy, telemetry=telemetry))
+            results.append(
+                run_simulation(config, strategy, telemetry=telemetry, recorder=recorder)
+            )
         except Exception as error:
             raise TaskExecutionError.wrap(
                 task_fingerprint(config, strategy), error
@@ -277,6 +297,7 @@ class ParallelCampaignRunner:
         chaos: Optional["ChaosPolicy"] = None,
         checkpoint_path: Optional[str] = None,
         telemetry: Optional[Telemetry] = None,
+        recorder: Optional["FlightRecorderConfig"] = None,
     ):
         self.campaign = campaign
         self.workers = max(1, workers if workers is not None else default_worker_count())
@@ -286,6 +307,7 @@ class ParallelCampaignRunner:
         self.chaos = chaos
         self.checkpoint_path = checkpoint_path
         self.telemetry = telemetry
+        self.recorder = recorder
 
     def _resolve_chunk_size(self, total: int) -> int:
         if self.chunk_size is not None:
@@ -318,6 +340,7 @@ class ParallelCampaignRunner:
                 chaos=self.chaos,
                 checkpoint_path=self.checkpoint_path,
                 telemetry=self.telemetry,
+                recorder=self.recorder,
             )
             return outcome.completed_results
         telemetry = self.telemetry
@@ -333,11 +356,19 @@ class ParallelCampaignRunner:
 
                 tasks = [self.campaign.cell_task(cell) for cell in cells]
                 return run_batched(
-                    tasks, batch_size=batch_size, progress=progress, telemetry=telemetry
+                    tasks,
+                    batch_size=batch_size,
+                    progress=progress,
+                    telemetry=telemetry,
+                    recorder=self.recorder,
                 )
             results = []
             for index, cell in enumerate(cells, start=1):
-                results.append(self.campaign.run_cell(cell, telemetry=telemetry))
+                results.append(
+                    self.campaign.run_cell(
+                        cell, telemetry=telemetry, recorder=self.recorder
+                    )
+                )
                 if progress is not None:
                     progress(index, total)
             return results
@@ -350,9 +381,9 @@ class ParallelCampaignRunner:
             # strategy factory, including closures); non-fork platforms
             # pickle it through the initializer instead.
             _FORK_CAMPAIGN = self.campaign
-            initargs: tuple = (None, self.batch_size, worker_telemetry)
+            initargs: tuple = (None, self.batch_size, worker_telemetry, self.recorder)
         else:
-            initargs = (self.campaign, self.batch_size, worker_telemetry)
+            initargs = (self.campaign, self.batch_size, worker_telemetry, self.recorder)
         try:
             return _dispatch(
                 _run_cells,
@@ -380,6 +411,8 @@ def run_simulations(
     checkpoint_path: Optional[str] = None,
     telemetry: Optional[Telemetry] = None,
     cache: Optional["RunCache"] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
+    journal: Optional["EventJournal"] = None,
 ) -> List[RunResult]:
     """Run independent ``(SimulationConfig, strategy)`` pairs, optionally
     in parallel and/or lockstep-batched, preserving input order.
@@ -405,6 +438,13 @@ def run_simulations(
     content-addressed cache already holds and pays (then stores) only
     the misses; the returned list stays bit-identical to an uncached
     run.  Cache hits count toward ``progress`` up front.
+
+    ``recorder`` (:class:`repro.obs.FlightRecorderConfig`) arms the
+    per-run flight recorder in every execution mode (sequential,
+    batched, pooled, supervised); ``journal``
+    (:class:`repro.obs.EventJournal` or a bound view) receives the
+    supervisor's and the cache's causal events — it stays in this
+    process and is never pickled to workers.
     """
     tasks = list(tasks)
     if supervision is not None or chaos is not None or checkpoint_path is not None:
@@ -421,6 +461,8 @@ def run_simulations(
             checkpoint_path=checkpoint_path,
             telemetry=telemetry,
             cache=cache,
+            recorder=recorder,
+            journal=journal,
         )
         return outcome.completed_results
     total = len(tasks)
@@ -445,6 +487,8 @@ def run_simulations(
                 progress=sub_progress,
                 batch_size=batch_size,
                 telemetry=telemetry,
+                recorder=recorder,
+                journal=journal,
             )
             for index, result in zip(pending, computed):
                 fresh[index] = result
@@ -458,12 +502,20 @@ def run_simulations(
             from repro.kernel.batch import run_batched
 
             return run_batched(
-                tasks, batch_size=batch_size, progress=progress, telemetry=telemetry
+                tasks,
+                batch_size=batch_size,
+                progress=progress,
+                telemetry=telemetry,
+                recorder=recorder,
             )
         results = []
         for index, (config, strategy) in enumerate(tasks, start=1):
             try:
-                results.append(run_simulation(config, strategy, telemetry=telemetry))
+                results.append(
+                    run_simulation(
+                        config, strategy, telemetry=telemetry, recorder=recorder
+                    )
+                )
             except Exception as error:
                 raise TaskExecutionError.wrap(
                     task_fingerprint(config, strategy), error
@@ -485,6 +537,6 @@ def run_simulations(
         progress,
         context,
         initializer=_init_task_worker,
-        initargs=(batch_size, worker_telemetry),
+        initargs=(batch_size, worker_telemetry, recorder),
         telemetry=telemetry,
     )

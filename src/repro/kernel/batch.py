@@ -87,6 +87,7 @@ from repro.sim.vehicle import step_ego_columns
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.core.strategies import AttackStrategy
     from repro.injection.engine import Simulation, SimulationConfig
+    from repro.obs.recorder import FlightRecorderConfig
     from repro.telemetry import Telemetry
 
 #: One unit of batched work: a simulation configuration plus the strategy
@@ -736,6 +737,28 @@ class BatchState(BatchKinematics):
         self.has_lead[i] = ctx.lead is not None
 
 
+def _tapped_record_run(
+    record_run: Callable[[StepContext], None],
+    capture: Callable[[StepContext], None],
+) -> Callable[[StepContext], None]:
+    """Chain a pipeline tap's capture after a slot's record stage.
+
+    The batch executor never calls ``run_cycle`` on the slot pipelines
+    (it walks stage columns instead), so a
+    :class:`~repro.obs.tap.TappedPipeline`'s capture is honoured here by
+    wrapping the extracted record-stage method — the same
+    "after the completed cycle" observation point, in both the dense
+    (:meth:`BatchRunner._record_column`) and scalar
+    (:meth:`BatchRunner._cycle_scalar`) paths.
+    """
+
+    def run(ctx: StepContext) -> None:
+        record_run(ctx)
+        capture(ctx)
+
+    return run
+
+
 class _Slot:
     """One active run inside the lockstep batch."""
 
@@ -813,6 +836,9 @@ class _Slot:
         self.actuate_run = pipeline.stage("actuate").run
         self.detect_run = pipeline.stage("detect").run
         self.record_run = pipeline.stage("record").run
+        capture = getattr(pipeline, "tap_capture", None)
+        if capture is not None:
+            self.record_run = _tapped_record_run(self.record_run, capture)
 
 
 class BatchRunner:
@@ -837,11 +863,13 @@ class BatchRunner:
         self,
         batch_size: int = DEFAULT_BATCH_SIZE,
         telemetry: Optional["Telemetry"] = None,
+        recorder: Optional["FlightRecorderConfig"] = None,
     ):
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.batch_size = batch_size
         self.telemetry = telemetry
+        self.recorder = recorder
         self.state = BatchState(batch_size)
         #: Back-compat alias: the kinematics rows live on the same object.
         self.kinematics: BatchKinematics = self.state
@@ -941,7 +969,13 @@ class BatchRunner:
                             "would run concurrently)"
                         )
                     live_strategies.add(id(strategy))
-                slot = _Slot(index, Simulation(config, strategy))
+                # Only thread the recorder through when configured, so
+                # recorder-less batches keep the plain constructor call.
+                if self.recorder is not None:
+                    sim = Simulation(config, strategy, recorder=self.recorder)
+                else:
+                    sim = Simulation(config, strategy)
+                slot = _Slot(index, sim)
                 position = len(active)
                 active.append(slot)
                 if slot.dense_capable:
@@ -970,40 +1004,48 @@ class BatchRunner:
             )
 
         completed = 0
-        while active:
-            if cycle_hist is not None and cycle_index % sample_every == 0:
-                start_ns = perf_counter_ns()
-                self._cycle(active, stage_hists)
-                cycle_hist.record(perf_counter_ns() - start_ns)
-                cycle_rows.inc(len(active))
-            else:
-                self._cycle(active)
-            cycle_index += 1
-            retired = False
-            for position in range(len(active) - 1, -1, -1):
-                slot = active[position]
-                slot.remaining -= 1
-                if not (slot.ctx.stop or slot.remaining <= 0):
-                    continue
-                results[slot.index] = slot.sim.finalize(slot.result, slot.ctx)
-                if telemetry is not None:
-                    telemetry.record_run(
-                        slot.result,
-                        steps=slot.world.step_count,
-                        can_sent=slot.world.can_bus.sent_count,
-                        can_tampered=slot.world.can_bus.tampered_count,
-                    )
-                strategy = tasks[slot.index][1]
-                if strategy is not None:
-                    live_strategies.discard(id(strategy))
-                self._remove(active, position)
-                retired = True
-                completed += 1
-                if progress is not None:
-                    progress(completed, total)
-            if retired:
-                while len(active) < self.batch_size and admit():
-                    pass
+        try:
+            while active:
+                if cycle_hist is not None and cycle_index % sample_every == 0:
+                    start_ns = perf_counter_ns()
+                    self._cycle(active, stage_hists)
+                    cycle_hist.record(perf_counter_ns() - start_ns)
+                    cycle_rows.inc(len(active))
+                else:
+                    self._cycle(active)
+                cycle_index += 1
+                retired = False
+                for position in range(len(active) - 1, -1, -1):
+                    slot = active[position]
+                    slot.remaining -= 1
+                    if not (slot.ctx.stop or slot.remaining <= 0):
+                        continue
+                    results[slot.index] = slot.sim.finalize(slot.result, slot.ctx)
+                    if telemetry is not None:
+                        telemetry.record_run(
+                            slot.result,
+                            steps=slot.world.step_count,
+                            can_sent=slot.world.can_bus.sent_count,
+                            can_tampered=slot.world.can_bus.tampered_count,
+                        )
+                    strategy = tasks[slot.index][1]
+                    if strategy is not None:
+                        live_strategies.discard(id(strategy))
+                    self._remove(active, position)
+                    retired = True
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, total)
+                if retired:
+                    while len(active) < self.batch_size and admit():
+                        pass
+        except BaseException:
+            # The batch dies as a unit: give every in-flight run's black
+            # box a chance to flush before the exception propagates.
+            if self.recorder is not None:
+                for slot in active:
+                    slot.sim.flush_flight()
+            raise
         return results  # type: ignore[return-value]  # every slot was filled
 
     # -- one lockstep cycle ------------------------------------------------
@@ -1752,8 +1794,9 @@ def run_batched(
     batch_size: int = DEFAULT_BATCH_SIZE,
     progress: Optional[ProgressCallback] = None,
     telemetry: Optional["Telemetry"] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
 ) -> List[RunResult]:
     """Run ``(SimulationConfig, strategy)`` tasks through a lockstep batch."""
-    return BatchRunner(batch_size=batch_size, telemetry=telemetry).run_tasks(
-        tasks, progress=progress
-    )
+    return BatchRunner(
+        batch_size=batch_size, telemetry=telemetry, recorder=recorder
+    ).run_tasks(tasks, progress=progress)

@@ -1,0 +1,53 @@
+"""A deterministic-safe observation tap on the kernel step pipeline.
+
+:class:`TappedPipeline` follows the exact contract of
+:class:`repro.telemetry.probe.ProbedPipeline`: it *shares* the wrapped
+pipeline's stage objects (``pipeline.stage(name)`` and stage-specific
+methods keep working, which the lockstep batch executor relies on) and
+replaces only the cycle walk — the inner pipeline runs unchanged, then
+the capture callback observes the finished context.  The callback must
+only **read** the context; it must never touch RNG streams, context
+fields or stage state, so tapped runs are bit-identical to untapped runs
+at any capture rate (pinned by the golden suite with the flight recorder
+enabled at full rate).
+
+Stacking works in either direction: tapping a
+:class:`~repro.telemetry.probe.ProbedPipeline` preserves its stage
+timing because the *inner* ``run_cycle`` is delegated to, not rebuilt.
+
+The batch executor cannot go through ``run_cycle`` (it walks stage
+columns across many pipelines), so it instead looks for the public
+``tap_capture`` attribute when it extracts per-stage methods and chains
+the capture after the run's record stage — the same "after the completed
+cycle" observation point.
+"""
+
+from typing import Callable, Sequence
+
+from repro.kernel.context import StepContext
+from repro.kernel.pipeline import StepPipeline
+
+#: The observation callback: called once per completed cycle, read-only.
+CaptureFn = Callable[[StepContext], None]
+
+
+class TappedPipeline(StepPipeline):
+    """A pipeline view that runs the inner cycle, then observes the context."""
+
+    __slots__ = ("tap_capture", "_inner_run_cycle", "_inner_run_cycle_batch")
+
+    def __init__(self, inner: StepPipeline, capture: CaptureFn):
+        super().__init__(inner.stages)
+        self.tap_capture = capture
+        self._inner_run_cycle = inner.run_cycle
+        self._inner_run_cycle_batch = inner.run_cycle_batch
+
+    def run_cycle(self, ctx: StepContext) -> None:
+        self._inner_run_cycle(ctx)
+        self.tap_capture(ctx)
+
+    def run_cycle_batch(self, contexts: Sequence[StepContext]) -> None:
+        self._inner_run_cycle_batch(contexts)
+        capture = self.tap_capture
+        for ctx in contexts:
+            capture(ctx)

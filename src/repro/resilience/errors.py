@@ -49,16 +49,20 @@ class TaskExecutionError(RuntimeError):
     """A simulation task failed; the message names the task's fingerprint.
 
     Raised in pool workers and unpickled in the parent, so it must
-    round-trip through ``__reduce__`` with its ``fingerprint`` attribute
-    intact.
+    round-trip through ``__reduce__`` with its ``fingerprint`` and
+    ``fingerprints`` attributes intact.
     """
 
-    def __init__(self, message: str, fingerprint: str = ""):
+    def __init__(self, message: str, fingerprint: str = "", fingerprints=()):
         super().__init__(message)
         self.fingerprint = fingerprint
+        #: Every candidate fingerprint of a batched failure (empty for
+        #: single-task failures).  Quarantine reports and the journal
+        #: cross-reference these, so none may be dropped.
+        self.fingerprints = tuple(fingerprints)
 
     def __reduce__(self):
-        return (TaskExecutionError, (self.args[0], self.fingerprint))
+        return (TaskExecutionError, (self.args[0], self.fingerprint, self.fingerprints))
 
     @classmethod
     def wrap(cls, fingerprint: str, error: BaseException) -> "TaskExecutionError":
@@ -70,12 +74,18 @@ class TaskExecutionError(RuntimeError):
 
     @classmethod
     def wrap_batch(cls, fingerprints, error: BaseException) -> "TaskExecutionError":
-        """A batched chunk failed; name the candidate tasks (first few)."""
+        """A batched chunk failed; name every candidate task.
+
+        The full fingerprint list stays in the message (and in
+        :attr:`fingerprints`): quarantined tasks are exactly what the
+        event journal must cross-reference, so truncating to "the first
+        few" would hide the one that matters.
+        """
         fingerprints = list(fingerprints)
-        shown = "; ".join(fingerprints[:4])
-        more = f" (+{len(fingerprints) - 4} more)" if len(fingerprints) > 4 else ""
+        shown = "; ".join(fingerprints)
         return cls(
             f"batched chunk of {len(fingerprints)} tasks failed "
-            f"[{shown}{more}]: {type(error).__name__}: {error}",
+            f"[{shown}]: {type(error).__name__}: {error}",
             fingerprints[0] if fingerprints else "",
+            fingerprints,
         )

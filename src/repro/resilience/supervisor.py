@@ -61,6 +61,8 @@ from repro.telemetry import MetricsRegistry, Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from repro.injection.campaign import Campaign
+    from repro.obs.journal import EventJournal
+    from repro.obs.recorder import FlightRecorderConfig
     from repro.service.cache import RunCache
 
 ProgressCallback = Callable[[int, int], None]
@@ -75,6 +77,7 @@ _FORK_CAMPAIGN: Optional["Campaign"] = None
 _WORKER_CAMPAIGN: Optional["Campaign"] = None
 _WORKER_BATCH_SIZE: Optional[int] = None
 _WORKER_CHAOS: Optional[ChaosPolicy] = None
+_WORKER_RECORDER: Optional["FlightRecorderConfig"] = None
 
 
 @dataclass(frozen=True)
@@ -274,12 +277,14 @@ def _init_supervised_worker(
     campaign: Optional["Campaign"],
     batch_size: Optional[int],
     chaos: Optional[ChaosPolicy],
+    recorder: Optional["FlightRecorderConfig"] = None,
 ) -> None:
     """Pool initializer: install campaign, batch width and chaos policy."""
-    global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE, _WORKER_CHAOS
+    global _WORKER_CAMPAIGN, _WORKER_BATCH_SIZE, _WORKER_CHAOS, _WORKER_RECORDER
     _WORKER_CAMPAIGN = campaign if campaign is not None else _FORK_CAMPAIGN
     _WORKER_BATCH_SIZE = batch_size
     _WORKER_CHAOS = chaos
+    _WORKER_RECORDER = recorder
 
 
 def _run_supervised_chunk(payload):
@@ -293,6 +298,7 @@ def _run_supervised_chunk(payload):
 
     mode, use_batch, entries = payload
     chaos = _WORKER_CHAOS
+    recorder = _WORKER_RECORDER
     campaign = _WORKER_CAMPAIGN if _WORKER_CAMPAIGN is not None else _FORK_CAMPAIGN
 
     tasks = []
@@ -314,7 +320,9 @@ def _run_supervised_chunk(payload):
                 chaos.before_task(index, task_fingerprint(config, strategy))
         try:
             outputs = run_batched(
-                [(config, strategy) for _, config, strategy in tasks], batch_size=use_batch
+                [(config, strategy) for _, config, strategy in tasks],
+                batch_size=use_batch,
+                recorder=recorder,
             )
         except Exception as error:
             raise TaskExecutionError.wrap_batch(
@@ -327,7 +335,9 @@ def _run_supervised_chunk(payload):
             try:
                 if chaos is not None:
                     chaos.before_task(index, task_fingerprint(config, strategy))
-                results.append((index, run_simulation(config, strategy)))
+                results.append(
+                    (index, run_simulation(config, strategy, recorder=recorder))
+                )
             except TaskExecutionError:
                 raise
             except Exception as error:
@@ -359,12 +369,20 @@ class SupervisedExecutor:
         batch_size: Optional[int] = None,
         chaos: Optional[ChaosPolicy] = None,
         telemetry: Optional[Telemetry] = None,
+        recorder: Optional["FlightRecorderConfig"] = None,
+        journal: Optional["EventJournal"] = None,
     ):
         self.policy = policy or SupervisionPolicy()
         self.workers = max(1, workers if workers is not None else 1)
         self.chunk_size = chunk_size
         self.batch_size = batch_size
         self.chaos = chaos
+        # The flight-recorder config ships to the workers (picklable);
+        # the journal stays parent-side: causal events (retry, respawn,
+        # bisection, quarantine) are emitted from the supervision loop,
+        # which is exactly where the facts are decided.
+        self.recorder = recorder
+        self.journal = journal
         # Telemetry on the supervised path is parent-side only: the
         # worker payload protocol doubles as the corruption-detection
         # surface (see _validate) and stays untouched.  Run metrics are
@@ -374,6 +392,10 @@ class SupervisedExecutor:
         self.telemetry = telemetry
         self._mode = "tasks"
         self._campaign: Optional["Campaign"] = None
+
+    def _journal_emit(self, kind: str, level: str = "info", **fields) -> None:
+        if self.journal is not None:
+            self.journal.emit(kind, level=level, **fields)
 
     def resolve_chunk_size(self, total: int) -> int:
         """~4 chunks per worker unless pinned (same rule as the plain pool)."""
@@ -535,6 +557,13 @@ class SupervisedExecutor:
                     for future in timed_out:
                         work = inflight.pop(future)
                         deadlines.pop(future)
+                        self._journal_emit(
+                            "supervisor.timeout",
+                            level="warning",
+                            anchor=work.anchor,
+                            tasks=len(work.entries),
+                            timeout_s=self.policy.chunk_timeout,
+                        )
                         self._fail_attempt(
                             work,
                             TimeoutError(
@@ -558,12 +587,18 @@ class SupervisedExecutor:
                         pool = None
                     respawns += 1
                     report.pool_respawns = respawns
+                    self._journal_emit(
+                        "supervisor.respawn", level="warning", respawns=respawns
+                    )
                     if (
                         respawns > self.policy.max_pool_respawns
                         and self.policy.degrade_to_sequential
                     ):
                         use_pool = False
                         report.degraded_to_sequential = True
+                        self._journal_emit(
+                            "supervisor.degraded", level="warning", respawns=respawns
+                        )
         finally:
             if pool is not None:
                 _kill_pool(pool)
@@ -591,7 +626,7 @@ class SupervisedExecutor:
             max_workers=self.workers,
             mp_context=context,
             initializer=_init_supervised_worker,
-            initargs=(init_campaign, self.batch_size, self.chaos),
+            initargs=(init_campaign, self.batch_size, self.chaos, self.recorder),
         )
 
     def _resolve_task(self, item) -> Tuple:
@@ -637,6 +672,7 @@ class SupervisedExecutor:
                     outputs = run_batched(
                         [(config, strategy) for _, config, strategy in tasks],
                         batch_size=use_batch,
+                        recorder=self.recorder,
                     )
                 except Exception as error:
                     raise TaskExecutionError.wrap_batch(
@@ -648,7 +684,12 @@ class SupervisedExecutor:
                 payload = []
                 for index, config, strategy in tasks:
                     try:
-                        payload.append((index, run_simulation(config, strategy)))
+                        payload.append(
+                            (
+                                index,
+                                run_simulation(config, strategy, recorder=self.recorder),
+                            )
+                        )
                     except Exception as error:
                         raise TaskExecutionError.wrap(
                             task_fingerprint(config, strategy), error
@@ -722,6 +763,12 @@ class SupervisedExecutor:
                     tracer.instant(
                         "supervisor.bisect", anchor=work.anchor, tasks=len(work.entries)
                     )
+                self._journal_emit(
+                    "supervisor.bisect",
+                    anchor=work.anchor,
+                    tasks=len(work.entries),
+                    error=str(error),
+                )
             else:
                 index, item = work.entries[0]
                 fingerprint = getattr(error, "fingerprint", "") or self._fingerprint_item(
@@ -737,6 +784,14 @@ class SupervisedExecutor:
                 )
                 if tracer is not None:
                     tracer.instant("supervisor.quarantine", task=index)
+                self._journal_emit(
+                    "supervisor.quarantine",
+                    level="warning",
+                    task=index,
+                    fingerprint=fingerprint,
+                    attempt=work.attempts,
+                    error=str(error),
+                )
             return
         report.retries += 1
         if (
@@ -755,6 +810,13 @@ class SupervisedExecutor:
                 attempt=work.attempts,
                 backoff_s=round(delay, 4),
             )
+        self._journal_emit(
+            "supervisor.retry",
+            anchor=work.anchor,
+            attempt=work.attempts,
+            backoff_s=round(delay, 4),
+            error=str(error),
+        )
         delayed.append((time.monotonic() + delay, work))
 
 
@@ -790,6 +852,8 @@ def _run_with_checkpoint(
     on_result: Optional[ResultCallback],
     telemetry: Optional[Telemetry] = None,
     cache: Optional["RunCache"] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
+    journal: Optional["EventJournal"] = None,
 ) -> SupervisedOutcome:
     total = len(items)
     checkpoint: Optional[CampaignCheckpoint] = None
@@ -801,6 +865,10 @@ def _run_with_checkpoint(
             total,
         )
         done = checkpoint.load()
+        if journal is not None:
+            journal.emit(
+                "checkpoint.loaded", path=checkpoint_path, restored=len(done), total=total
+            )
     loaded_from_checkpoint = len(done)
 
     def task_of(index: int) -> Tuple:
@@ -838,6 +906,8 @@ def _run_with_checkpoint(
         batch_size=batch_size,
         chaos=chaos,
         telemetry=telemetry,
+        recorder=recorder,
+        journal=journal,
     )
     loaded = len(done)
     flush_every = executor.resolve_chunk_size(max(1, len(pending_indices)))
@@ -851,6 +921,8 @@ def _run_with_checkpoint(
             if fresh_since_flush >= flush_every:
                 checkpoint.flush()
                 fresh_since_flush = 0
+                if journal is not None:
+                    journal.emit("checkpoint.flush", path=checkpoint_path)
         if cache is not None and index in cache_keys:
             cache.put(cache_keys[index], result)
         if on_result is not None:
@@ -878,6 +950,8 @@ def _run_with_checkpoint(
         )
     if checkpoint is not None:
         checkpoint.flush()
+        if journal is not None:
+            journal.emit("checkpoint.flush", path=checkpoint_path, final=True)
 
     merged: List[Optional[RunResult]] = [None] * total
     for index, result in done.items():
@@ -907,20 +981,24 @@ def run_supervised_simulations(
     on_result: Optional[ResultCallback] = None,
     telemetry: Optional[Telemetry] = None,
     cache: Optional["RunCache"] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
+    journal: Optional["EventJournal"] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :func:`run_simulations`.
 
     Results are bit-identical to a plain sequential run; with
     ``checkpoint_path`` a resumed call pays only for unfinished tasks,
     and with ``cache`` (:class:`repro.service.RunCache`) only for tasks
-    the shared content-addressed cache cannot serve.
+    the shared content-addressed cache cannot serve.  ``recorder`` arms
+    the per-run flight recorder in the workers; ``journal`` receives the
+    supervision and checkpoint events (parent-side only).
     """
     tasks = list(tasks)
     fingerprints = [task_fingerprint(config, strategy) for config, strategy in tasks]
     return _run_with_checkpoint(
         "tasks", None, tasks, fingerprints, [], policy, workers, chunk_size,
         batch_size, progress, chaos, checkpoint_path, on_result, telemetry,
-        cache,
+        cache, recorder, journal,
     )
 
 
@@ -936,6 +1014,8 @@ def run_supervised_campaign(
     on_result: Optional[ResultCallback] = None,
     telemetry: Optional[Telemetry] = None,
     cache: Optional["RunCache"] = None,
+    recorder: Optional["FlightRecorderConfig"] = None,
+    journal: Optional["EventJournal"] = None,
 ) -> SupervisedOutcome:
     """Supervised (and optionally checkpointed) :meth:`Campaign.run`.
 
@@ -955,5 +1035,5 @@ def run_supervised_campaign(
     return _run_with_checkpoint(
         "cells", campaign, cells, fingerprints, identity, policy, workers,
         chunk_size, batch_size, progress, chaos, checkpoint_path, on_result,
-        telemetry, cache,
+        telemetry, cache, recorder, journal,
     )

@@ -61,6 +61,7 @@ from repro.search.space import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.obs.journal import BoundJournal, EventJournal
     from repro.service.cache import RunCache
 
 #: JSON checkpoint format version (bumped on incompatible changes).
@@ -218,6 +219,7 @@ class SearchDriver:
         telemetry: Optional[Telemetry] = None,
         run_cache: Optional["RunCache"] = None,
         on_generation: Optional[Callable[[SearchResult], None]] = None,
+        journal: "Optional[EventJournal | BoundJournal]" = None,
     ):
         self.space = space
         self.objective = objective
@@ -238,6 +240,10 @@ class SearchDriver:
         # progress events from it); called with the partial SearchResult
         # after every completed generation.
         self.on_generation = on_generation
+        # Optional event journal: one "search.generation" record per
+        # completed generation (fresh points, memo hits, budget spent),
+        # correlated with whatever fields the caller bound (job_id).
+        self.journal = journal
 
     # -- checkpointing -------------------------------------------------------
 
@@ -504,6 +510,16 @@ class SearchDriver:
                             "memo_hits": sum(memo_hits),
                         },
                     )
+            if self.journal is not None:
+                self.journal.emit(
+                    "search.generation",
+                    generation=generation_index,
+                    fresh=len(fresh),
+                    memo_hits=sum(memo_hits),
+                    evaluations=len(result.evaluations),
+                    simulations=result.simulations_run,
+                    best_score=result.best.score if result.best is not None else None,
+                )
             generation_index += 1
             self._write_checkpoint(result)
             if self.on_generation is not None:

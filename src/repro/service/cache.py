@@ -22,7 +22,10 @@ mtime).
 Hit/miss/bypass/corruption traffic is published through
 ``repro.telemetry`` counters (``cache.hits`` etc.) so a campaign's
 telemetry snapshot shows exactly how much simulation work the cache
-absorbed.
+absorbed.  When a :class:`repro.obs.journal.EventJournal` is attached,
+the same traffic is journaled as ``cache.*`` events correlated by task
+fingerprint (bypasses journal the *reason* the fingerprint was
+unavailable, at warning level).
 """
 
 import hashlib
@@ -30,7 +33,7 @@ import json
 import os
 import zlib
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.metrics import RunResult
 from repro.core.strategies import AttackStrategy
@@ -42,6 +45,9 @@ from repro.service.fingerprint import (
     fingerprint_task,
 )
 from repro.telemetry import Telemetry
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.journal import BoundJournal, EventJournal
 
 #: Cache blob envelope version (bumped on incompatible changes).
 RUN_CACHE_VERSION = 1
@@ -94,6 +100,9 @@ class RunCache:
         code_epoch: Cache-namespace token; defaults to the checkout's
             :func:`~repro.service.fingerprint.default_code_epoch`, so a
             kernel change (regenerated goldens) invalidates every entry.
+        journal: Optional event journal; when given, every hit, miss,
+            bypass, write, corruption quarantine and eviction emits a
+            ``cache.*`` event correlated by fingerprint.
     """
 
     def __init__(
@@ -102,6 +111,7 @@ class RunCache:
         max_entries: Optional[int] = None,
         telemetry: Optional[Telemetry] = None,
         code_epoch: Optional[str] = None,
+        journal: "Optional[EventJournal | BoundJournal]" = None,
     ):
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be positive, got {max_entries}")
@@ -109,6 +119,7 @@ class RunCache:
         self.max_entries = max_entries
         self.telemetry = telemetry
         self.code_epoch = code_epoch if code_epoch is not None else default_code_epoch()
+        self.journal = journal
         self.stats = CacheStats()
 
     # -- keys ----------------------------------------------------------------
@@ -122,9 +133,11 @@ class RunCache:
         """
         try:
             return fingerprint_task(config, strategy, code_epoch=self.code_epoch)
-        except FingerprintUnavailable:
+        except FingerprintUnavailable as error:
             self.stats.bypasses += 1
             self._count("cache.bypasses")
+            self._count("cache.bypass.fingerprint_unavailable")
+            self._emit("cache.bypass", level="warning", reason=str(error))
             return None
 
     def _blob_path(self, key: str) -> str:
@@ -147,12 +160,14 @@ class RunCache:
         except OSError:
             self.stats.misses += 1
             self._count("cache.misses")
+            self._emit("cache.miss", fingerprint=key)
             return None
         result = self._decode(key, raw)
         if result is None:
-            self._quarantine(path)
+            self._quarantine(path, key)
             self.stats.misses += 1
             self._count("cache.misses")
+            self._emit("cache.miss", fingerprint=key)
             return None
         try:
             os.utime(path)
@@ -160,6 +175,7 @@ class RunCache:
             pass
         self.stats.hits += 1
         self._count("cache.hits")
+        self._emit("cache.hit", fingerprint=key)
         return result
 
     def _decode(self, key: str, raw: bytes) -> Optional[RunResult]:
@@ -177,13 +193,14 @@ class RunCache:
         except (ValueError, KeyError, TypeError, zlib.error):
             return None
 
-    def _quarantine(self, path: str) -> None:
+    def _quarantine(self, path: str, key: str) -> None:
         try:
             os.remove(path)
         except OSError:
             pass
         self.stats.corruptions += 1
         self._count("cache.corruptions")
+        self._emit("cache.corruption", level="warning", fingerprint=key, path=path)
 
     # -- store ---------------------------------------------------------------
 
@@ -203,6 +220,7 @@ class RunCache:
         atomic_write_bytes(path, json.dumps(envelope, sort_keys=True).encode())
         self.stats.writes += 1
         self._count("cache.writes")
+        self._emit("cache.write", fingerprint=key)
         if self.max_entries is not None:
             self._evict_to_cap()
 
@@ -235,6 +253,10 @@ class RunCache:
                 continue
             self.stats.evictions += 1
             self._count("cache.evictions")
+            self._emit(
+                "cache.evict",
+                fingerprint=os.path.basename(path)[: -len(".json.z")],
+            )
 
     def __len__(self) -> int:
         return len(self._entries())
@@ -246,6 +268,10 @@ class RunCache:
     def _count(self, name: str) -> None:
         if self.telemetry is not None:
             self.telemetry.metrics.counter(name).inc()
+
+    def _emit(self, kind: str, level: str = "info", **fields) -> None:
+        if self.journal is not None:
+            self.journal.emit(kind, level=level, **fields)
 
 
 def partition_tasks(

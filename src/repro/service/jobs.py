@@ -27,6 +27,7 @@ from repro.search.space import SearchSpace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     import asyncio
 
+    from repro.obs.recorder import FlightRecorderConfig
     from repro.resilience.supervisor import SupervisionPolicy
     from repro.search.driver import SearchConfig
 
@@ -55,6 +56,10 @@ class CampaignJobSpec:
         chunk_runs: Runs per service-level chunk (each chunk is one
             ``run_in_executor`` dispatch and one progress event); the
             service default splits a job into ~4 chunks.
+        recorder: Optional flight-recorder configuration; every run of
+            the job keeps a black-box ring of its last cycles and
+            flushes it on hazard/collision/alert/failure (see
+            :class:`repro.obs.recorder.FlightRecorderConfig`).
     """
 
     config: CampaignConfig
@@ -63,6 +68,7 @@ class CampaignJobSpec:
     batch_size: Optional[int] = None
     supervision: Optional["SupervisionPolicy"] = None
     chunk_runs: Optional[int] = None
+    recorder: Optional["FlightRecorderConfig"] = None
 
 
 @dataclass(frozen=True)

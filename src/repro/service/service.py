@@ -25,7 +25,7 @@ to direct uncached execution; the cache only changes what is *paid*.
 """
 
 import asyncio
-from typing import Any, AsyncIterator, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, AsyncIterator, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import RunResult
 from repro.injection.campaign import Campaign
@@ -45,6 +45,9 @@ from repro.service.jobs import (
 )
 from repro.telemetry import Telemetry
 
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids import cycles
+    from repro.obs.journal import EventJournal
+
 JobSpec = Union[CampaignJobSpec, SearchJobSpec]
 
 #: Service-level chunks per campaign job when the spec does not pin
@@ -63,6 +66,12 @@ class CampaignService:
             out internally per its spec).
         telemetry: Optional telemetry handle shared by all jobs
             (``service.*`` counters, plus whatever the back-end records).
+        journal: Optional :class:`~repro.obs.journal.EventJournal`; every
+            :class:`JobEvent` is mirrored into it as a ``job.*`` record,
+            chunk dispatches bind ``job_id``/``chunk_id`` correlation
+            fields into the supervised back-end's events, and a reader
+            can rebuild every job's state after process death via
+            :func:`repro.obs.journal.replay_jobs`.
 
     Usage::
 
@@ -80,12 +89,16 @@ class CampaignService:
         cache: Optional[RunCache] = None,
         concurrency: int = 1,
         telemetry: Optional[Telemetry] = None,
+        journal: Optional["EventJournal"] = None,
     ):
         if concurrency < 1:
             raise ValueError(f"concurrency must be positive, got {concurrency}")
         self.cache = cache
         self.concurrency = concurrency
         self.telemetry = telemetry
+        self.journal = journal
+        if cache is not None and journal is not None and cache.journal is None:
+            cache.journal = journal
         self._queue: Optional["asyncio.Queue[Optional[Job]]"] = None
         self._consumers: List["asyncio.Task"] = []
         self._jobs: List[Job] = []
@@ -186,10 +199,10 @@ class CampaignService:
             chunk_runs = max(1, -(-total // _DEFAULT_CHUNKS_PER_JOB))
         loop = asyncio.get_running_loop()
         results: List[RunResult] = []
-        for offset in range(0, total, chunk_runs):
+        for chunk_id, offset in enumerate(range(0, total, chunk_runs)):
             chunk = tasks[offset : offset + chunk_runs]
             chunk_results = await loop.run_in_executor(
-                None, self._run_chunk, spec, chunk
+                None, self._run_chunk, spec, chunk, job.id, chunk_id
             )
             results.extend(chunk_results)
             job.partial_results.extend(chunk_results)
@@ -204,11 +217,20 @@ class CampaignService:
         return results
 
     def _run_chunk(
-        self, spec: CampaignJobSpec, chunk: Sequence[SimulationTask]
+        self,
+        spec: CampaignJobSpec,
+        chunk: Sequence[SimulationTask],
+        job_id: int,
+        chunk_id: int,
     ) -> List[RunResult]:
         """One blocking chunk dispatch (executor thread)."""
         from repro.injection.executor import run_simulations
 
+        journal = None
+        if self.journal is not None:
+            # Supervised back-end events inherit the job/chunk identity,
+            # completing the job_id → chunk_id → fingerprint causal chain.
+            journal = self.journal.bind(job_id=job_id, chunk_id=chunk_id)
         return run_simulations(
             chunk,
             workers=spec.workers,
@@ -216,6 +238,8 @@ class CampaignService:
             supervision=spec.supervision,
             telemetry=self.telemetry,
             cache=self.cache,
+            recorder=spec.recorder,
+            journal=journal,
         )
 
     async def _run_search_job(self, job: Job):
@@ -238,6 +262,9 @@ class CampaignService:
                 },
             )
 
+        journal = None
+        if self.journal is not None:
+            journal = self.journal.bind(job_id=job.id)
         driver = SearchDriver(
             spec.space,
             spec.objective,
@@ -246,6 +273,7 @@ class CampaignService:
             telemetry=self.telemetry,
             run_cache=self.cache,
             on_generation=on_generation,
+            journal=journal,
         )
         return await loop.run_in_executor(None, driver.run)
 
@@ -257,6 +285,12 @@ class CampaignService:
         job.events.put_nowait(
             JobEvent(job_id=job.id, kind=kind, seq=next_event_seq(), payload=data)
         )
+        if self.journal is not None:
+            fields = dict(data)
+            if kind == EVENT_QUEUED:
+                fields["total"] = job.total_runs
+            level = "error" if kind == EVENT_FAILED else "info"
+            self.journal.emit(f"job.{kind}", level=level, job_id=job.id, **fields)
 
     def _count(self, name: str, amount: int = 1) -> None:
         if self.telemetry is not None:

@@ -160,9 +160,12 @@ class TestTaskExecutionError:
         assert clone.fingerprint == error.fingerprint
         assert str(clone) == str(error)
 
-    def test_wrap_batch_truncates_long_lists(self):
+    def test_wrap_batch_names_every_candidate(self):
+        """Quarantine reports and the journal cross-reference the batch
+        fingerprints, so the message lists all of them — no truncation."""
         fingerprints = [f"seed={i}" for i in range(10)]
         error = TaskExecutionError.wrap_batch(fingerprints, ValueError("boom"))
-        assert "seed=0" in str(error)
-        assert "more" in str(error)
-        assert "seed=9" not in str(error)
+        for fingerprint in fingerprints:
+            assert fingerprint in str(error)
+        assert "more" not in str(error)
+        assert error.fingerprints == tuple(fingerprints)

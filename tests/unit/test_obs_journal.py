@@ -1,0 +1,213 @@
+"""Unit tests for the causal event journal (:mod:`repro.obs.journal`)."""
+
+import os
+import threading
+
+import pytest
+
+from repro.obs.journal import (
+    EventJournal,
+    JournalError,
+    job_event_stream,
+    read_journal,
+    replay_jobs,
+)
+from repro.obs.query import job_summaries, timeline_lines
+
+
+class TestEmit:
+    def test_sequences_are_strictly_monotonic(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            seqs = [journal.emit("test.event", index=i) for i in range(20)]
+        assert seqs == list(range(20))
+        records = read_journal(path)
+        assert [r["seq"] for r in records] == seqs
+
+    def test_none_fields_are_dropped(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("test.event", kept=1, dropped=None)
+        (record,) = read_journal(path)
+        assert record["kept"] == 1 and "dropped" not in record
+
+    def test_reopen_continues_the_sequence(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("test.one")
+            journal.emit("test.two")
+        with EventJournal(path) as journal:
+            seq = journal.emit("test.three")
+        assert seq == 2
+        assert [r["seq"] for r in read_journal(path)] == [0, 1, 2]
+
+    def test_concurrent_emitters_never_collide(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        journal = EventJournal(path, fsync_every=64)
+
+        def hammer(worker):
+            for i in range(50):
+                journal.emit("test.event", worker=worker, index=i)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        journal.close()
+        seqs = [r["seq"] for r in read_journal(path)]
+        assert seqs == sorted(seqs) == list(range(200))
+
+    def test_invalid_settings_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            EventJournal(str(tmp_path / "j"), fsync_every=0)
+        with pytest.raises(ValueError):
+            EventJournal(str(tmp_path / "j"), max_bytes=0)
+
+
+class TestBind:
+    def test_bound_fields_stamp_every_event_and_compose(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            chunk = journal.bind(job_id=3).bind(chunk_id=1)
+            chunk.emit("test.event")
+            chunk.emit("test.event", chunk_id=9)  # explicit field wins
+        first, second = read_journal(path)
+        assert first["job_id"] == 3 and first["chunk_id"] == 1
+        assert second["job_id"] == 3 and second["chunk_id"] == 9
+
+
+class TestDurability:
+    def test_rotation_keeps_a_contiguous_recent_suffix(self, tmp_path):
+        """One rotated generation is kept: rotated + live read as a
+        contiguous, in-order suffix ending at the newest event."""
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path, max_bytes=256) as journal:
+            for i in range(20):
+                journal.emit("test.event", index=i)
+        assert os.path.exists(path + ".1")
+        indices = [r["index"] for r in read_journal(path)]
+        assert indices == list(range(indices[0], 20))
+        assert indices[-1] == 19
+
+    def test_reopen_after_rotation_continues_sequence(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path, max_bytes=128) as journal:
+            for i in range(10):
+                journal.emit("test.event", index=i)
+        with EventJournal(path) as journal:
+            assert journal.emit("test.event") == 10
+
+    def test_torn_final_line_is_tolerated(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("test.one")
+            journal.emit("test.two")
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"v":1,"kind":"test.torn","se')  # crash mid-write
+        records = read_journal(path)
+        assert [r["kind"] for r in records] == ["test.one", "test.two"]
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("test.one")
+            journal.emit("test.two")
+        lines = open(path, encoding="utf-8").read().splitlines()
+        lines[0] = "garbage not json"
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(lines) + "\n")
+        with pytest.raises(JournalError):
+            read_journal(path)
+
+
+class TestReplay:
+    def _write(self, path, events):
+        with EventJournal(path) as journal:
+            for kind, fields in events:
+                journal.emit(kind, **fields)
+
+    def test_completed_job_replays_to_final_state(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._write(
+            path,
+            [
+                ("job.queued", {"job_id": 0, "total": 4}),
+                ("job.started", {"job_id": 0}),
+                ("job.progress", {"job_id": 0, "completed": 2, "total": 4}),
+                ("job.progress", {"job_id": 0, "completed": 4, "total": 4}),
+                ("job.completed", {"job_id": 0}),
+            ],
+        )
+        replay = replay_jobs(read_journal(path))[0]
+        assert replay.status == "completed"
+        assert (replay.completed, replay.total, replay.chunks) == (4, 4, 2)
+
+    def test_interrupted_job_replays_to_in_flight_state(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._write(
+            path,
+            [
+                ("job.queued", {"job_id": 1, "total": 6}),
+                ("job.started", {"job_id": 1}),
+                ("job.progress", {"job_id": 1, "completed": 2, "total": 6}),
+            ],
+        )
+        replay = replay_jobs(read_journal(path))[1]
+        assert replay.status == "running"
+        assert (replay.completed, replay.total) == (2, 6)
+
+    def test_failed_job_keeps_its_error(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._write(
+            path,
+            [
+                ("job.queued", {"job_id": 0, "total": 2}),
+                ("job.started", {"job_id": 0}),
+                ("job.failed", {"job_id": 0, "error": "boom"}),
+            ],
+        )
+        replay = replay_jobs(read_journal(path))[0]
+        assert replay.status == "failed" and replay.error == "boom"
+
+    def test_job_event_stream_strips_nondeterministic_fields(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        self._write(
+            path,
+            [
+                ("job.queued", {"job_id": 0, "total": 2}),
+                ("supervisor.retry", {"job_id": 0, "attempt": 1}),
+                ("job.queued", {"job_id": 1, "total": 2}),
+            ],
+        )
+        stream = job_event_stream(read_journal(path), job_id=0)
+        assert len(stream) == 1  # only job.* of job 0
+        assert "seq" not in stream[0] and "ts" not in stream[0]
+
+
+class TestViews:
+    def test_timeline_flags_non_info_levels(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        with EventJournal(path) as journal:
+            journal.emit("job.queued", job_id=0, total=2)
+            journal.emit("supervisor.quarantine", level="warning", task=3)
+        lines = timeline_lines(read_journal(path))
+        assert len(lines) == 2
+        assert "job.queued" in lines[0] and "!" not in lines[0]
+        assert "supervisor.quarantine" in lines[1] and "!" in lines[1]
+
+    def test_job_summaries_list_every_quarantined_fingerprint(self, tmp_path):
+        path = str(tmp_path / "journal.jsonl")
+        fingerprints = [f"scenario=S1 seed={i}" for i in range(6)]
+        with EventJournal(path) as journal:
+            journal.emit("job.queued", job_id=0, total=6)
+            journal.emit("job.started", job_id=0)
+            for fp in fingerprints:
+                journal.emit(
+                    "supervisor.quarantine", level="warning", job_id=0, fingerprint=fp
+                )
+            journal.emit("job.completed", job_id=0)
+        (line,) = job_summaries(read_journal(path))
+        assert "6 quarantined" in line
+        for fp in fingerprints:
+            assert fp[:12] in line  # no truncation of the list itself
